@@ -1,0 +1,284 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. The simulated experiments (Table 3, Figures 10–11)
+// report modelled GPU milliseconds as custom metrics; the numeric
+// experiments (Table 4, Figure 12, Figure 13) execute the real algorithms
+// and report their wall time plus accuracy metrics. Run with:
+//
+//	go test -bench=. -benchmem
+package winrs
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/fftconv"
+	"winrs/internal/gemm"
+	"winrs/internal/gpusim"
+	"winrs/internal/perfmodel"
+	"winrs/internal/tensor"
+	"winrs/internal/train"
+	"winrs/internal/winnf"
+	"winrs/internal/workload"
+)
+
+// benchLayer is the shared real-execution workload: small enough for
+// testing.B iteration, large enough to exercise segmentation.
+func benchLayer() conv.Params {
+	return conv.Params{N: 4, IH: 32, IW: 32, FH: 3, FW: 3, IC: 16, OC: 16,
+		PH: 1, PW: 1}
+}
+
+func benchOperands(p conv.Params, seed int64) (*tensor.Float32, *tensor.Float32) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.NewFloat32(p.XShape())
+	dy := tensor.NewFloat32(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	return x, dy
+}
+
+// BenchmarkFig2BlockCount measures the configuration-adaptation cost on the
+// Figure 2 layer and reports the BFC block-starvation ratio it diagnoses.
+func BenchmarkFig2BlockCount(b *testing.B) {
+	p := conv.Params{N: 32, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1}
+	var z int
+	for i := 0; i < b.N; i++ {
+		cfg, err := core.Configure(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		z = cfg.Z()
+	}
+	b.ReportMetric(float64(z), "segments")
+}
+
+// BenchmarkTable2Workspace sweeps the paper population and reports the
+// WinRS average workspace/data ratio (paper: 0.18).
+func BenchmarkTable2Workspace(b *testing.B) {
+	cases := workload.PaperSweep()
+	d := gpusim.RTX4090
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		n := 0
+		for _, c := range cases {
+			plan, _, err := perfmodel.WinRS(c.P, d, false)
+			if err != nil {
+				continue
+			}
+			sum += float64(plan.WorkspaceBytes) / float64(c.P.DataBytes32())
+			n++
+		}
+		avg = sum / float64(n)
+	}
+	b.ReportMetric(avg, "ws/data")
+}
+
+// BenchmarkFig9Workspace regenerates the Figure 9 channel ladder and
+// reports the large-channel workspace (paper: 0 MB).
+func BenchmarkFig9Workspace(b *testing.B) {
+	d := gpusim.RTX4090
+	series := workload.ConstantComplexitySeries(32, 224, 64, 3)
+	var last int64
+	for i := 0; i < b.N; i++ {
+		for _, c := range series {
+			plan, _, err := perfmodel.WinRS(c.P, d, false)
+			if err != nil {
+				continue
+			}
+			last = plan.WorkspaceBytes
+		}
+	}
+	b.ReportMetric(float64(last), "bytes@1024ch")
+}
+
+// BenchmarkTable3Speedup reports the modelled average WinRS speedup over
+// Cu-GEMM across the sweep (paper: 1.05x-4.7x band).
+func BenchmarkTable3Speedup(b *testing.B) {
+	cases := workload.PaperSweep()
+	d := gpusim.RTX4090
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		n := 0
+		for _, c := range cases {
+			w, _, err := perfmodel.WinRS(c.P, d, false)
+			if err != nil {
+				continue
+			}
+			sum += perfmodel.Speedup(d, w, perfmodel.CuGEMM(c.P, d, false))
+			n++
+		}
+		avg = sum / float64(n)
+	}
+	b.ReportMetric(avg, "speedup")
+}
+
+// BenchmarkFig10ThroughputFP32 reports the modelled FP32 WinRS throughput
+// on the Figure 10 series (direct-equivalent TFLOPS).
+func BenchmarkFig10ThroughputFP32(b *testing.B) {
+	benchThroughput(b, gpusim.RTX4090, false)
+}
+
+// BenchmarkFig11ThroughputFP16 reports the modelled FP16 WinRS throughput
+// on the Figure 11 series.
+func BenchmarkFig11ThroughputFP16(b *testing.B) {
+	benchThroughput(b, gpusim.L40S, true)
+}
+
+func benchThroughput(b *testing.B, d gpusim.Device, fp16 bool) {
+	series := workload.ConstantComplexitySeries(32, 224, 64, 3)
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		n := 0
+		for _, c := range series {
+			plan, _, err := perfmodel.WinRS(c.P, d, fp16)
+			if err != nil {
+				continue
+			}
+			sum += gpusim.ThroughputTFLOPS(c.P.FLOPs(), d.Time(plan))
+			n++
+		}
+		tput = sum / float64(n)
+	}
+	b.ReportMetric(tput, "TFLOPS")
+}
+
+// BenchmarkTable4Accuracy executes the real FP32 pipeline and reports its
+// MARE against FP64 (paper band ~1e-7 for Ω8 kernels).
+func BenchmarkTable4Accuracy(b *testing.B) {
+	p := benchLayer()
+	x, dy := benchOperands(p, 1)
+	want := conv.BackwardFilterDirect64(p, x.ToFloat64(), dy.ToFloat64())
+	cfg, err := core.Configure(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mare float64
+	b.SetBytes(p.DataBytes32())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := core.Execute(cfg, x, dy)
+		mare = tensor.MARE(got, want)
+	}
+	b.ReportMetric(mare, "MARE")
+}
+
+// BenchmarkFig12MAREDistribution runs the FP16 path at the largest
+// accumulation length of the Figure 12 sweep and reports its MARE.
+func BenchmarkFig12MAREDistribution(b *testing.B) {
+	p := conv.Params{N: 8, IH: 32, IW: 32, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	x, dy := benchOperands(p, 2)
+	dy.Scale(0.01)
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	want := conv.BackwardFilterDirect64(p, xh.ToFloat32().ToFloat64(),
+		dyh.ToFloat32().ToFloat64())
+	cfg, err := core.Configure(p, core.WithFP16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mare float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := core.ExecuteHalf(cfg, xh, dyh)
+		mare = tensor.MARE(got, want)
+	}
+	b.ReportMetric(mare, "MARE")
+}
+
+// BenchmarkFig13Training runs a short WinRS-gradient training burst and
+// reports the final loss.
+func BenchmarkFig13Training(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		ds := train.NewDataset(3, 8, 8, 2, 7)
+		net := train.NewNet(8, 8, 2, 4, 6, 3, train.WinRSBFC, 99)
+		net.LR = 0.5
+		losses, err := train.Run(net, ds, 60, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = losses[len(losses)-1]
+	}
+	b.ReportMetric(final, "loss")
+}
+
+// BenchmarkAblation1Dvs2D compares fused WinRS against the non-fused 2-D
+// Winograd baseline on the same real workload (eq. 3/4 in the flesh).
+func BenchmarkAblation1Dvs2D(b *testing.B) {
+	p := benchLayer()
+	x, dy := benchOperands(p, 3)
+	cfg, err := core.Configure(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("WinRS1D", func(b *testing.B) {
+		b.SetBytes(p.DataBytes32())
+		for i := 0; i < b.N; i++ {
+			_ = core.Execute(cfg, x, dy)
+		}
+	})
+	b.Run("WinNF2D", func(b *testing.B) {
+		b.SetBytes(p.DataBytes32())
+		for i := 0; i < b.N; i++ {
+			_ = winnf.BackwardFilter(p, x, dy)
+		}
+	})
+}
+
+// BenchmarkAblationSegmentation contrasts adaptive Z against forced Z=1 on
+// the simulator (the paper's parallelism argument, Figure 2 → §4.2).
+func BenchmarkAblationSegmentation(b *testing.B) {
+	p := conv.Params{N: 32, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1}
+	d := gpusim.RTX4090
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		adaptive, _, err := perfmodel.WinRS(p, d, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forced, _, err := perfmodel.WinRSForced(p, d, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = d.Time(forced) / d.Time(adaptive)
+	}
+	b.ReportMetric(ratio, "speedup")
+}
+
+// BenchmarkBaselines times every real BFC implementation on the shared
+// workload, the cross-algorithm comparison backing Figures 10–11 at
+// CPU scale.
+func BenchmarkBaselines(b *testing.B) {
+	p := benchLayer()
+	x, dy := benchOperands(p, 4)
+	impls := []struct {
+		name string
+		f    func() *tensor.Float32
+	}{
+		{"WinRS", func() *tensor.Float32 {
+			out, err := core.BackwardFilter(p, x, dy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return out
+		}},
+		{"Direct", func() *tensor.Float32 { return conv.BackwardFilterDirect32(p, x, dy) }},
+		{"Algo0", func() *tensor.Float32 { return gemm.Algo0(p, x, dy) }},
+		{"Algo1", func() *tensor.Float32 { return gemm.Algo1(p, x, dy) }},
+		{"Algo3", func() *tensor.Float32 { return gemm.Algo3(p, x, dy) }},
+		{"FFT", func() *tensor.Float32 { return fftconv.BackwardFilter(p, x, dy) }},
+		{"WinNF", func() *tensor.Float32 { return winnf.BackwardFilter(p, x, dy) }},
+	}
+	for _, im := range impls {
+		b.Run(im.name, func(b *testing.B) {
+			b.SetBytes(p.DataBytes32())
+			for i := 0; i < b.N; i++ {
+				_ = im.f()
+			}
+		})
+	}
+}

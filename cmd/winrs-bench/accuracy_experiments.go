@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/fftconv"
+	"winrs/internal/gemm"
+	"winrs/internal/kahan"
+	"winrs/internal/report"
+	"winrs/internal/tensor"
+	"winrs/internal/winnf"
+	"winrs/internal/workload"
+)
+
+// accCase generates uniform-[0,1) operands (the Table 4 setup) and the
+// float64 ground truth.
+func accCase(p conv.Params, seed int64, dyScale float64) (*tensor.Float32, *tensor.Float32, *tensor.Float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64() * dyScale
+	}
+	return x64.ToFloat32(), dy64.ToFloat32(), conv.BackwardFilterDirect64(p, x64, dy64)
+}
+
+// halfTruth quantizes the operands to binary16 and recomputes the ground
+// truth so MARE measures algorithm error, not input quantization.
+func halfTruth(p conv.Params, x, dy *tensor.Float32) (*tensor.Half, *tensor.Half, *tensor.Float64) {
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	want := conv.BackwardFilterDirect64(p, xh.ToFloat32().ToFloat64(),
+		dyh.ToFloat32().ToFloat64())
+	return xh, dyh, want
+}
+
+type mareRange struct{ vs []float64 }
+
+func (m *mareRange) add(v float64) { m.vs = append(m.vs, v) }
+func (m *mareRange) cell() string {
+	if len(m.vs) == 0 {
+		return "N/A"
+	}
+	_, min, max := report.SummaryStats(m.vs)
+	return fmt.Sprintf("%.2e / %.2e", min, max)
+}
+
+// runTable4 measures MARE against FP64 ground truth for every algorithm,
+// in FP32 and (where supported) FP16. The layer set selects each WinRS
+// kernel family: F_W=2 → Ω4, F_W=3/5 → Ω8, F_W=8/9 → Ω16.
+func runTable4() {
+	families := []struct {
+		name   string
+		layers []conv.Params
+	}{
+		{"Omega4", []conv.Params{
+			workload.Layer(2, 16, 2, 4), workload.Layer(4, 12, 2, 4)}},
+		{"Omega8", []conv.Params{
+			workload.Layer(2, 16, 3, 4), workload.Layer(2, 20, 5, 4)}},
+		{"Omega16", []conv.Params{
+			workload.Layer(1, 24, 9, 4), workload.Layer(1, 21, 8, 4)}},
+	}
+	var wrs32 [3]mareRange
+	var wrs16 [3]mareRange
+	var fft32, algo03, algo1f32, winnf32, winnf16, algo1f16 mareRange
+
+	for fi, fam := range families {
+		for i, p := range fam.layers {
+			x, dy, want := accCase(p, int64(100*fi+i), 1)
+			if got, err := core.BackwardFilter(p, x, dy); err == nil {
+				wrs32[fi].add(tensor.MARE(got, want))
+			}
+			fft32.add(tensor.MARE(fftconv.BackwardFilter(p, x, dy), want))
+			algo03.add(tensor.MARE(gemm.Algo0(p, x, dy), want))
+			algo03.add(tensor.MARE(gemm.Algo3(p, x, dy), want))
+			algo1f32.add(tensor.MARE(gemm.Algo1(p, x, dy), want))
+			if winnf.Supported(p) {
+				winnf32.add(tensor.MARE(winnf.BackwardFilter(p, x, dy), want))
+			}
+			// FP16 (paper: ∇Y scaled by 1e-2 to avoid overflow).
+			xs, dys, _ := accCase(p, int64(100*fi+i), 0.01)
+			xh, dyh, wantH := halfTruth(p, xs, dys)
+			if got, err := core.BackwardFilterHalf(p, xh, dyh); err == nil {
+				wrs16[fi].add(tensor.MARE(got, wantH))
+			}
+			if p.FH == 3 && p.FW == 3 {
+				winnf16.add(tensor.MARE(winnf.BackwardFilterHalf(p, xh, dyh), wantH))
+			}
+			algo1f16.add(tensor.MARE(gemm.Algo1Half(p, xh, dyh), wantH))
+		}
+	}
+	t := report.NewTable("Table 4 — MARE vs FP64 (min / max)",
+		"algorithm", "FP32", "FP16", "paper FP32", "paper FP16")
+	t.AddRow("WinRS Omega4", wrs32[0].cell(), wrs16[0].cell(), "1.2e-7/4.8e-7", "—")
+	t.AddRow("WinRS Omega8", wrs32[1].cell(), wrs16[1].cell(), "1.1e-7/8.3e-7", "3.4e-4/2.7e-3")
+	t.AddRow("WinRS Omega16", wrs32[2].cell(), wrs16[2].cell(), "9.5e-6/1.3e-5", "8.8e-4/1.1e-2")
+	t.AddRow("Cu-FFT", fft32.cell(), "N/A", "7.2e-8/1.5e-7", "—")
+	t.AddRow("Cu-Algo0/Algo3", algo03.cell(), "N/A", "7.0e-8/5.9e-7", "—")
+	t.AddRow("Cu-WinNF", winnf32.cell(), winnf16.cell(), "4.8e-7/3.7e-6", "1.6e-3/6.5e-1")
+	t.AddRow("Cu-Algo1", algo1f32.cell(), algo1f16.cell(), "4.6e-5/1.8e-3", "5.7e-4/8.3e-1")
+	t.Write(os.Stdout)
+}
+
+// runFig12 measures FP16 MARE against the accumulation length N·O_H·O_W,
+// the axis of Figure 12(C): WinRS stays flat through segmentation + Kahan
+// while Cu-Algo1/Cu-WinNF degrade.
+func runFig12() {
+	t := report.NewTable("Figure 12 — FP16 MARE vs accumulation length (3x3 dW)",
+		"dY dims", "N*OH*OW", "WinRS", "Cu-WinNF", "Cu-Algo1")
+	for _, c := range workload.AccuracySweep(3) {
+		p := c.P
+		x, dy, _ := accCase(p, 42, 0.01)
+		xh, dyh, want := halfTruth(p, x, dy)
+		wrsCell := "—"
+		if got, err := core.BackwardFilterHalf(p, xh, dyh); err == nil {
+			wrsCell = fmt.Sprintf("%.2e", tensor.MARE(got, want))
+		}
+		nfCell := fmt.Sprintf("%.2e", tensor.MARE(winnf.BackwardFilterHalf(p, xh, dyh), want))
+		a1Cell := fmt.Sprintf("%.2e", tensor.MARE(gemm.Algo1Half(p, xh, dyh), want))
+		t.AddRow(c.Label, p.N*p.OH()*p.OW(), wrsCell, nfCell, a1Cell)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("paper trend: Cu-WinNF/Cu-Algo1 degrade beyond ~2^18 terms;" +
+		" WinRS stays flat via segmentation + FP32 Kahan reduction")
+}
+
+// runAblationKahan contrasts the compensated bucket reduction against a
+// naive float32 reduction at a large synthetic bucket count.
+func runAblationKahan() {
+	const z, n = 512, 64
+	buckets := make([][]float32, z)
+	exact := make([]float64, n)
+	rng := rand.New(rand.NewSource(5))
+	for zi := range buckets {
+		buckets[zi] = make([]float32, n)
+		for i := range buckets[zi] {
+			v := float32(rng.Float64()) * 16
+			if zi == 0 {
+				v = 1 << 14
+			}
+			buckets[zi][i] = v
+			exact[i] += float64(v)
+		}
+	}
+	compensated := make([]float32, n)
+	naive := make([]float32, n)
+	kahan.ReduceBuckets(compensated, buckets)
+	kahan.ReduceBucketsNaive(naive, buckets)
+	var errK, errN float64
+	for i := range exact {
+		errK += abs(float64(compensated[i])-exact[i]) / exact[i]
+		errN += abs(float64(naive[i])-exact[i]) / exact[i]
+	}
+	t := report.NewTable("Kahan reduction ablation — 512 buckets, large head term",
+		"reduction", "mean rel err")
+	t.AddRow("Kahan (WinRS)", errK/float64(n))
+	t.AddRow("naive float32", errN/float64(n))
+	t.Write(os.Stdout)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

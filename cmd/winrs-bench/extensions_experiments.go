@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/report"
+	"winrs/internal/tensor"
+	"winrs/internal/workload"
+)
+
+// runExtensions exercises the paper's §8 roadmap implemented in this
+// repository: BF16/FP8/INT8 storage formats, the forward and backward-data
+// passes, and the N-D (3-D) BFC extension.
+func runExtensions() {
+	rng := rand.New(rand.NewSource(71))
+
+	// Low-precision format accuracy on a shared layer.
+	p := workload.Layer(2, 16, 3, 4)
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilterDirect64(p, x64, dy64)
+	x, dy := x64.ToFloat32(), dy64.ToFloat32()
+	cfg, err := core.Configure(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	t := report.NewTable("Extension — storage formats (paper §8: 'ported to BF16, FP8, INT8')",
+		"format", "MARE vs FP64", "mantissa bits", "dynamic range")
+	t.AddRow("FP32", tensor.MARE(core.Execute(cfg, x, dy), want), 23, "1e±38")
+	mq := func(q core.Quantizer) float64 {
+		return tensor.MARE(core.ExecuteQuantized(cfg, x, dy, q), want)
+	}
+	t.AddRow("BF16", mq(core.QuantBF16), 7, "1e±38")
+	t.AddRow("FP8-E4M3", mq(core.QuantFP8E4M3), 3, "±448")
+	t.AddRow("FP8-E5M2", mq(core.QuantFP8E5M2), 2, "±57344")
+	t.AddRow("INT8 (absmax 4)", mq(core.QuantInt8(4)), "-", "±4 grid")
+	t.Write(os.Stdout)
+
+	// Forward / backward-data via the WinRS kernels.
+	w64 := tensor.NewFloat64(p.DWShape())
+	for i := range w64.Data {
+		w64.Data[i] = rng.Float64()*2 - 1
+	}
+	w := w64.ToFloat32()
+	t2 := report.NewTable("Extension — full layer triad on WinRS kernels ('supports FC and BDC')",
+		"pass", "MARE / max diff vs reference")
+	if y, err := core.Forward(p, x, w); err == nil {
+		t2.AddRow("FC (fused 1-D Winograd)", tensor.MARE(y, conv.Forward64(p, x64, w64)))
+	}
+	t2.AddRow("BFC (reduce-split)", tensor.MARE(core.Execute(cfg, x, dy), want))
+	if dx, err := core.BackwardData(p, dy, w); err == nil {
+		t2.AddRow("BDC (flipped-filter FC)",
+			tensor.MaxAbsDiff(dx, conv.BackwardData32(p, dy, w)))
+	}
+	t2.Write(os.Stdout)
+
+	// 3-D BFC.
+	p3 := conv.Params3D{N: 1, ID: 6, IH: 12, IW: 12, FD: 3, FH: 3, FW: 3,
+		IC: 3, OC: 3, PD: 1, PH: 1, PW: 1}
+	x3 := tensor.NewFloat645(p3.XShape())
+	dy3 := tensor.NewFloat645(p3.DYShape())
+	for i := range x3.Data {
+		x3.Data[i] = rng.Float64()
+	}
+	for i := range dy3.Data {
+		dy3.Data[i] = rng.Float64()
+	}
+	want3 := conv.BackwardFilter3DDirect64(p3, x3, dy3)
+	cfg3, err := core.Configure3D(p3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	got3 := core.Execute3D(cfg3, x3.ToFloat325(), dy3.ToFloat325())
+	t3 := report.NewTable("Extension — N-D BFC (paper §3 Level 2, k = 3)",
+		"layer", "pair", "Z", "MARE vs FP64")
+	t3.AddRow(fmt.Sprintf("3-D %v filters over %v", p3.DWShape(), p3.XShape()),
+		cfg3.Pair.String(), cfg3.Z(), tensor.MARE5(got3, want3))
+	t3.Write(os.Stdout)
+
+	// Strided BFC via phase decimation.
+	ps := conv.StridedParams{N: 2, IH: 28, IW: 28, FH: 3, FW: 3, IC: 4, OC: 8,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	xs64 := tensor.NewFloat64(ps.XShape())
+	dys64 := tensor.NewFloat64(ps.DYShape())
+	for i := range xs64.Data {
+		xs64.Data[i] = rng.Float64()
+	}
+	for i := range dys64.Data {
+		dys64.Data[i] = rng.Float64()
+	}
+	wantS := conv.BackwardFilterStridedDirect64(ps, xs64, dys64)
+	gotS, err := core.BackwardFilterStrided(ps, xs64.ToFloat32(), dys64.ToFloat32())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	t4 := report.NewTable("Extension — strided BFC by phase decimation",
+		"layer", "phases", "MARE vs FP64")
+	t4.AddRow("3x3 stride 2 (ResNet downsampling)", ps.StrideH()*ps.StrideW(),
+		tensor.MARE(gotS, wantS))
+	t4.Write(os.Stdout)
+}

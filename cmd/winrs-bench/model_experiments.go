@@ -1,0 +1,350 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/gpusim"
+	"winrs/internal/perfmodel"
+	"winrs/internal/report"
+	"winrs/internal/winograd"
+	"winrs/internal/workload"
+)
+
+func vggConv2() conv.Params {
+	return conv.Params{N: 32, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64,
+		PH: 1, PW: 1}
+}
+
+// runFig2 reproduces the motivation figure: the F(2×2,3×3) blocking scheme
+// floods FC/BDC with blocks but starves BFC.
+func runFig2() {
+	p := vggConv2()
+	t := report.NewTable("Figure 2 — block counts, VGG16 conv2 (N=32, 64x32x8 cache block)",
+		"pass", "output size", "blocks")
+	fcOut := fmt.Sprintf("%dx%dx%d", p.OH(), p.OW(), p.OC)
+	k, _ := winograd.Lookup(2, 3)
+	bfc := core.BlocksPerSegment(k, p, false)
+	fc := p.N * ceil(p.OH(), 2) * ceil(p.OW(), 2) / 32 * ceil(p.OC, 64)
+	t.AddRow("FC", fcOut, fc)
+	t.AddRow("BDC", fmt.Sprintf("%dx%dx%d", p.IH, p.IW, p.IC), fc)
+	t.AddRow("BFC", fmt.Sprintf("%dx%dx%d", p.FH, p.FW, p.IC), bfc)
+	t.Write(os.Stdout)
+	fmt.Printf("paper: 12544 blocks for FC/BDC, 8 for BFC — a >1000x parallelism gap\n")
+}
+
+// runFig5 prints the fastest kernel pairs the adaptation selects for the
+// paper's example geometries.
+func runFig5() {
+	t := report.NewTable("Figure 5 — fastest kernel pairs", "F_W", "O_W", "pair",
+		"fast span", "residual span")
+	for _, c := range []struct{ fw, ow int }{
+		{3, 16}, {3, 18}, {2, 14}, {4, 20}, {5, 25}, {6, 22}, {7, 28}, {8, 24}, {9, 27},
+	} {
+		p := conv.Params{N: 1, IH: 8, IW: c.fw + c.ow - 1, FH: 3, FW: c.fw, IC: 8, OC: 8}
+		pr, err := core.SelectPair(p, false)
+		if err != nil {
+			t.AddRow(c.fw, c.ow, "—", err.Error(), "")
+			continue
+		}
+		fw, rw := pr.Coverage()
+		t.AddRow(c.fw, c.ow, pr.String(), fw, rw)
+	}
+	t.Write(os.Stdout)
+}
+
+// runFig6 lists the kernel registry with its acceleration factors and
+// computation intensities.
+func runFig6() {
+	t := report.NewTable("Figure 6 — the 13 WinRS kernels", "kernel", "alpha",
+		"accel n*r/alpha", "FP32 block", "FP16", "rho_1D (FP32)")
+	for _, k := range winograd.Kernels {
+		bn, bm := k.CacheBlock(false)
+		fp := ""
+		if k.FP16 {
+			fp = "yes"
+		}
+		t.AddRow(k.String(), k.Alpha, k.Accel(), fmt.Sprintf("%dx%d", bn, bm),
+			fp, k.Intensity(false))
+	}
+	t.Write(os.Stdout)
+}
+
+// runTable2 sweeps the paper's workload population and prints each
+// algorithm's workspace as multiples of the data size.
+func runTable2() {
+	d := gpusim.RTX4090
+	var winrs, algo1, algo3, fft, winnfWS []float64
+	for _, c := range workload.PaperSweep() {
+		data := float64(c.P.DataBytes32())
+		w, _, err := perfmodel.WinRS(c.P, d, false)
+		if err != nil {
+			continue
+		}
+		winrs = append(winrs, float64(w.WorkspaceBytes)/data)
+		algo1 = append(algo1, float64(perfmodel.Algo1Workspace(c.P, false))/data)
+		algo3 = append(algo3, float64(perfmodel.Algo3Workspace(c.P))/data)
+		fft = append(fft, float64(perfmodel.FFT(c.P).WorkspaceBytes)/data)
+		if wp, ok := perfmodel.WinNF(c.P, false); ok {
+			winnfWS = append(winnfWS, float64(wp.WorkspaceBytes)/data)
+		}
+	}
+	t := report.NewTable("Table 2 — workspace as a multiple of data size",
+		"algorithm", "avg", "min", "max", "paper avg")
+	add := func(name string, vs []float64, paper string) {
+		avg, min, max := report.SummaryStats(vs)
+		t.AddRow(name, avg, min, max, paper)
+	}
+	add("WinRS", winrs, "0.18x")
+	add("Cu-Algo1", algo1, "1.06x")
+	add("Cu-Algo3", algo3, "0.10x")
+	add("Cu-FFT", fft, "9.09x")
+	add("Cu-WinNF", winnfWS, "2.67x")
+	t.Write(os.Stdout)
+}
+
+// runFig9 reproduces the workspace/segment-count trend against ∇Y
+// dimensions for 3×3 filter gradients.
+func runFig9() {
+	d := gpusim.RTX4090
+	t := report.NewTable("Figure 9 — WinRS workspace for 3x3 dW on RTX 4090",
+		"dY dims (N:OH:OW:OC)", "segments Z", "workspace MB", "dW MB")
+	// Like the paper's dimension choice, O_W is kept a multiple of the fast
+	// kernel's r (here 6) so residual columns do not force extra segments.
+	hw, ch := 224, 64
+	for hw >= 14 && ch <= 1024 {
+		ow := hw / 6 * 6
+		p := conv.Params{N: 32, IH: hw, IW: ow, FH: 3, FW: 3, IC: ch, OC: ch,
+			PH: 1, PW: 1}
+		plan, cfg, err := perfmodel.WinRS(p, d, false)
+		if err == nil {
+			t.AddRow(workload.DimLabel(p), cfg.Z(),
+				float64(plan.WorkspaceBytes)/(1<<20),
+				float64(p.DWShape().Elems())*4/(1<<20))
+		}
+		hw /= 2
+		ch *= 2
+	}
+	t.Write(os.Stdout)
+	fmt.Println("paper trend: many segments/small workspace at 64-128 channels," +
+		" single segment and 0 MB at 1024 channels")
+}
+
+// runTable3 prints WinRS speedups over the cuDNN baselines per filter size
+// in the paper's 'average: min-max' format.
+func runTable3() {
+	type cell struct{ vs []float64 }
+	fmtCell := func(c cell) string {
+		if len(c.vs) == 0 {
+			return "N/A"
+		}
+		avg, min, max := report.SummaryStats(c.vs)
+		return fmt.Sprintf("%.2f: %.2f-%.2f", avg, min, max)
+	}
+	fp32 := []gpusim.Device{gpusim.RTX4090, gpusim.RTX3090}
+	for _, d := range fp32 {
+		t := report.NewTable(fmt.Sprintf("Table 3 — FP32 speedup on %s", d.Name),
+			"FHxFW", "vs Cu-GEMM", "vs Cu-FFT", "vs Cu-WinNF")
+		for f := 2; f <= 9; f++ {
+			var gemm, fft, winnf cell
+			for _, c := range workload.PaperSweep() {
+				if c.P.FH != f {
+					continue
+				}
+				w, _, err := perfmodel.WinRS(c.P, d, false)
+				if err != nil {
+					continue
+				}
+				gemm.vs = append(gemm.vs, perfmodel.Speedup(d, w, perfmodel.CuGEMM(c.P, d, false)))
+				fft.vs = append(fft.vs, perfmodel.Speedup(d, w, perfmodel.FFT(c.P)))
+				if wp, ok := perfmodel.WinNF(c.P, false); ok {
+					winnf.vs = append(winnf.vs, perfmodel.Speedup(d, w, wp))
+				}
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", f, f), fmtCell(gemm), fmtCell(fft), fmtCell(winnf))
+		}
+		t.Write(os.Stdout)
+	}
+	for _, d := range []gpusim.Device{gpusim.RTX4090, gpusim.L40S, gpusim.RTXA5000} {
+		t := report.NewTable(fmt.Sprintf("Table 3 — FP16 speedup on %s", d.Name),
+			"FHxFW", "vs Cu-GEMM", "vs Cu-WinNF")
+		for _, f := range workload.FP16Filters {
+			var gemm, winnf cell
+			for _, c := range workload.PaperSweep() {
+				if c.P.FH != f {
+					continue
+				}
+				w, _, err := perfmodel.WinRS(c.P, d, true)
+				if err != nil {
+					continue
+				}
+				gemm.vs = append(gemm.vs, perfmodel.Speedup(d, w, perfmodel.CuGEMM(c.P, d, true)))
+				if wp, ok := perfmodel.WinNF(c.P, true); ok {
+					winnf.vs = append(winnf.vs, perfmodel.Speedup(d, w, wp))
+				}
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", f, f), fmtCell(gemm), fmtCell(winnf))
+		}
+		t.Write(os.Stdout)
+	}
+}
+
+func throughputSeries(d gpusim.Device, f int, fp16 bool) {
+	t := report.NewTable(
+		fmt.Sprintf("%s, %dx%d dW — throughput in direct-equivalent TFLOPS",
+			d.Name, f, f),
+		"dY dims", "WinRS", "Cu-GEMM", "Cu-FFT", "Cu-WinNF")
+	for _, c := range workload.ConstantComplexitySeries(32, 224, 64, f) {
+		w, _, err := perfmodel.WinRS(c.P, d, fp16)
+		if err != nil {
+			continue
+		}
+		direct := c.P.FLOPs()
+		tput := func(p gpusim.Plan) string {
+			return fmt.Sprintf("%.1f", gpusim.ThroughputTFLOPS(direct, d.Time(p)))
+		}
+		fftCell, winnfCell := "N/A", "N/A"
+		if !fp16 {
+			fftCell = tput(perfmodel.FFT(c.P))
+		}
+		if wp, ok := perfmodel.WinNF(c.P, fp16); ok {
+			winnfCell = tput(wp)
+		}
+		t.AddRow(c.Label, tput(w), tput(perfmodel.CuGEMM(c.P, d, fp16)), fftCell, winnfCell)
+	}
+	t.Write(os.Stdout)
+}
+
+// runFig10 prints the FP32 throughput series of Figure 10.
+func runFig10() {
+	for _, d := range []gpusim.Device{gpusim.RTX4090, gpusim.RTX3090} {
+		for _, f := range []int{2, 3, 5, 7, 9} {
+			throughputSeries(d, f, false)
+		}
+	}
+}
+
+// runFig11 prints the FP16 throughput series of Figure 11.
+func runFig11() {
+	for _, d := range []gpusim.Device{gpusim.L40S, gpusim.RTX4090, gpusim.RTXA5000} {
+		for _, f := range workload.FP16Filters {
+			throughputSeries(d, f, true)
+		}
+	}
+}
+
+// runAblation1D2D prints the eq. (3)/(4) comparison behind the reduce-split
+// design choice.
+func runAblation1D2D() {
+	t := report.NewTable("Eq. (3)/(4) — 1-D vs nested 2-D Winograd at equal space",
+		"alpha = a0*a1", "A1D max", "A2D max", "rho1D (64x32,r=3)", "rho2D")
+	for _, f := range [][2]int{{2, 2}, {2, 4}, {4, 4}, {2, 8}} {
+		alpha := f[0] * f[1]
+		t.AddRow(fmt.Sprintf("%d = %dx%d", alpha, f[0], f[1]),
+			winograd.Accel1DMax(alpha), winograd.Accel2DMax(f[0], f[1]),
+			winograd.Intensity1D(64, 32, 3, alpha),
+			winograd.Intensity2D(64, 32, 3, 3, f[0], f[1]))
+	}
+	t.Write(os.Stdout)
+}
+
+// runAblationSeg compares the adaptive segment count against fixed Z values
+// on the simulator — the paper's small-output parallelism argument.
+func runAblationSeg() {
+	d := gpusim.RTX4090
+	p := vggConv2()
+	t := report.NewTable("Segmentation ablation — VGG16 conv2 on RTX 4090 (simulated)",
+		"configuration", "Z", "time ms", "workspace MB")
+	adaptive, cfg, err := perfmodel.WinRS(p, d, false)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	t.AddRow("adaptive (Algorithm 1)", cfg.Z(), d.Time(adaptive)*1e3,
+		float64(adaptive.WorkspaceBytes)/(1<<20))
+	for _, z := range []int{1, 4, 16, 128} {
+		plan, c2, err := perfmodel.WinRSForced(p, d, false, z)
+		if err != nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("forced Z=%d", z), c2.Z(), d.Time(plan)*1e3,
+			float64(plan.WorkspaceBytes)/(1<<20))
+	}
+	t.Write(os.Stdout)
+}
+
+// runRelatedWork compares WinRS against the authors' prior Im2col-Winograd
+// (fixed workload distribution, single zero-padded kernel) across the
+// channel ladder — isolating what adaptive segmentation and hybrid units
+// buy (§7 Related Works).
+func runRelatedWork() {
+	d := gpusim.RTX4090
+	t := report.NewTable("Related work — WinRS vs Im2col-Winograd (fixed distribution), RTX 4090 FP32",
+		"dY dims", "WinRS ms", "Im2col-Winograd ms", "speedup")
+	for _, c := range workload.ConstantComplexitySeries(32, 224, 64, 3) {
+		w, _, err := perfmodel.WinRS(c.P, d, false)
+		if err != nil {
+			continue
+		}
+		i2c, err := perfmodel.Im2colWinograd(c.P, d)
+		if err != nil {
+			continue
+		}
+		t.AddRow(c.Label, d.Time(w)*1e3, d.Time(i2c)*1e3, perfmodel.Speedup(d, w, i2c))
+	}
+	t.Write(os.Stdout)
+	fmt.Println("paper: Im2col-Winograd's fixed distribution 'limits its applicability" +
+		" to BFC'; the gap closes once one segment saturates the device")
+}
+
+// runAblationClip reports the height-axis clipping saving of Figure 7.
+func runAblationClip() {
+	t := report.NewTable("Figure 7 — height-axis clipping saving pH(pH+1)/(FH*OH)",
+		"layer", "pH", "saving %")
+	for _, c := range []struct {
+		label string
+		p     conv.Params
+	}{
+		{"6x6 input, 3x3 filter, pad 1", conv.Params{N: 1, IH: 6, IW: 6, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}},
+		{"VGG conv2 (224, 3x3, pad 1)", vggConv2()},
+		{"14x14, 7x7 filter, pad 3", conv.Params{N: 1, IH: 14, IW: 14, FH: 7, FW: 7, IC: 1, OC: 1, PH: 3, PW: 3}},
+	} {
+		p := c.p
+		saving := float64(p.PH*(p.PH+1)) / float64(p.FH*p.OH()) * 100
+		t.AddRow(c.label, p.PH, saving)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("paper example: 12.5% reduction for the 6x6/3x3/pad-1 case")
+}
+
+// runVGG16 compares the algorithms layer by layer on the paper's motivating
+// network.
+func runVGG16() {
+	d := gpusim.RTX4090
+	t := report.NewTable("VGG16 BFC, batch 32, RTX 4090 FP32 (simulated)",
+		"layer", "WinRS ms", "Cu-GEMM ms", "Cu-FFT ms", "Cu-WinNF ms", "WinRS ws MB")
+	var totW, totG float64
+	for _, c := range workload.VGG16Layers(32) {
+		w, _, err := perfmodel.WinRS(c.P, d, false)
+		if err != nil {
+			continue
+		}
+		g := perfmodel.CuGEMM(c.P, d, false)
+		f := perfmodel.FFT(c.P)
+		nf := "N/A"
+		if wp, ok := perfmodel.WinNF(c.P, false); ok {
+			nf = fmt.Sprintf("%.2f", d.Time(wp)*1e3)
+		}
+		totW += d.Time(w)
+		totG += d.Time(g)
+		t.AddRow(c.Label, d.Time(w)*1e3, d.Time(g)*1e3, d.Time(f)*1e3, nf,
+			float64(w.WorkspaceBytes)/(1<<20))
+	}
+	t.Write(os.Stdout)
+	fmt.Printf("whole-network BFC: WinRS %.2f ms vs Cu-GEMM %.2f ms (%.2fx)\n",
+		totW*1e3, totG*1e3, totG/totW)
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,160 @@
+// Command winrs-info explains what WinRS's configuration adaptation
+// decides for one convolutional layer: the fastest kernel pair, the
+// segment count and grid, the workspace, and the modelled GPU comparison
+// against the cuDNN-style baselines.
+//
+// Usage:
+//
+//	winrs-info -n 32 -hw 224 -f 3 -c 64
+//	winrs-info -n 32 -hw 56 -f 5 -c 256 -fp16 -gpu l40s
+//	winrs-info -tune          # microbenchmark-tuned kernel coefficients
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"winrs/internal/autotune"
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/gpusim"
+	"winrs/internal/perfmodel"
+	"winrs/internal/report"
+	"winrs/internal/winograd"
+)
+
+func main() {
+	n := flag.Int("n", 32, "batch size")
+	hw := flag.Int("hw", 224, "square input height/width")
+	ih := flag.Int("ih", 0, "input height (overrides -hw)")
+	iw := flag.Int("iw", 0, "input width (overrides -hw)")
+	f := flag.Int("f", 3, "square filter size")
+	fh := flag.Int("fh", 0, "filter height (overrides -f)")
+	fw := flag.Int("fw", 0, "filter width (overrides -f)")
+	c := flag.Int("c", 64, "channels (IC = OC)")
+	ic := flag.Int("ic", 0, "input channels (overrides -c)")
+	oc := flag.Int("oc", 0, "output channels (overrides -c)")
+	fp16 := flag.Bool("fp16", false, "FP16 Tensor-Core path")
+	gpu := flag.String("gpu", "4090", "device model: 4090, 3090, l40s, a5000")
+	tune := flag.Bool("tune", false, "microbenchmark kernel coefficients on this host")
+	tuneDur := flag.Duration("tune-dur", 20*time.Millisecond, "per-kernel tuning duration")
+	asJSON := flag.Bool("json", false, "emit the plan description as JSON")
+	flag.Parse()
+
+	if *tune {
+		runTune(*tuneDur)
+		return
+	}
+
+	p := conv.Params{N: *n, IH: pick(*ih, *hw), IW: pick(*iw, *hw),
+		FH: pick(*fh, *f), FW: pick(*fw, *f),
+		IC: pick(*ic, *c), OC: pick(*oc, *c)}
+	p.PH, p.PW = p.FH/2, p.FW/2
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d, err := device(*gpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := []core.Option{core.WithHardware(core.Hardware{NSM: d.NSM})}
+	if *fp16 {
+		opts = append(opts, core.WithFP16())
+	}
+	cfg, err := core.Configure(p, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("layer              %v\n", p)
+	fmt.Printf("dY dimensions      %d:%d:%d:%d (N:OH:OW:OC)\n", p.N, p.OH(), p.OW(), p.OC)
+	fmt.Printf("direct complexity  %.2f GFLOPs\n", float64(p.FLOPs())/1e9)
+	fmt.Printf("data size          %.1f MB\n", float64(p.DataBytes32())/(1<<20))
+	fmt.Println()
+	fmt.Printf("kernel pair        %s\n", cfg.Pair)
+	fastW, residW := cfg.Pair.Coverage()
+	fmt.Printf("width split        %d columns fast + %d residual\n", fastW, residW)
+	fmt.Printf("segment target     %d (Algorithm 1)\n", cfg.ZTarget)
+	fmt.Printf("segment shape      %dx%d (Algorithm 2)\n", cfg.SegH, cfg.SegW)
+	fmt.Printf("segments realized  %d\n", cfg.Z())
+	fmt.Printf("workspace          %.2f MB ((Z-1) x dW)\n",
+		float64(cfg.WorkspaceBytes())/(1<<20))
+	blocks := 0
+	for _, s := range cfg.Segments {
+		blocks += core.BlocksPerSegment(s.K, p, *fp16)
+	}
+	fmt.Printf("total blocks       %d on %d SMs\n", blocks, d.NSM)
+
+	fmt.Println()
+	t := report.NewTable(fmt.Sprintf("modelled comparison on %s", d.Name),
+		"algorithm", "time ms", "TFLOPS", "workspace MB")
+	addPlan := func(pl gpusim.Plan) {
+		tt := d.Time(pl)
+		t.AddRow(pl.Algorithm, tt*1e3,
+			gpusim.ThroughputTFLOPS(p.FLOPs(), tt),
+			float64(pl.WorkspaceBytes)/(1<<20))
+	}
+	wPlan, _, err := perfmodel.WinRS(p, d, *fp16)
+	if err == nil {
+		addPlan(wPlan)
+	}
+	addPlan(perfmodel.CuGEMM(p, d, *fp16))
+	if !*fp16 {
+		addPlan(perfmodel.FFT(p))
+	}
+	if nf, ok := perfmodel.WinNF(p, *fp16); ok {
+		addPlan(nf)
+	}
+	t.Write(os.Stdout)
+}
+
+func runTune(dur time.Duration) {
+	fmt.Printf("microbenchmarking %d kernels (%v each)...\n",
+		len(winograd.Kernels), dur)
+	coeffs := autotune.Coefficients(dur)
+	t := report.NewTable("host-tuned kernel coefficients",
+		"kernel", "static coeff", "tuned coeff")
+	for _, k := range winograd.Kernels {
+		t.AddRow(k.String(), k.Coeff, coeffs[k.String()])
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\npass these to core.WithCoefficients to adapt pair selection")
+}
+
+func pick(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func device(name string) (gpusim.Device, error) {
+	switch strings.ToLower(name) {
+	case "4090", "rtx4090":
+		return gpusim.RTX4090, nil
+	case "3090", "rtx3090":
+		return gpusim.RTX3090, nil
+	case "l40s":
+		return gpusim.L40S, nil
+	case "a5000", "rtxa5000":
+		return gpusim.RTXA5000, nil
+	}
+	return gpusim.Device{}, fmt.Errorf("unknown device %q (4090, 3090, l40s, a5000)", name)
+}

@@ -1,0 +1,96 @@
+// Command winrs-train runs the Figure 13 experiment: training a CNN with
+// WinRS-computed filter gradients and comparing the loss curve against
+// exact (direct-convolution) gradients, in FP32 and in FP16 with loss
+// scaling.
+//
+// The paper trains VGG/ResNet on ImageNet-1K; this substitute trains a
+// small two-conv CNN on a synthetic separable classification task — the
+// convergence-equivalence claim under test does not depend on scale.
+//
+// Usage:
+//
+//	winrs-train -steps 400 -batch 8 -every 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"winrs/internal/report"
+	"winrs/internal/train"
+)
+
+func main() {
+	steps := flag.Int("steps", 400, "SGD steps")
+	batch := flag.Int("batch", 8, "batch size")
+	every := flag.Int("every", 40, "report the loss every N steps")
+	lr := flag.Float64("lr", 0.5, "learning rate")
+	lossScale := flag.Float64("loss-scale", 128, "FP16 loss scale")
+	seed := flag.Int64("seed", 7, "dataset and init seed")
+	flag.Parse()
+
+	type run struct {
+		name string
+		bfc  train.BFC
+	}
+	runs := []run{
+		{"exact (direct FP32)", train.DirectBFC},
+		{"WinRS FP32", train.WinRSBFC},
+		{fmt.Sprintf("WinRS FP16 + loss scale %g", *lossScale),
+			train.WinRSHalfBFC(float32(*lossScale))},
+	}
+
+	curves := make([][]float64, len(runs))
+	for i, r := range runs {
+		// Identical data stream and initialization for every variant.
+		ds := train.NewDataset(3, 8, 8, 2, *seed)
+		net := train.NewNet(8, 8, 2, 4, 6, 3, r.bfc, *seed+91)
+		net.LR = float32(*lr)
+		losses, err := train.Run(net, ds, *steps, *batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		curves[i] = losses
+
+		evalX, evalY := ds.Batch(128)
+		fmt.Printf("%-28s final window loss %.4f, held-out accuracy %.1f%%\n",
+			r.name, avgTail(losses, *every), 100*net.Accuracy(evalX, evalY))
+	}
+
+	t := report.NewTable("Figure 13 — training loss (window averages)",
+		"step", runs[0].name, runs[1].name, runs[2].name)
+	for s := *every; s <= *steps; s += *every {
+		row := make([]any, 0, 4)
+		row = append(row, s)
+		for _, c := range curves {
+			row = append(row, avgWindow(c, s-*every, s))
+		}
+		t.AddRow(row...)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("paper result: WinRS-trained models converge like PyTorch" +
+		" (accuracy within ±0.6%); the three curves above should overlap")
+}
+
+func avgWindow(losses []float64, lo, hi int) float64 {
+	if hi > len(losses) {
+		hi = len(losses)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	var s float64
+	for _, v := range losses[lo:hi] {
+		s += v
+	}
+	return s / float64(hi-lo)
+}
+
+func avgTail(losses []float64, n int) float64 {
+	if n > len(losses) {
+		n = len(losses)
+	}
+	return avgWindow(losses, len(losses)-n, len(losses))
+}

@@ -1,0 +1,63 @@
+package winrs_test
+
+import (
+	"fmt"
+
+	"winrs"
+)
+
+// The minimal flow: define the layer, fill the operands, get gradients.
+func ExampleBackwardFilter() {
+	p := winrs.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x := winrs.NewTensor(p.XShape())
+	dy := winrs.NewTensor(p.DYShape())
+	// A delta input and unit gradient make the result hand-checkable:
+	// ∇W[oc,fh,fw,ic] counts how often X's single 1 aligns with each tap.
+	x.Set(0, 4, 4, 0, 1)
+	dy.Fill(1)
+
+	dw, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		panic(err)
+	}
+	// Every filter tap sees the delta exactly once (Winograd arithmetic
+	// reproduces it to float32 precision).
+	fmt.Println(dw.Shape)
+	fmt.Printf("%.3f %.3f %.3f\n",
+		dw.At(0, 0, 0, 0), dw.At(0, 2, 2, 0), dw.At(1, 1, 1, 1))
+	// Output:
+	// 2:3:3:2
+	// 1.000 1.000 0.000
+}
+
+// Plans are reusable and report what the configuration adaptation chose.
+func ExampleNewPlan() {
+	p := winrs.Params{N: 32, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64,
+		PH: 1, PW: 1}
+	plan, err := winrs.NewPlan(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.KernelPair())
+	fmt.Println(plan.Segments() > 1, plan.WorkspaceBytes() > 0)
+	// Output:
+	// Omega8(3,6)+Omega4(3,2)
+	// true true
+}
+
+// The forward pass runs on the same fused Winograd kernels.
+func ExampleForward() {
+	p := winrs.Params{N: 1, IH: 4, IW: 4, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}
+	x := winrs.NewTensor(p.XShape())
+	w := winrs.NewTensor(p.DWShape())
+	x.Fill(1)
+	w.Set(0, 1, 1, 0, 2) // identity-times-two filter
+
+	y, err := winrs.Forward(p, x, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.3f %.3f\n", y.At(0, 0, 0, 0), y.At(0, 2, 2, 0))
+	// Output:
+	// 2.000 2.000
+}

@@ -1,0 +1,75 @@
+// VGG16 backward-filter pass: the paper's motivating workload (Figures
+// 1–2). For every convolutional layer the example prints what WinRS's
+// configuration adaptation decides (kernel pair, segment count, workspace)
+// and, for a batch-reduced copy of the early layers, executes the gradient
+// for real and validates it.
+//
+//	go run ./examples/vgg16
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"winrs"
+)
+
+type layer struct {
+	name   string
+	hw     int
+	ic, oc int
+}
+
+// The 13 convolutional layers of VGG-16.
+var vgg16 = []layer{
+	{"conv1_1", 224, 3, 64}, {"conv1_2", 224, 64, 64},
+	{"conv2_1", 112, 64, 128}, {"conv2_2", 112, 128, 128},
+	{"conv3_1", 56, 128, 256}, {"conv3_2", 56, 256, 256}, {"conv3_3", 56, 256, 256},
+	{"conv4_1", 28, 256, 512}, {"conv4_2", 28, 512, 512}, {"conv4_3", 28, 512, 512},
+	{"conv5_1", 14, 512, 512}, {"conv5_2", 14, 512, 512}, {"conv5_3", 14, 512, 512},
+}
+
+func params(l layer, batch int) winrs.Params {
+	return winrs.Params{N: batch, IH: l.hw, IW: l.hw, FH: 3, FW: 3,
+		IC: l.ic, OC: l.oc, PH: 1, PW: 1}
+}
+
+func main() {
+	const batch = 32
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tdY dims\tkernel pair\tZ\tworkspace MB\tdata MB\tws/data")
+	for _, l := range vgg16 {
+		p := params(l, batch)
+		plan, err := winrs.NewPlan(p)
+		if err != nil {
+			log.Fatalf("%s: %v", l.name, err)
+		}
+		data := float64(p.DataBytes32()) / (1 << 20)
+		ws := float64(plan.WorkspaceBytes()) / (1 << 20)
+		fmt.Fprintf(w, "%s\t%d:%d:%d:%d\t%s\t%d\t%.1f\t%.1f\t%.3f\n",
+			l.name, batch, p.OH(), p.OW(), p.OC,
+			plan.KernelPair(), plan.Segments(), ws, data, ws/data)
+	}
+	w.Flush()
+
+	// Execute the deepest (smallest) layers for real at a reduced batch —
+	// exactly the small-output regime WinRS targets — and validate.
+	fmt.Println("\nreal execution (batch 2) with FP64 validation:")
+	rng := rand.New(rand.NewSource(3))
+	for _, l := range []layer{{"conv5_1 (reduced)", 14, 64, 64}, {"conv4_1 (reduced)", 28, 32, 32}} {
+		p := params(l, 2)
+		x := winrs.NewTensor(p.XShape())
+		dy := winrs.NewTensor(p.DYShape())
+		x.FillUniform(rng, 0, 1)
+		dy.FillUniform(rng, 0, 1)
+		dw, err := winrs.BackwardFilter(p, x, dy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s MARE vs FP64 = %.3g\n", l.name,
+			winrs.MARE(dw, winrs.Reference(p, x, dy)))
+	}
+}

@@ -1,0 +1,3 @@
+module winrs
+
+go 1.22

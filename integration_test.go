@@ -1,0 +1,128 @@
+package winrs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs"
+	"winrs/internal/conv"
+	"winrs/internal/fftconv"
+	"winrs/internal/gemm"
+	"winrs/internal/tensor"
+	"winrs/internal/winnf"
+)
+
+// TestAllAlgorithmsAgree is the cross-module integration check: every BFC
+// implementation in the repository — WinRS (FP32 and forced segment
+// counts), the three GEMM baselines, the FFT baseline and the non-fused
+// Winograd baseline — must produce the same gradient for the same layer.
+func TestAllAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	p := conv.Params{N: 2, IH: 18, IW: 18, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilterDirect64(p, x64, dy64)
+	x, dy := x64.ToFloat32(), dy64.ToFloat32()
+
+	impls := map[string]func() (*tensor.Float32, error){
+		"WinRS": func() (*tensor.Float32, error) {
+			return winrs.BackwardFilter(p, x, dy)
+		},
+		"WinRS-Z1": func() (*tensor.Float32, error) {
+			return winrs.BackwardFilter(p, x, dy, winrs.WithSegments(1))
+		},
+		"WinRS-Z8": func() (*tensor.Float32, error) {
+			return winrs.BackwardFilter(p, x, dy, winrs.WithSegments(8))
+		},
+		"Algo0": func() (*tensor.Float32, error) { return gemm.Algo0(p, x, dy), nil },
+		"Algo1": func() (*tensor.Float32, error) { return gemm.Algo1(p, x, dy), nil },
+		"Algo3": func() (*tensor.Float32, error) { return gemm.Algo3(p, x, dy), nil },
+		"FFT":   func() (*tensor.Float32, error) { return fftconv.BackwardFilter(p, x, dy), nil },
+		"WinNF": func() (*tensor.Float32, error) { return winnf.BackwardFilter(p, x, dy), nil },
+	}
+	for name, f := range impls {
+		got, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m := tensor.MARE(got, want); m > 1e-5 {
+			t.Errorf("%s disagrees with the FP64 reference: MARE %v", name, m)
+		}
+	}
+}
+
+// TestGradientFlowEndToEnd strings the three passes together across module
+// boundaries: forward with winrs.Forward, loss gradient, data gradient
+// with winrs.BackwardData, filter gradient with winrs.BackwardFilter, and
+// verifies both gradients against finite differences of the real loss.
+func TestGradientFlowEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := conv.Params{N: 1, IH: 7, IW: 7, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x := winrs.NewTensor(p.XShape())
+	w := winrs.NewTensor(p.DWShape())
+	target := winrs.NewTensor(p.DYShape())
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -0.5, 0.5)
+	target.FillUniform(rng, -1, 1)
+
+	// Loss L = ½‖Y − target‖²; ∂L/∂Y = Y − target.
+	loss := func(wt *tensor.Float32) float64 {
+		y, err := winrs.Forward(p, x, wt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range y.Data {
+			d := float64(y.Data[i] - target.Data[i])
+			s += 0.5 * d * d
+		}
+		return s
+	}
+	y, err := winrs.Forward(p, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyT := winrs.NewTensor(p.DYShape())
+	for i := range dyT.Data {
+		dyT.Data[i] = y.Data[i] - target.Data[i]
+	}
+	dw, err := winrs.BackwardFilter(p, x, dyT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finite-difference check on a few filter weights.
+	const eps = 1e-3
+	for _, idx := range []int{0, 9, len(w.Data) - 1} {
+		wp := winrs.NewTensor(p.DWShape())
+		copy(wp.Data, w.Data)
+		wp.Data[idx] += eps
+		wm := winrs.NewTensor(p.DWShape())
+		copy(wm.Data, w.Data)
+		wm.Data[idx] -= eps
+		numeric := (loss(wp) - loss(wm)) / (2 * eps)
+		if d := numeric - float64(dw.Data[idx]); d > 1e-2 || d < -1e-2 {
+			t.Errorf("filter grad check idx %d: numeric %v vs winrs %v",
+				idx, numeric, dw.Data[idx])
+		}
+	}
+	// Data gradient sanity: one step of gradient descent on X must reduce
+	// the loss computed through the WinRS forward pass.
+	dx, err := winrs.BackwardData(p, dyT, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loss(w)
+	for i := range x.Data {
+		x.Data[i] -= 0.05 * dx.Data[i]
+	}
+	if after := loss(w); after >= before {
+		t.Errorf("descending along winrs.BackwardData did not reduce loss: %v -> %v",
+			before, after)
+	}
+}

@@ -1,0 +1,165 @@
+// Package autotune measures the actual throughput of every WinRS kernel
+// variant on the host and derives tuned selection coefficients.
+//
+// The paper's fastest-kernel-pair selection (§4.1) weighs kernels by
+// "throughput coefficients" — static numbers calibrated for the authors'
+// GPUs. On a different machine the relative speeds shift, so a production
+// deployment measures them once: this package microbenchmarks the fused
+// inner loop of each Ω_α(n,r) (filter transform, input transform,
+// α-batched outer product) and reports direct-convolution-equivalent
+// throughput, normalized into drop-in replacements for the static
+// coefficients (consumed by core.WithCoefficients).
+package autotune
+
+import (
+	"time"
+
+	"winrs/internal/winograd"
+)
+
+// panel sizes of the microbenchmark's channel blocks; large enough that
+// the EWM dominates, small enough to stay in cache.
+const (
+	panelOC = 32
+	panelIC = 32
+)
+
+// Result is one kernel's measurement.
+type Result struct {
+	Kernel winograd.Kernel
+	// GFLOPS is the direct-equivalent throughput of the fused unit loop.
+	GFLOPS float64
+	// Units is the number of fused unit iterations timed.
+	Units int
+}
+
+// MeasureKernel runs the kernel's fused unit loop for at least the given
+// duration and returns its direct-equivalent throughput.
+func MeasureKernel(k winograd.Kernel, minDur time.Duration) Result {
+	tr := k.Transform().Balanced()
+	n, r, alpha := tr.N, tr.R, tr.Alpha
+
+	wRaw := make([]float32, r*panelOC)
+	wHat := make([]float32, alpha*panelOC)
+	xRaw := make([]float32, alpha*panelIC)
+	xHat := make([]float32, alpha*panelIC)
+	v := make([]float32, alpha*panelOC*panelIC)
+	for i := range wRaw {
+		wRaw[i] = float32(i%7) * 0.125
+	}
+	for i := range xRaw {
+		xRaw[i] = float32(i%5) * 0.25
+	}
+
+	unit := func() {
+		mulPanel(tr.G, wRaw, wHat, r, panelOC)
+		tMulPanel(tr.D, xRaw, xHat, alpha, panelIC)
+		for e := 0; e < alpha; e++ {
+			we := wHat[e*panelOC : (e+1)*panelOC]
+			xe := xHat[e*panelIC : (e+1)*panelIC]
+			ve := v[e*panelOC*panelIC : (e+1)*panelOC*panelIC]
+			for a, wv := range we {
+				row := ve[a*panelIC : (a+1)*panelIC]
+				for b, xv := range xe {
+					row[b] += wv * xv
+				}
+			}
+		}
+	}
+
+	// Warm up (transform caches, branch predictors).
+	for i := 0; i < 8; i++ {
+		unit()
+	}
+	units := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		for i := 0; i < 16; i++ {
+			unit()
+		}
+		units += 16
+	}
+	elapsed := time.Since(start).Seconds()
+	// Direct-equivalent work per unit: the unit covers n outputs × r taps
+	// per (oc, ic) pair.
+	direct := 2 * float64(n) * float64(r) * panelOC * panelIC * float64(units)
+	return Result{Kernel: k, GFLOPS: direct / elapsed / 1e9, Units: units}
+}
+
+// Coefficients measures every registry kernel and returns tuned selection
+// coefficients keyed by kernel name (Ω-notation), normalized so the
+// fastest kernel's coefficient equals its acceleration factor — the same
+// scale the static table uses.
+func Coefficients(perKernel time.Duration) map[string]float64 {
+	results := make([]Result, 0, len(winograd.Kernels))
+	best := 0.0
+	for _, k := range winograd.Kernels {
+		r := MeasureKernel(k, perKernel)
+		results = append(results, r)
+		if r.GFLOPS > best {
+			best = r.GFLOPS
+		}
+	}
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		if best <= 0 {
+			out[r.Kernel.String()] = r.Kernel.Coeff
+			continue
+		}
+		// Relative measured throughput, scaled so coefficients stay
+		// comparable to the static accel·efficiency values.
+		out[r.Kernel.String()] = r.GFLOPS / best * maxAccel()
+	}
+	return out
+}
+
+func maxAccel() float64 {
+	m := 0.0
+	for _, k := range winograd.Kernels {
+		if a := k.Accel(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func mulPanel(m *winograd.Mat, in, out []float32, rows, width int) {
+	for i := 0; i < m.Rows; i++ {
+		dst := out[i*width : (i+1)*width]
+		for x := range dst {
+			dst[x] = 0
+		}
+		for k := 0; k < rows; k++ {
+			c := float32(m.At(i, k))
+			if c == 0 {
+				continue
+			}
+			src := in[k*width : (k+1)*width]
+			for x, sv := range src {
+				dst[x] += c * sv
+			}
+		}
+	}
+}
+
+func tMulPanel(m *winograd.Mat, in, out []float32, rows, width int) {
+	for i := 0; i < m.Cols; i++ {
+		dst := out[i*width : (i+1)*width]
+		for x := range dst {
+			dst[x] = 0
+		}
+	}
+	for k := 0; k < rows; k++ {
+		src := in[k*width : (k+1)*width]
+		for i := 0; i < m.Cols; i++ {
+			c := float32(m.At(k, i))
+			if c == 0 {
+				continue
+			}
+			dst := out[i*width : (i+1)*width]
+			for x, sv := range src {
+				dst[x] += c * sv
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/winograd"
+)
+
+func TestMeasureKernelProducesThroughput(t *testing.T) {
+	k, _ := winograd.Lookup(3, 6)
+	r := MeasureKernel(k, 5*time.Millisecond)
+	if r.GFLOPS <= 0 {
+		t.Errorf("GFLOPS = %v, want positive", r.GFLOPS)
+	}
+	if r.Units < 16 {
+		t.Errorf("only %d units measured", r.Units)
+	}
+	if r.Kernel.String() != "Omega8(3,6)" {
+		t.Errorf("result kernel = %v", r.Kernel)
+	}
+}
+
+func TestCoefficientsCoverRegistry(t *testing.T) {
+	coeffs := Coefficients(2 * time.Millisecond)
+	if len(coeffs) != len(winograd.Kernels) {
+		t.Fatalf("%d coefficients, want %d", len(coeffs), len(winograd.Kernels))
+	}
+	for _, k := range winograd.Kernels {
+		c, ok := coeffs[k.String()]
+		if !ok {
+			t.Errorf("missing coefficient for %v", k)
+			continue
+		}
+		if c <= 0 {
+			t.Errorf("%v: non-positive coefficient %v", k, c)
+		}
+	}
+}
+
+// The tuned coefficients must plug into pair selection: an artificial
+// override that makes the residual kernel "fastest" must flip the selected
+// pair.
+func TestCoefficientsDriveSelection(t *testing.T) {
+	p := conv.Params{N: 1, IH: 16, IW: 18, FH: 3, FW: 3, IC: 8, OC: 8}
+	if p.OW() != 16 {
+		t.Fatalf("setup: OW = %d", p.OW())
+	}
+	base, err := core.Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Pair.Fast.String() != "Omega8(3,6)" {
+		t.Fatalf("baseline pair = %v", base.Pair)
+	}
+	// Crank Ω4(3,2) far above Ω8(3,6).
+	tuned, err := core.Configure(p, core.WithCoefficients(map[string]float64{
+		"Omega4(3,2)": 100,
+		"Omega8(3,6)": 0.1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Pair.Fast.String() != "Omega4(3,2)" {
+		t.Errorf("tuned pair = %v, want Omega4(3,2) fast", tuned.Pair)
+	}
+}
+
+// End-to-end: configuring with real measured coefficients still produces
+// correct results.
+func TestTunedConfigurationStaysCorrect(t *testing.T) {
+	coeffs := Coefficients(time.Millisecond)
+	p := conv.Params{N: 1, IH: 14, IW: 14, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	cfg, err := core.Configure(p, core.WithCoefficients(coeffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pair.Fast.N == 0 {
+		t.Fatal("no kernel selected")
+	}
+	// The realized partition must still tile the plane (correctness of the
+	// plan does not depend on which kernels were picked).
+	covered := make([]int, p.OH()*p.OW())
+	for _, s := range cfg.Segments {
+		for y := s.Row0; y < s.Row1; y++ {
+			for x := s.Col0; x < s.Col1; x++ {
+				covered[y*p.OW()+x]++
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("cell %d covered %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package bf16 implements bfloat16 ("brain float") rounding in software.
+//
+// The paper's conclusion names BF16 as the first porting target beyond
+// FP16: bfloat16 keeps float32's 8-bit exponent (so the Ω16 transforms
+// never need scaling matrices for range) but stores only 7 mantissa bits,
+// trading precision for dynamic range. The package provides bit-level
+// conversions plus the value-domain rounder used by WinRS's quantized
+// execution path.
+package bf16
+
+import "math"
+
+// Bits is a bfloat16 value stored as its raw 16-bit pattern (the high half
+// of the equivalent float32).
+type Bits uint16
+
+// FromFloat32 converts with round-to-nearest-even.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+		// NaN: keep it NaN after truncation.
+		return Bits(b>>16 | 0x0040)
+	}
+	// RNE on the low 16 bits.
+	round := uint32(0x7FFF + (b>>16)&1)
+	return Bits((b + round) >> 16)
+}
+
+// ToFloat32 expands the pattern exactly.
+func ToFloat32(h Bits) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// Round returns the nearest bfloat16-representable value as a float32 —
+// the value-domain quantizer for WinRS's generic low-precision path.
+func Round(f float32) float32 {
+	return ToFloat32(FromFloat32(f))
+}
+
+// IsNaN reports whether h is a NaN pattern.
+func IsNaN(h Bits) bool {
+	return h&0x7F80 == 0x7F80 && h&0x007F != 0
+}
+
+// IsInf reports whether h is an infinity of the given sign (0 = either).
+func IsInf(h Bits, sign int) bool {
+	if h&0x7FFF != 0x7F80 {
+		return false
+	}
+	switch {
+	case sign > 0:
+		return h&0x8000 == 0
+	case sign < 0:
+		return h&0x8000 != 0
+	default:
+		return true
+	}
+}
+
+// MaxValue returns the largest finite bfloat16 value (≈3.39e38).
+func MaxValue() float32 { return ToFloat32(0x7F7F) }
+
+// Epsilon returns the machine epsilon (2^-8 relative spacing at 1.0 is
+// 2^-7 for 7 stored mantissa bits).
+func Epsilon() float32 { return 1.0 / 128 }

@@ -1,0 +1,100 @@
+package bf16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3F80},
+		{-1, 0xBF80},
+		{2, 0x4000},
+		{0.5, 0x3F00},
+		{3.0, 0x4040},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := ToFloat32(c.bits); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if !IsInf(FromFloat32(float32(math.Inf(1))), 1) {
+		t.Error("+Inf must survive")
+	}
+	if !IsInf(FromFloat32(float32(math.Inf(-1))), -1) {
+		t.Error("-Inf must survive")
+	}
+	if !IsNaN(FromFloat32(float32(math.NaN()))) {
+		t.Error("NaN must survive")
+	}
+	if !math.IsNaN(float64(ToFloat32(FromFloat32(float32(math.NaN()))))) {
+		t.Error("NaN round trip broken")
+	}
+}
+
+// bfloat16's defining property vs binary16: the huge dynamic range. 1e30
+// survives (FP16 overflows at 65504) but only ~2-3 significant digits
+// remain.
+func TestDynamicRangeVsPrecision(t *testing.T) {
+	big := Round(1e30)
+	if math.IsInf(float64(big), 0) {
+		t.Fatal("1e30 must be finite in bfloat16")
+	}
+	rel := math.Abs(float64(big)-1e30) / 1e30
+	if rel > 1.0/128 {
+		t.Errorf("1e30 relative error %v exceeds epsilon", rel)
+	}
+	// Precision: 1 + 2^-9 collapses to 1.
+	if Round(1+1.0/512) != 1 {
+		t.Errorf("1+2^-9 should round to 1, got %v", Round(1+1.0/512))
+	}
+	if MaxValue() < 3e38 {
+		t.Errorf("MaxValue = %v", MaxValue())
+	}
+}
+
+// Round must be idempotent and within half an epsilon relative error.
+func TestRoundProperties(t *testing.T) {
+	f := func(v float32) bool {
+		if v != v || math.IsInf(float64(v), 0) ||
+			math.Abs(float64(v)) > float64(MaxValue()) {
+			// Values beyond the max finite bfloat16 legitimately round to
+			// infinity; they are covered by TestSpecials.
+			return true
+		}
+		r := Round(v)
+		if Round(r) != r {
+			return false // idempotence
+		}
+		if v == 0 {
+			return r == 0
+		}
+		rel := math.Abs(float64(r)-float64(v)) / math.Abs(float64(v))
+		return rel <= 1.0/256+1e-9 || math.Abs(float64(v)) < 1e-38
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 256 has ULP 2 in bfloat16 (2^8 with 7 mantissa bits): 257 is halfway
+	// and must round to the even 256; 259 is halfway to 258/260 -> 260.
+	if got := Round(257); got != 256 {
+		t.Errorf("RNE(257) = %v, want 256", got)
+	}
+	if got := Round(259); got != 260 {
+		t.Errorf("RNE(259) = %v, want 260", got)
+	}
+}

@@ -1,0 +1,323 @@
+// Package conv defines the convolution-layer geometry shared by every
+// algorithm in this repository and provides direct (naive) implementations
+// of the three convolution passes — forward (FC), backward-data (BDC) and
+// backward-filter (BFC) — in float64 (the accuracy ground truth) and
+// parallel float32.
+//
+// All tensors are NHWC. Backward-filter convolution, the paper's target
+// operation, computes filter gradients
+//
+//	∇W[oc,fh,fw,ic] = Σ_{n,oh,ow} X[n, oh+fh-pH, ow+fw-pW, ic] · ∇Y[n,oh,ow,oc]
+//
+// i.e. a correlation of the input feature maps with the output gradients
+// acting as a large O_H×O_W "filter" that slides over only F_H×F_W
+// positions — the large-filter/small-output regime of the paper's Figure 1.
+package conv
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"winrs/internal/tensor"
+)
+
+// Params describes one convolutional layer (stride 1, symmetric zero
+// padding), using the paper's Table 1 notation.
+type Params struct {
+	N      int // batch size
+	IH, IW int // input height/width
+	FH, FW int // filter (gradient) height/width
+	IC, OC int // input/output channels
+	PH, PW int // zero padding along height/width
+}
+
+// OH returns the output-gradient height O_H = I_H + 2·p_H − F_H + 1.
+func (p Params) OH() int { return p.IH + 2*p.PH - p.FH + 1 }
+
+// OW returns the output-gradient width O_W = I_W + 2·p_W − F_W + 1.
+func (p Params) OW() int { return p.IW + 2*p.PW - p.FW + 1 }
+
+// Validate checks the geometry for consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 1 || p.IC < 1 || p.OC < 1:
+		return fmt.Errorf("conv: non-positive batch or channels in %+v", p)
+	case p.IH < 1 || p.IW < 1 || p.FH < 1 || p.FW < 1:
+		return fmt.Errorf("conv: non-positive spatial extents in %+v", p)
+	case p.PH < 0 || p.PW < 0:
+		return fmt.Errorf("conv: negative padding in %+v", p)
+	case p.OH() < 1 || p.OW() < 1:
+		return fmt.Errorf("conv: empty output %dx%d in %+v", p.OH(), p.OW(), p)
+	}
+	return nil
+}
+
+// XShape returns the input feature-map shape N×I_H×I_W×I_C.
+func (p Params) XShape() tensor.Shape {
+	return tensor.Shape{N: p.N, H: p.IH, W: p.IW, C: p.IC}
+}
+
+// DYShape returns the output-gradient shape N×O_H×O_W×O_C.
+func (p Params) DYShape() tensor.Shape {
+	return tensor.Shape{N: p.N, H: p.OH(), W: p.OW(), C: p.OC}
+}
+
+// DWShape returns the filter-gradient shape O_C×F_H×F_W×I_C (stored with N
+// standing in for O_C in the generic Shape type).
+func (p Params) DWShape() tensor.Shape {
+	return tensor.Shape{N: p.OC, H: p.FH, W: p.FW, C: p.IC}
+}
+
+// FLOPs returns the BFC time complexity 2·O_C·F_H·F_W·I_C·O_H·O_W·N used by
+// the paper's throughput formula.
+func (p Params) FLOPs() int64 {
+	return 2 * int64(p.OC) * int64(p.FH) * int64(p.FW) * int64(p.IC) *
+		int64(p.OH()) * int64(p.OW()) * int64(p.N)
+}
+
+// DataBytes32 returns the FP32 data size (X + ∇Y + ∇W) in bytes — the
+// paper's reference quantity for workspace ratios.
+func (p Params) DataBytes32() int64 {
+	return tensor.Bytes32(p.XShape()) + tensor.Bytes32(p.DYShape()) +
+		tensor.Bytes32(p.DWShape())
+}
+
+// DataBytes16 returns the FP16 data size in bytes.
+func (p Params) DataBytes16() int64 {
+	return tensor.Bytes16(p.XShape()) + tensor.Bytes16(p.DYShape()) +
+		tensor.Bytes16(p.DWShape())
+}
+
+// String formats the layer compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("N%d X%dx%dx%d F%dx%d OC%d P%d,%d",
+		p.N, p.IH, p.IW, p.IC, p.FH, p.FW, p.OC, p.PH, p.PW)
+}
+
+// xAt reads X with implicit zero padding: coordinates outside the input
+// return 0.
+func xAt(x *tensor.Float64, n, h, w, c int) float64 {
+	if h < 0 || h >= x.Shape.H || w < 0 || w >= x.Shape.W {
+		return 0
+	}
+	return x.At(n, h, w, c)
+}
+
+func xAt32(x *tensor.Float32, n, h, w, c int) float32 {
+	if h < 0 || h >= x.Shape.H || w < 0 || w >= x.Shape.W {
+		return 0
+	}
+	return x.At(n, h, w, c)
+}
+
+// BackwardFilterDirect64 computes ∇W from X and ∇Y by direct summation in
+// float64. It is the single source of accuracy ground truth for every
+// other BFC implementation in the repository.
+func BackwardFilterDirect64(p Params, x *tensor.Float64, dy *tensor.Float64) *tensor.Float64 {
+	checkShapes(p, x.Shape, dy.Shape)
+	dw := tensor.NewFloat64(p.DWShape())
+	oh, ow := p.OH(), p.OW()
+	for oc := 0; oc < p.OC; oc++ {
+		for fh := 0; fh < p.FH; fh++ {
+			for fw := 0; fw < p.FW; fw++ {
+				for ic := 0; ic < p.IC; ic++ {
+					var s float64
+					for n := 0; n < p.N; n++ {
+						for y := 0; y < oh; y++ {
+							ih := y + fh - p.PH
+							if ih < 0 || ih >= p.IH {
+								continue
+							}
+							for xw := 0; xw < ow; xw++ {
+								iw := xw + fw - p.PW
+								if iw < 0 || iw >= p.IW {
+									continue
+								}
+								s += x.At(n, ih, iw, ic) * dy.At(n, y, xw, oc)
+							}
+						}
+					}
+					dw.Set(oc, fh, fw, ic, s)
+				}
+			}
+		}
+	}
+	return dw
+}
+
+// BackwardFilterDirect32 computes ∇W in float32 with parallelism over
+// output channels; it models a straightforward direct-convolution kernel.
+func BackwardFilterDirect32(p Params, x *tensor.Float32, dy *tensor.Float32) *tensor.Float32 {
+	checkShapes(p, x.Shape, dy.Shape)
+	dw := tensor.NewFloat32(p.DWShape())
+	oh, ow := p.OH(), p.OW()
+	parallelFor(p.OC, func(oc int) {
+		for fh := 0; fh < p.FH; fh++ {
+			for fw := 0; fw < p.FW; fw++ {
+				for ic := 0; ic < p.IC; ic++ {
+					var s float32
+					for n := 0; n < p.N; n++ {
+						for y := 0; y < oh; y++ {
+							ih := y + fh - p.PH
+							if ih < 0 || ih >= p.IH {
+								continue
+							}
+							for xw := 0; xw < ow; xw++ {
+								iw := xw + fw - p.PW
+								if iw < 0 || iw >= p.IW {
+									continue
+								}
+								s += x.At(n, ih, iw, ic) * dy.At(n, y, xw, oc)
+							}
+						}
+					}
+					dw.Set(oc, fh, fw, ic, s)
+				}
+			}
+		}
+	})
+	return dw
+}
+
+// Forward64 computes the forward convolution Y = X ⊛ W in float64, with
+// W shaped O_C×F_H×F_W×I_C. It backs the training substrate and the FC
+// block-count estimates of Algorithm 1.
+func Forward64(p Params, x *tensor.Float64, w *tensor.Float64) *tensor.Float64 {
+	checkShapes(p, x.Shape, tensor.Shape{})
+	if w.Shape != p.DWShape() {
+		panic("conv: Forward64 filter shape mismatch")
+	}
+	y := tensor.NewFloat64(p.DYShape())
+	oh, ow := p.OH(), p.OW()
+	for n := 0; n < p.N; n++ {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				for oc := 0; oc < p.OC; oc++ {
+					var s float64
+					for fh := 0; fh < p.FH; fh++ {
+						for fw := 0; fw < p.FW; fw++ {
+							for ic := 0; ic < p.IC; ic++ {
+								s += xAt(x, n, yy+fh-p.PH, xx+fw-p.PW, ic) *
+									w.At(oc, fh, fw, ic)
+							}
+						}
+					}
+					y.Set(n, yy, xx, oc, s)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Forward32 is the parallel float32 forward convolution.
+func Forward32(p Params, x *tensor.Float32, w *tensor.Float32) *tensor.Float32 {
+	checkShapes(p, x.Shape, tensor.Shape{})
+	if w.Shape != p.DWShape() {
+		panic("conv: Forward32 filter shape mismatch")
+	}
+	y := tensor.NewFloat32(p.DYShape())
+	oh, ow := p.OH(), p.OW()
+	parallelFor(p.N, func(n int) {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				for oc := 0; oc < p.OC; oc++ {
+					var s float32
+					for fh := 0; fh < p.FH; fh++ {
+						for fw := 0; fw < p.FW; fw++ {
+							for ic := 0; ic < p.IC; ic++ {
+								s += xAt32(x, n, yy+fh-p.PH, xx+fw-p.PW, ic) *
+									w.At(oc, fh, fw, ic)
+							}
+						}
+					}
+					y.Set(n, yy, xx, oc, s)
+				}
+			}
+		}
+	})
+	return y
+}
+
+// BackwardData32 computes ∇X from ∇Y and W in float32 (BDC): the full
+// correlation of ∇Y with the transposed filter. It completes the layer
+// triad for the training substrate.
+func BackwardData32(p Params, dy *tensor.Float32, w *tensor.Float32) *tensor.Float32 {
+	if dy.Shape != p.DYShape() {
+		panic("conv: BackwardData32 dy shape mismatch")
+	}
+	if w.Shape != p.DWShape() {
+		panic("conv: BackwardData32 filter shape mismatch")
+	}
+	dx := tensor.NewFloat32(p.XShape())
+	oh, ow := p.OH(), p.OW()
+	parallelFor(p.N, func(n int) {
+		for ih := 0; ih < p.IH; ih++ {
+			for iw := 0; iw < p.IW; iw++ {
+				for ic := 0; ic < p.IC; ic++ {
+					var s float32
+					for fh := 0; fh < p.FH; fh++ {
+						y := ih - fh + p.PH
+						if y < 0 || y >= oh {
+							continue
+						}
+						for fw := 0; fw < p.FW; fw++ {
+							x := iw - fw + p.PW
+							if x < 0 || x >= ow {
+								continue
+							}
+							for oc := 0; oc < p.OC; oc++ {
+								s += dy.At(n, y, x, oc) * w.At(oc, fh, fw, ic)
+							}
+						}
+					}
+					dx.Set(n, ih, iw, ic, s)
+				}
+			}
+		}
+	})
+	return dx
+}
+
+func checkShapes(p Params, xs, dys tensor.Shape) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if xs != (tensor.Shape{}) && xs != p.XShape() {
+		panic(fmt.Sprintf("conv: X shape %v, want %v", xs, p.XShape()))
+	}
+	if dys != (tensor.Shape{}) && dys != p.DYShape() {
+		panic(fmt.Sprintf("conv: dY shape %v, want %v", dys, p.DYShape()))
+	}
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

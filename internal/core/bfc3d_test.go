@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func rand3DCase(rng *rand.Rand, p conv.Params3D) (*tensor.Float325, *tensor.Float325, *tensor.Float645) {
+	x64 := tensor.NewFloat645(p.XShape())
+	dy64 := tensor.NewFloat645(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilter3DDirect64(p, x64, dy64)
+	return x64.ToFloat325(), dy64.ToFloat325(), want
+}
+
+// The N-D extension (k = 3) must match the direct 3-D reference across
+// filter shapes and paddings on both spatial padding axes.
+func TestBackwardFilter3DMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	cases := []conv.Params3D{
+		{N: 1, ID: 6, IH: 8, IW: 8, FD: 3, FH: 3, FW: 3, IC: 2, OC: 2,
+			PD: 1, PH: 1, PW: 1},
+		{N: 2, ID: 4, IH: 6, IW: 10, FD: 2, FH: 2, FW: 2, IC: 2, OC: 3},
+		{N: 1, ID: 5, IH: 9, IW: 12, FD: 3, FH: 5, FW: 5, IC: 2, OC: 2,
+			PD: 1, PH: 2, PW: 2},
+		{N: 1, ID: 7, IH: 7, IW: 13, FD: 1, FH: 3, FW: 3, IC: 3, OC: 2,
+			PH: 1, PW: 1},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		x, dy, want := rand3DCase(rng, p)
+		for _, forceZ := range []int{0, 1, 4} {
+			opts := []Option{}
+			if forceZ > 0 {
+				opts = append(opts, WithSegments(forceZ))
+			}
+			got, err := BackwardFilter3D(p, x, dy, opts...)
+			if err != nil {
+				t.Fatalf("%+v forceZ=%d: %v", p, forceZ, err)
+			}
+			if m := tensor.MARE5(got, want); m > 1e-5 {
+				t.Errorf("%+v forceZ=%d: MARE %v", p, forceZ, m)
+			}
+		}
+	}
+}
+
+// Segments must partition the flattened (O_D·O_H) × O_W plane exactly.
+func TestConfigure3DPartition(t *testing.T) {
+	p := conv.Params3D{N: 2, ID: 6, IH: 10, IW: 14, FD: 3, FH: 3, FW: 3,
+		IC: 4, OC: 4, PD: 1, PH: 1, PW: 1}
+	for _, forceZ := range []int{0, 1, 6, 32} {
+		opts := []Option{}
+		if forceZ > 0 {
+			opts = append(opts, WithSegments(forceZ))
+		}
+		cfg, err := Configure3D(p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := p.OD() * p.OH()
+		covered := make([]int, rows*p.OW())
+		for _, s := range cfg.Segments {
+			if s.Cols()%s.K.R != 0 {
+				t.Errorf("segment width %d not a multiple of r=%d", s.Cols(), s.K.R)
+			}
+			for y := s.Row0; y < s.Row1; y++ {
+				for x := s.Col0; x < s.Col1; x++ {
+					covered[y*p.OW()+x]++
+				}
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("forceZ=%d: cell %d covered %d times", forceZ, i, c)
+			}
+		}
+		if cfg.WorkspaceBytes() != int64(cfg.Z()-1)*int64(p.DWShape().Elems())*4 {
+			t.Error("3D workspace accounting mismatch")
+		}
+	}
+}
+
+// Depth-axis clipping: a layer padded on D only must still be exact.
+func TestBackwardFilter3DDepthClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	p := conv.Params3D{N: 1, ID: 4, IH: 6, IW: 8, FD: 5, FH: 1, FW: 2,
+		IC: 2, OC: 2, PD: 2}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, dy, want := rand3DCase(rng, p)
+	got, err := BackwardFilter3D(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tensor.MARE5(got, want); m > 1e-5 {
+		t.Errorf("MARE %v", m)
+	}
+}
+
+func TestConfigure3DRejectsInvalid(t *testing.T) {
+	if _, err := Configure3D(conv.Params3D{}); err == nil {
+		t.Error("expected error for zero params")
+	}
+}
+
+func TestExecute3DShapeMismatchPanics(t *testing.T) {
+	p := conv.Params3D{N: 1, ID: 4, IH: 4, IW: 6, FD: 2, FH: 2, FW: 2, IC: 1, OC: 1}
+	cfg, err := Configure3D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Execute3D(cfg, tensor.NewFloat325(tensor.Shape5{N: 1, D: 3, H: 4, W: 6, C: 1}),
+		tensor.NewFloat325(p.DYShape()))
+}
+
+func BenchmarkBackwardFilter3D(b *testing.B) {
+	p := conv.Params3D{N: 1, ID: 8, IH: 16, IW: 16, FD: 3, FH: 3, FW: 3,
+		IC: 8, OC: 8, PD: 1, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewFloat325(p.XShape())
+	dy := tensor.NewFloat325(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	cfg, err := Configure3D(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Execute3D(cfg, x, dy)
+	}
+}

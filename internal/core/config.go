@@ -1,0 +1,544 @@
+// Package core implements the WinRS algorithm — the paper's contribution.
+//
+// WinRS computes backward-filter convolution in three phases (paper §3):
+//
+//  1. Partitioning: ∇Y is divided into Z segments whose widths are
+//     multiples of the selected kernels' unit widths r0/r1, and a workspace
+//     of Z−1 extra ∇W-sized buckets is allocated.
+//  2. Kernel execution: each segment runs a fully-fused Ω_α(n,r) kernel —
+//     dimension reduction (rows of the segment become 1-D filters), filter
+//     split (rows split into r-wide units), F(n,r) Winograd convolution
+//     against the matching region of X, and accumulation into the
+//     segment's bucket.
+//  3. Reduction: the Z buckets are summed into ∇W with FP32 Kahan
+//     summation.
+//
+// Configuration adaptation (paper §4) picks the fastest kernel pair for
+// (F_W, O_W), estimates the baseline segment count from FC/BDC/BFC block
+// counts (Algorithm 1), and derives the segment shape (Algorithm 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+	"winrs/internal/winograd"
+)
+
+// Hardware carries the device properties configuration adaptation needs.
+// It deliberately stays smaller than gpusim.Device: Algorithm 1 only cares
+// about how many block groups keep the machine busy.
+type Hardware struct {
+	// NSM is the streaming-multiprocessor count.
+	NSM int
+}
+
+// DefaultHardware models the paper's primary device (RTX 4090, 128 SMs).
+var DefaultHardware = Hardware{NSM: 128}
+
+// Pair is the fastest kernel pair of §4.1: Fast handles the bulk of O_W in
+// FastUnits units of width Fast.R; Resid covers the remainder in ResidUnits
+// units of width Resid.R. When O_W is a multiple of Fast.R, ResidUnits is
+// zero and Resid is the zero Kernel (not meaningful).
+type Pair struct {
+	Fast, Resid           winograd.Kernel
+	FastUnits, ResidUnits int
+}
+
+// Coverage returns the O_W span of each sub-region.
+func (pr Pair) Coverage() (fastW, residW int) {
+	return pr.FastUnits * pr.Fast.R, pr.ResidUnits * pr.Resid.R
+}
+
+// WeightedCoeff is the selection objective: unit-width-weighted sum of the
+// kernel throughput coefficients.
+func (pr Pair) WeightedCoeff() float64 {
+	fw, rw := pr.Coverage()
+	total := fw + rw
+	if total == 0 {
+		return 0
+	}
+	return (float64(fw)*pr.Fast.Coeff + float64(rw)*pr.Resid.Coeff) / float64(total)
+}
+
+// String renders the pair in Ω-notation.
+func (pr Pair) String() string {
+	if pr.ResidUnits == 0 {
+		return pr.Fast.String()
+	}
+	return fmt.Sprintf("%v+%v", pr.Fast, pr.Resid)
+}
+
+// SelectPair chooses the fastest kernel pair for the layer (paper §4.1):
+// both kernels' n must divide F_W, the unit widths must tile O_W exactly
+// (k0·r0 + k1·r1 = O_W with k0 maximal for the faster kernel), and the
+// weighted throughput coefficient is maximized. With fp16 set, only the
+// Tensor-Core-ported kernels are considered first; if they cannot tile
+// O_W, the search falls back to the full registry (the FP32 kernels then
+// run in emulated mixed precision).
+func SelectPair(p conv.Params, fp16 bool) (Pair, error) {
+	return selectPairCoeff(p, fp16, nil)
+}
+
+// selectPairCoeff is SelectPair with optional per-kernel coefficient
+// overrides (host-measured autotuning).
+func selectPairCoeff(p conv.Params, fp16 bool, coeffs map[string]float64) (Pair, error) {
+	ow := p.OW()
+	if ow < 1 {
+		return Pair{}, fmt.Errorf("core: empty output width for %v", p)
+	}
+	if pr, ok := searchPair(p.FW, ow, fp16, coeffs); ok {
+		return pr, nil
+	}
+	if fp16 {
+		if pr, ok := searchPair(p.FW, ow, false, coeffs); ok {
+			return pr, nil
+		}
+	}
+	// No registry pair tiles O_W (e.g. odd O_W with only even unit widths
+	// available): cover the bulk with the best registry kernel and the
+	// untileable remainder with one direct-convolution unit.
+	if pr, ok := fallbackPair(p.FW, ow, fp16); ok {
+		return pr, nil
+	}
+	return Pair{}, fmt.Errorf("core: no kernel pair tiles F_W=%d, O_W=%d", p.FW, ow)
+}
+
+func fallbackPair(fw, ow int, fp16 bool) (Pair, bool) {
+	var k0 winograd.Kernel
+	found := false
+	pick := func(fp16Only bool) {
+		for _, k := range winograd.Kernels {
+			if fw%k.N != 0 || k.R > ow {
+				continue
+			}
+			if fp16Only && !k.FP16 {
+				continue
+			}
+			if !found || k.Coeff > k0.Coeff {
+				k0, found = k, true
+			}
+		}
+	}
+	if fp16 {
+		pick(true)
+	}
+	if !found {
+		pick(false)
+	}
+	if !found {
+		// O_W smaller than every registry r: a single direct unit.
+		if ow > 20 {
+			return Pair{}, false
+		}
+		return Pair{Fast: winograd.DirectKernel(ow), FastUnits: 1}, true
+	}
+	a := ow / k0.R
+	rem := ow % k0.R
+	if rem == 0 {
+		return Pair{Fast: k0, FastUnits: a}, true
+	}
+	return Pair{Fast: k0, FastUnits: a,
+		Resid: winograd.DirectKernel(rem), ResidUnits: 1}, true
+}
+
+func searchPair(fw, ow int, fp16Only bool, coeffs map[string]float64) (Pair, bool) {
+	var best Pair
+	found := false
+	candidates := make([]winograd.Kernel, 0, len(winograd.Kernels))
+	for _, k := range winograd.Kernels {
+		if fw%k.N != 0 {
+			continue
+		}
+		if fp16Only && !k.FP16 {
+			continue
+		}
+		if c, ok := coeffs[k.String()]; ok {
+			k.Coeff = c // tuned coefficient (Kernel is a value copy)
+		}
+		candidates = append(candidates, k)
+	}
+	for _, k0 := range candidates {
+		for _, k1 := range candidates {
+			// Maximize the fast kernel's share: the largest a with
+			// a·r0 ≤ O_W and (O_W − a·r0) divisible by r1.
+			for a := ow / k0.R; a >= 0; a-- {
+				rem := ow - a*k0.R
+				if rem%k1.R != 0 {
+					continue
+				}
+				b := rem / k1.R
+				if a == 0 && b == 0 {
+					continue
+				}
+				pr := Pair{Fast: k0, Resid: k1, FastUnits: a, ResidUnits: b}
+				if pr.FastUnits == 0 {
+					// All coverage landed on the residual kernel; present
+					// it as the fast kernel (ties otherwise depend on
+					// registry order).
+					pr = Pair{Fast: k1, FastUnits: b}
+				}
+				better := pr.WeightedCoeff() > best.WeightedCoeff() ||
+					(pr.WeightedCoeff() == best.WeightedCoeff() &&
+						pr.FastUnits*pr.Fast.R > best.FastUnits*best.Fast.R)
+				if !found || better {
+					best, found = pr, true
+				}
+				break // smaller a only lowers the weighted coefficient
+			}
+		}
+	}
+	return best, found
+}
+
+// BlocksPerSegment returns the block-group size of one Ω_α(n,r) segment
+// launch: ⌈O_C/B_N⌉·⌈I_C/B_M⌉·(F_H·F_W/n) (paper §5.1).
+func BlocksPerSegment(k winograd.Kernel, p conv.Params, fp16 bool) int {
+	bn, bm := k.CacheBlock(fp16)
+	return ceilDiv(p.OC, bn) * ceilDiv(p.IC, bm) * ceilDiv(p.FH*p.FW, k.N)
+}
+
+// fcBlocks and bdcBlocks estimate the block counts of the layer's forward
+// and backward-data convolutions with the reference F(2×2,3×3) kernel and a
+// 64×32×8 cache block (the Figure 2 setup); they feed Algorithm 1 line 1.
+func fcBlocks(p conv.Params) int {
+	spatial := p.N * ceilDiv(p.OH(), 2) * ceilDiv(p.OW(), 2)
+	return ceilDiv(p.OC, 64) * ceilDiv(spatial, 32)
+}
+
+func bdcBlocks(p conv.Params) int {
+	spatial := p.N * ceilDiv(p.IH, 2) * ceilDiv(p.IW, 2)
+	return ceilDiv(p.IC, 64) * ceilDiv(spatial, 32)
+}
+
+// latencyBlocksPerSM mirrors the simulator's calibration: a kernel with
+// computation intensity ρ needs about 24/ρ resident blocks per SM (clamped
+// to [1,6]) to hide most memory latency.
+func latencyBlocksPerSM(intensity float64) float64 {
+	if intensity <= 0 {
+		return 6
+	}
+	return math.Min(6, math.Max(1, 24/intensity))
+}
+
+// EstimateZ implements Algorithm 1: the baseline segment count balancing
+// parallelism against partitioning overhead.
+func EstimateZ(p conv.Params, pr Pair, hw Hardware, fp16 bool) int {
+	b0 := fcBlocks(p)
+	b1 := bdcBlocks(p)
+	b2 := BlocksPerSegment(pr.Fast, p, fp16)
+
+	// Line 1: initialize from the FC/BDC block budget.
+	zHat := float64(b0+b1) / (1.45 * float64(b2))
+
+	// Line 2: thresholds from N_SM and data size.
+	k := latencyBlocksPerSM(pr.Fast.Intensity(fp16))
+	b2Full := k * float64(hw.NSM) // blocks for full utilization
+	dwBytes := tensor.Bytes32(p.DWShape())
+	dataBytes := p.DataBytes32()
+	if fp16 {
+		dwBytes = tensor.Bytes16(p.DWShape())
+		dataBytes = p.DataBytes16()
+	}
+	zMax := 1 + int(2*dataBytes/maxI64(1, dwBytes)) // workspace ≤ ~2× data
+	if zMax > 128 {
+		zMax = 128
+	}
+
+	// Line 3: one segment already saturates the device.
+	if zHat < 2 && float64(b2) >= b2Full {
+		return 1
+	}
+
+	// Line 4: beyond Z1 extra segments stop improving latency hiding.
+	z1 := ceilDiv(int(2*b2Full), b2)
+
+	// Line 5: keep per-segment work above a quantum so tiny workloads
+	// don't fragment.
+	const workQuantum = 1e9 // direct-equivalent FLOPs per segment
+	z2 := int(math.Ceil(float64(p.FLOPs()) / workQuantum))
+
+	// Line 6.
+	z := int(zHat)
+	if z < 1 {
+		z = 1
+	}
+	z = minInt(z, z1, z2, p.N*p.OH()*p.OW()/512)
+	if z < 1 {
+		z = 1
+	}
+
+	// Line 7: pad to a GPU-friendly multiple of 2/4/8 and clamp.
+	pp := 1 << bits(z)
+	if pp > 8 {
+		pp = 8
+	}
+	z = pp * ceilDiv(z, pp)
+	if z > zMax {
+		z = zMax
+	}
+	if z < 1 {
+		z = 1
+	}
+	return z
+}
+
+// bits returns ⌈log2 z⌉ for z ≥ 1.
+func bits(z int) int {
+	b := 0
+	for 1<<b < z {
+		b++
+	}
+	return b
+}
+
+// SegmentShape implements Algorithm 2: the expected segment height and
+// width for a target segment count ẑ. The returned width is a multiple of
+// the fast kernel's r; the height is at least p_H+1 so no segment is
+// swallowed by zero padding.
+func SegmentShape(p conv.Params, pr Pair, zHat int) (sh, sw int) {
+	oh, ow := p.OH(), p.OW()
+	r0 := pr.Fast.R
+	minSH := p.PH + 1
+	if minSH > oh {
+		minSH = oh
+	}
+	hMax := oh / minSH
+	wMax := ceilDiv(ow, r0)
+
+	clampSH := func(v int) int {
+		if v < minSH {
+			return minSH
+		}
+		if v > oh {
+			return oh
+		}
+		return v
+	}
+	fullW := r0 * (ow / r0)
+	if fullW == 0 {
+		fullW = r0
+	}
+
+	// Line 1.
+	if zHat > hMax*wMax {
+		zHat = hMax * wMax
+	}
+	if zHat < 1 {
+		zHat = 1
+	}
+	// Line 2: single segment spans everything.
+	if zHat == 1 {
+		return oh, fullW
+	}
+	// Line 3: more segments than width slots — minimum width, split rows.
+	if zHat >= wMax {
+		return clampSH(oh * ow / (zHat * r0)), r0
+	}
+	// Line 4: width slots divide evenly.
+	if wMax%zHat == 0 {
+		return oh, r0 * (wMax / zHat)
+	}
+	// Lines 5-6: smallest factor x of wMax with ⌊wMax/x⌋ ≤ ẑ ≤ hMax·⌊wMax/x⌋.
+	lo := wMax / zHat
+	if lo < 1 {
+		lo = 1
+	}
+	hi := hMax * wMax / zHat
+	for x := lo; x <= hi; x++ {
+		if wMax%x == 0 {
+			return clampSH(oh * ow / (zHat * x * r0)), x * r0
+		}
+	}
+	// Line 7: fallback.
+	return oh, fullW
+}
+
+// Segment is one partition of ∇Y: rows [Row0,Row1) × columns [Col0,Col1),
+// executed by kernel K (Col1−Col0 is a multiple of K.R).
+type Segment struct {
+	Row0, Row1 int
+	Col0, Col1 int
+	K          winograd.Kernel
+}
+
+// Rows returns the segment height.
+func (s Segment) Rows() int { return s.Row1 - s.Row0 }
+
+// Cols returns the segment width.
+func (s Segment) Cols() int { return s.Col1 - s.Col0 }
+
+// Config is a fully-adapted WinRS execution plan for one layer.
+type Config struct {
+	Params   conv.Params
+	FP16     bool
+	Pair     Pair
+	ZTarget  int // Algorithm 1 baseline segment count
+	SegH     int // Algorithm 2 expected segment height
+	SegW     int // Algorithm 2 expected segment width
+	Segments []Segment
+	Hardware Hardware
+}
+
+// Z returns the realized segment count.
+func (c *Config) Z() int { return len(c.Segments) }
+
+// WorkspaceBytes returns the bucket workspace: (Z−1) × sizeof(∇W). The
+// final gradient itself is not workspace (bucket 0 aliases it). Buckets are
+// FP32 on both precision paths: accumulators and the Kahan reduction run in
+// FP32 (paper §5.2).
+func (c *Config) WorkspaceBytes() int64 {
+	return int64(c.Z()-1) * int64(c.Params.DWShape().Elems()) * 4
+}
+
+// Option customizes Configure.
+type Option func(*configOpts)
+
+type configOpts struct {
+	hw         Hardware
+	fp16       bool
+	forceZ     int
+	coeffs     map[string]float64
+	wsLimit    int64
+	wsLimitSet bool
+}
+
+// WithHardware overrides the device model used by Algorithm 1.
+func WithHardware(hw Hardware) Option { return func(o *configOpts) { o.hw = hw } }
+
+// WithFP16 selects the Tensor-Core (emulated binary16) path.
+func WithFP16() Option { return func(o *configOpts) { o.fp16 = true } }
+
+// WithSegments forces the segment count, bypassing Algorithm 1 — used by
+// the segmentation ablation.
+func WithSegments(z int) Option { return func(o *configOpts) { o.forceZ = z } }
+
+// WithCoefficients overrides the kernel throughput coefficients used by
+// the fastest-pair selection, keyed by kernel name (Ω-notation). Pass the
+// output of autotune.Coefficients to adapt selection to measured host
+// throughput instead of the static table.
+func WithCoefficients(coeffs map[string]float64) Option {
+	return func(o *configOpts) { o.coeffs = coeffs }
+}
+
+// WithWorkspaceLimit caps the bucket workspace at the given byte budget
+// (the cuDNN-style workspace-limit knob): the segment count is clamped so
+// (Z−1)·sizeof(∇W) never exceeds it. A zero limit forces single-segment
+// execution — always correct, at reduced parallelism.
+func WithWorkspaceLimit(bytes int64) Option {
+	return func(o *configOpts) { o.wsLimit, o.wsLimitSet = bytes, true }
+}
+
+// Configure runs the full adaptation pipeline of §4 and returns an
+// executable plan.
+func Configure(p conv.Params, opts ...Option) (*Config, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := configOpts{hw: DefaultHardware}
+	for _, f := range opts {
+		f(&o)
+	}
+	pr, err := selectPairCoeff(p, o.fp16, o.coeffs)
+	if err != nil {
+		return nil, err
+	}
+	zHat := o.forceZ
+	if zHat <= 0 {
+		zHat = EstimateZ(p, pr, o.hw, o.fp16)
+	}
+	if o.wsLimitSet {
+		dwBytes := int64(p.DWShape().Elems()) * 4
+		zCap := 1 + int(o.wsLimit/maxI64(1, dwBytes))
+		if zHat > zCap {
+			zHat = zCap
+		}
+	}
+	sh, sw := SegmentShape(p, pr, zHat)
+	segs := layoutSegments(p, pr, sh, sw)
+	if o.wsLimitSet {
+		// Algorithm 2 realizes Z ≈ Ẑ, which can overshoot the byte budget;
+		// walk the target down until the realized partition fits. zHat = 1
+		// always fits a single-kernel layout; a residual column can force a
+		// second segment, in which case the final fallback merges rows.
+		dwBytes := int64(p.DWShape().Elems()) * 4
+		for zHat > 1 && int64(len(segs)-1)*dwBytes > o.wsLimit {
+			zHat--
+			sh, sw = SegmentShape(p, pr, zHat)
+			segs = layoutSegments(p, pr, sh, sw)
+		}
+	}
+	cfg := &Config{
+		Params: p, FP16: o.fp16, Pair: pr,
+		ZTarget: zHat, SegH: sh, SegW: sw,
+		Hardware: o.hw,
+	}
+	cfg.Segments = segs
+	return cfg, nil
+}
+
+// layoutSegments materializes the partition: the fast region [0, a·r0) is
+// chunked into columns of width segW, the residual region [a·r0, O_W) forms
+// one column for the residual kernel, and every column is chunked into rows
+// of height segH (bottom rows absorb the remainder, per §4.3).
+func layoutSegments(p conv.Params, pr Pair, segH, segW int) []Segment {
+	oh, ow := p.OH(), p.OW()
+	fastW, _ := pr.Coverage()
+
+	type colSpan struct {
+		c0, c1 int
+		k      winograd.Kernel
+	}
+	var cols []colSpan
+	for c := 0; c < fastW; c += segW {
+		c1 := c + segW
+		if fastW-c1 < segW { // absorb the remainder into the last column
+			c1 = fastW
+		}
+		cols = append(cols, colSpan{c, c1, pr.Fast})
+		if c1 == fastW {
+			break
+		}
+	}
+	if fastW < ow {
+		cols = append(cols, colSpan{fastW, ow, pr.Resid})
+	}
+
+	rowChunks := oh / segH
+	if rowChunks < 1 {
+		rowChunks = 1
+	}
+	var segs []Segment
+	for ri := 0; ri < rowChunks; ri++ {
+		r0 := ri * segH
+		r1 := r0 + segH
+		if ri == rowChunks-1 {
+			r1 = oh
+		}
+		for _, c := range cols {
+			segs = append(segs, Segment{Row0: r0, Row1: r1, Col0: c.c0, Col1: c.c1, K: c.k})
+		}
+	}
+	return segs
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func minInt(vs ...int) int {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"winrs/internal/conv"
+	"winrs/internal/fp16"
+	"winrs/internal/kahan"
+	"winrs/internal/tensor"
+	"winrs/internal/winograd"
+)
+
+// Execute runs the configured FP32 WinRS plan: every segment executes the
+// fully-fused Ω_α(n,r) kernel into its own ∇W bucket, and the buckets are
+// reduced with Kahan summation. Work units (segment × f_h × width-tile)
+// map to goroutines the way block groups map to SMs; no two units touch
+// the same accumulator, so the execution is lock-free.
+func Execute(cfg *Config, x, dy *tensor.Float32) *tensor.Float32 {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: Execute operand shape mismatch")
+	}
+	buckets := makeBuckets(cfg)
+	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+		segmentTile32(p, seg, fh, j, x, dy, buckets[si])
+	})
+	return reduceBuckets(cfg, buckets)
+}
+
+// ExecuteHalf runs the FP16 Tensor-Core path: transforms computed in FP32
+// and rounded to binary16 ("SMEM storage"), EWM products of binary16 values
+// accumulated in FP32 (the MMA contract), output transform in FP32 with
+// the eq. (7) scaling matrices for α = 16 kernels. Buckets and the Kahan
+// reduction stay FP32.
+func ExecuteHalf(cfg *Config, x, dy *tensor.Half) *tensor.Float32 {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: ExecuteHalf operand shape mismatch")
+	}
+	buckets := makeBuckets(cfg)
+	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+		segmentTileHalf(p, seg, fh, j, x, dy, buckets[si])
+	})
+	return reduceBuckets(cfg, buckets)
+}
+
+func makeBuckets(cfg *Config) [][]float32 {
+	elems := cfg.Params.DWShape().Elems()
+	buckets := make([][]float32, cfg.Z())
+	for i := range buckets {
+		buckets[i] = make([]float32, elems)
+	}
+	return buckets
+}
+
+// runSegments schedules every (segment, f_h, width-tile) unit onto a worker
+// pool.
+func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
+	type task struct {
+		si, fh, j int
+	}
+	var tasks []task
+	for si, seg := range cfg.Segments {
+		jTiles := cfg.Params.FW / seg.K.N
+		for fh := 0; fh < cfg.Params.FH; fh++ {
+			for j := 0; j < jTiles; j++ {
+				tasks = append(tasks, task{si, fh, j})
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			unit(t.si, cfg.Segments[t.si], t.fh, t.j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan task)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				unit(t.si, cfg.Segments[t.si], t.fh, t.j)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// reduceBuckets is phase 3: Kahan-compensated summation of the Z buckets
+// into the final gradient tensor.
+func reduceBuckets(cfg *Config, buckets [][]float32) *tensor.Float32 {
+	dw := tensor.NewFloat32(cfg.Params.DWShape())
+	if len(buckets) == 1 {
+		copy(dw.Data, buckets[0])
+		return dw
+	}
+	kahan.ReduceBuckets(dw.Data, buckets)
+	return dw
+}
+
+// segmentTile32 executes the fused FP32 kernel for one (segment, f_h,
+// width-tile) unit: it produces the ∇W rows [j·n, (j+1)·n) at height f_h
+// for all (oc, ic), accumulating the EWM over the segment's rows, units and
+// the batch.
+//
+// Per inner unit the four fused stages appear in order: dimension reduction
+// (the row loop), filter split (the ow0 loop), Winograd transforms + the
+// α-batched outer-product "GEMM", and the final output transform.
+func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32) {
+	k := seg.K
+	// Balanced transforms keep FP32 cancellation in the paper's accuracy
+	// band for the α = 16 kernels; the symmetric panel plans implement the
+	// Figure 8 transform simplification (shared ± products).
+	tr := k.Transform().Balanced()
+	gPlan, dtPlan := tr.PanelPlans()
+	n, r, alpha := tr.N, tr.R, tr.Alpha
+	oc, ic := p.OC, p.IC
+
+	// Accumulators v[α][OC][IC] (the register tile of Algorithm 3).
+	v := make([]float32, alpha*oc*ic)
+	wRaw := make([]float32, r*oc)     // gathered ∇Y unit, [r][OC]
+	wHat := make([]float32, alpha*oc) // G·W, [α][OC]
+	xRaw := make([]float32, alpha*ic) // gathered X tile, [α][IC]
+	xHat := make([]float32, alpha*ic) // Dᵀ·X, [α][IC]
+	colBase := j * n
+
+	for oh := seg.Row0; oh < seg.Row1; oh++ {
+		ih := oh + fh - p.PH
+		if ih < 0 || ih >= p.IH {
+			continue // height-axis clipping (Figure 7)
+		}
+		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
+			for nb := 0; nb < p.N; nb++ {
+				// Gather + filter transform: Ŵ = G·W.
+				for u := 0; u < r; u++ {
+					base := dy.Shape.Index(nb, oh, ow0+u, 0)
+					copy(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
+				}
+				gPlan.MulPanel(wRaw, wHat, r, oc)
+				// Gather (with implicit width zero padding) + input
+				// transform: X̂ = Dᵀ·X.
+				for u := 0; u < alpha; u++ {
+					iw := ow0 + colBase + u - p.PW
+					dst := xRaw[u*ic : (u+1)*ic]
+					if iw < 0 || iw >= p.IW {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					base := x.Shape.Index(nb, ih, iw, 0)
+					copy(dst, x.Data[base:base+ic])
+				}
+				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
+				// α-batched outer products: v[e] += Ŵ[e] ⊗ X̂[e].
+				for e := 0; e < alpha; e++ {
+					we := wHat[e*oc : (e+1)*oc]
+					xe := xHat[e*ic : (e+1)*ic]
+					ve := v[e*oc*ic : (e+1)*oc*ic]
+					for a, wv := range we {
+						if wv == 0 {
+							continue
+						}
+						row := ve[a*ic : (a+1)*ic]
+						for b, xv := range xe {
+							row[b] += wv * xv
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Output transform: y = Aᵀ·v[:, oc, ic], written into the bucket.
+	writeOutput(p, tr.A, v, bucket, fh, colBase, n, alpha, oc, ic, nil)
+}
+
+// segmentTileHalf is the FP16 variant of segmentTile32 (see ExecuteHalf).
+func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32) {
+	k := seg.K
+	tr := k.Transform()
+	var sc *winograd.ScaledTransform
+	// Balanced transforms for the small-α kernels; for α ≥ 16 the eq. (7)
+	// scaling matrices (unit-L1 G rows and Dᵀ rows) keep the transformed
+	// binary16 values inside the half-precision dynamic range.
+	bal := tr.Balanced()
+	gMat, dMat, aMat := bal.G, bal.D, bal.A
+	if tr.Alpha >= 16 {
+		sc = tr.Scaled()
+		gMat, dMat, aMat = sc.G, sc.D, sc.A
+	}
+	n, r, alpha := tr.N, tr.R, tr.Alpha
+	oc, ic := p.OC, p.IC
+
+	v := make([]float32, alpha*oc*ic)
+	wRaw := make([]float32, r*oc)
+	wHatF := make([]float32, alpha*oc)
+	wHat := make([]fp16.Bits, alpha*oc)
+	xRaw := make([]float32, alpha*ic)
+	xHatF := make([]float32, alpha*ic)
+	xHat := make([]fp16.Bits, alpha*ic)
+	colBase := j * n
+
+	for oh := seg.Row0; oh < seg.Row1; oh++ {
+		ih := oh + fh - p.PH
+		if ih < 0 || ih >= p.IH {
+			continue
+		}
+		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
+			for nb := 0; nb < p.N; nb++ {
+				for u := 0; u < r; u++ {
+					base := dy.Shape.Index(nb, oh, ow0+u, 0)
+					dst := wRaw[u*oc : (u+1)*oc]
+					for c := 0; c < oc; c++ {
+						dst[c] = fp16.ToFloat32(dy.Data[base+c])
+					}
+				}
+				// Mixed-precision FT: FP32 transform, binary16 storage.
+				matMulF32(gMat, wRaw, wHatF, r, oc)
+				for i, vv := range wHatF {
+					wHat[i] = fp16.FromFloat32(vv)
+				}
+				for u := 0; u < alpha; u++ {
+					iw := ow0 + colBase + u - p.PW
+					dst := xRaw[u*ic : (u+1)*ic]
+					if iw < 0 || iw >= p.IW {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					base := x.Shape.Index(nb, ih, iw, 0)
+					for c := 0; c < ic; c++ {
+						dst[c] = fp16.ToFloat32(x.Data[base+c])
+					}
+				}
+				matTMulF32(dMat, xRaw, xHatF, alpha, ic)
+				for i, vv := range xHatF {
+					xHat[i] = fp16.FromFloat32(vv)
+				}
+				// Tensor-Core EWM: binary16 operands, FP32 accumulate.
+				for e := 0; e < alpha; e++ {
+					we := wHat[e*oc : (e+1)*oc]
+					xe := xHat[e*ic : (e+1)*ic]
+					ve := v[e*oc*ic : (e+1)*oc*ic]
+					for a, wb := range we {
+						wv := fp16.ToFloat32(wb)
+						if wv == 0 {
+							continue
+						}
+						row := ve[a*ic : (a+1)*ic]
+						for b, xb := range xe {
+							row[b] += wv * fp16.ToFloat32(xb)
+						}
+					}
+				}
+			}
+		}
+	}
+	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, sc)
+}
+
+// writeOutput applies the FP32 output transform Aᵀ to the accumulators and
+// adds the n output columns into the bucket at (·, fh, colBase…, ·).
+func writeOutput(p conv.Params, aMat *winograd.Mat, v []float32, bucket []float32,
+	fh, colBase, n, alpha, oc, ic int, _ *winograd.ScaledTransform) {
+	dwShape := p.DWShape()
+	acc := make([]float32, alpha)
+	for a := 0; a < oc; a++ {
+		for b := 0; b < ic; b++ {
+			for e := 0; e < alpha; e++ {
+				acc[e] = v[(e*oc+a)*ic+b]
+			}
+			for i := 0; i < n; i++ {
+				var s float32
+				for e := 0; e < alpha; e++ {
+					s += float32(aMat.At(e, i)) * acc[e]
+				}
+				idx := dwShape.Index(a, fh, colBase+i, b)
+				bucket[idx] += s
+			}
+		}
+	}
+}
+
+// matMulF32 computes out = m·in for in laid out [m.Cols][width] and out
+// [m.Rows][width], in float32.
+func matMulF32(m *winograd.Mat, in, out []float32, rows, width int) {
+	if rows != m.Cols {
+		panic("core: matMulF32 dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst := out[i*width : (i+1)*width]
+		for x := range dst {
+			dst[x] = 0
+		}
+		for k := 0; k < rows; k++ {
+			c := float32(m.At(i, k))
+			if c == 0 {
+				continue
+			}
+			src := in[k*width : (k+1)*width]
+			for x, sv := range src {
+				dst[x] += c * sv
+			}
+		}
+	}
+}
+
+// matTMulF32 computes out = mᵀ·in for in laid out [m.Rows][width] and out
+// [m.Cols][width], in float32.
+func matTMulF32(m *winograd.Mat, in, out []float32, rows, width int) {
+	if rows != m.Rows {
+		panic("core: matTMulF32 dimension mismatch")
+	}
+	for i := 0; i < m.Cols; i++ {
+		dst := out[i*width : (i+1)*width]
+		for x := range dst {
+			dst[x] = 0
+		}
+	}
+	for k := 0; k < rows; k++ {
+		src := in[k*width : (k+1)*width]
+		for i := 0; i < m.Cols; i++ {
+			c := float32(m.At(k, i))
+			if c == 0 {
+				continue
+			}
+			dst := out[i*width : (i+1)*width]
+			for x, sv := range src {
+				dst[x] += c * sv
+			}
+		}
+	}
+}
+
+// BackwardFilter is the one-call convenience API: configure and execute in
+// FP32.
+func BackwardFilter(p conv.Params, x, dy *tensor.Float32, opts ...Option) (*tensor.Float32, error) {
+	cfg, err := Configure(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(cfg, x, dy), nil
+}
+
+// BackwardFilterHalf is the one-call FP16 path.
+func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half, opts ...Option) (*tensor.Float32, error) {
+	opts = append(opts, WithFP16())
+	cfg, err := Configure(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteHalf(cfg, x, dy), nil
+}

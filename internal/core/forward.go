@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+	"winrs/internal/winograd"
+)
+
+// This file implements the paper's §8 claim that "with moderate
+// modifications, WinRS can support FC and BDC": the same fused 1-D
+// Winograd machinery applied to the forward and backward-data passes,
+// where filters are small and outputs large (no reduce-split or
+// segmentation is needed — standard blocking already saturates the
+// device, cf. Figure 2).
+//
+// For the forward pass the width axis carries the F(n, r=F_W) convolution:
+// each output row is produced in n-wide tiles from α-wide input tiles,
+// with the transformed filters precomputed once (they are reused by every
+// spatial position) and the F_H and I_C axes accumulated in FP32 inside
+// the fused loop.
+
+// selectForwardKernel picks the registry kernel with r = F_W and the best
+// throughput coefficient.
+func selectForwardKernel(fw int) (winograd.Kernel, error) {
+	var best winograd.Kernel
+	found := false
+	for _, k := range winograd.Kernels {
+		if k.R != fw {
+			continue
+		}
+		if !found || k.Coeff > best.Coeff {
+			best, found = k, true
+		}
+	}
+	if !found {
+		if fw >= 1 && fw <= 20 {
+			return winograd.DirectKernel(fw), nil
+		}
+		return winograd.Kernel{}, fmt.Errorf("core: no forward kernel for F_W=%d", fw)
+	}
+	return best, nil
+}
+
+// Forward computes the forward convolution Y = X ⊛ W (W shaped
+// O_C×F_H×F_W×I_C) with fused 1-D Winograd along the width axis.
+func Forward(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Shape != p.XShape() {
+		return nil, fmt.Errorf("core: Forward X shape %v, want %v", x.Shape, p.XShape())
+	}
+	if w.Shape != p.DWShape() {
+		return nil, fmt.Errorf("core: Forward W shape %v, want %v", w.Shape, p.DWShape())
+	}
+	k, err := selectForwardKernel(p.FW)
+	if err != nil {
+		return nil, err
+	}
+	tr := k.Transform().Balanced()
+	n, alpha := tr.N, tr.Alpha
+	oh, ow := p.OH(), p.OW()
+	oc, ic := p.OC, p.IC
+
+	// Filter transform, hoisted: U[fh][e][oc][ic] = (G·W[oc,fh,:,ic])[e].
+	u := make([]float32, p.FH*alpha*oc*ic)
+	for fh := 0; fh < p.FH; fh++ {
+		for a := 0; a < oc; a++ {
+			for b := 0; b < ic; b++ {
+				row := make([]float32, p.FW)
+				for fw := 0; fw < p.FW; fw++ {
+					row[fw] = w.At(a, fh, fw, b)
+				}
+				ghat := tr.G.MulVec32(row)
+				for e := 0; e < alpha; e++ {
+					u[((fh*alpha+e)*oc+a)*ic+b] = ghat[e]
+				}
+			}
+		}
+	}
+
+	y := tensor.NewFloat32(p.DYShape())
+	tiles := (ow + n - 1) / n
+	// One task per (batch, output row); the grid is large for FC (the
+	// opposite of BFC), so no segmentation is required.
+	parallelRows(p.N*oh, func(idx int) {
+		nb, oy := idx/oh, idx%oh
+		xRaw := make([]float32, alpha*ic)
+		xHat := make([]float32, alpha*ic)
+		v := make([]float32, alpha*oc)
+		for j := 0; j < tiles; j++ {
+			for i := range v {
+				v[i] = 0
+			}
+			for fh := 0; fh < p.FH; fh++ {
+				ih := oy + fh - p.PH
+				if ih < 0 || ih >= p.IH {
+					continue // height clipping, as in the BFC kernels
+				}
+				// Gather the α-wide input tile with implicit width padding.
+				for e := 0; e < alpha; e++ {
+					iw := j*n + e - p.PW
+					dst := xRaw[e*ic : (e+1)*ic]
+					if iw < 0 || iw >= p.IW {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					base := x.Shape.Index(nb, ih, iw, 0)
+					copy(dst, x.Data[base:base+ic])
+				}
+				matTMulF32(tr.D, xRaw, xHat, alpha, ic)
+				// EWM: v[e][oc] += Σ_ic U[fh][e][oc][ic]·X̂[e][ic].
+				for e := 0; e < alpha; e++ {
+					xe := xHat[e*ic : (e+1)*ic]
+					ue := u[(fh*alpha+e)*oc*ic : (fh*alpha+e+1)*oc*ic]
+					ve := v[e*oc : (e+1)*oc]
+					for a := 0; a < oc; a++ {
+						var s float32
+						row := ue[a*ic : (a+1)*ic]
+						for b, xv := range xe {
+							s += row[b] * xv
+						}
+						ve[a] += s
+					}
+				}
+			}
+			// Output transform: y[jn+i][oc] = Σ_e A[e][i]·v[e][oc], with
+			// ragged final tiles clipped.
+			for i := 0; i < n; i++ {
+				oxw := j*n + i
+				if oxw >= ow {
+					break
+				}
+				base := y.Shape.Index(nb, oy, oxw, 0)
+				for a := 0; a < oc; a++ {
+					var s float32
+					for e := 0; e < alpha; e++ {
+						s += float32(tr.A.At(e, i)) * v[e*oc+a]
+					}
+					y.Data[base+a] = s
+				}
+			}
+		}
+	})
+	return y, nil
+}
+
+// BackwardData computes ∇X from ∇Y and W via the forward kernel: BDC is a
+// forward convolution of ∇Y with the spatially flipped, channel-transposed
+// filter and complementary padding (F−1−p).
+func BackwardData(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if dy.Shape != p.DYShape() {
+		return nil, fmt.Errorf("core: BackwardData dY shape %v, want %v", dy.Shape, p.DYShape())
+	}
+	if w.Shape != p.DWShape() {
+		return nil, fmt.Errorf("core: BackwardData W shape %v, want %v", w.Shape, p.DWShape())
+	}
+	// The equivalent forward problem: input ∇Y (O_H×O_W×O_C), output
+	// ∇X (I_H×I_W×I_C), same filter extent.
+	pb := conv.Params{
+		N: p.N, IH: p.OH(), IW: p.OW(), FH: p.FH, FW: p.FW,
+		IC: p.OC, OC: p.IC,
+		PH: p.FH - 1 - p.PH, PW: p.FW - 1 - p.PW,
+	}
+	if err := pb.Validate(); err != nil {
+		return nil, fmt.Errorf("core: BackwardData derived geometry invalid: %w", err)
+	}
+	if pb.OH() != p.IH || pb.OW() != p.IW {
+		return nil, fmt.Errorf("core: BackwardData geometry mismatch: got %dx%d, want %dx%d",
+			pb.OH(), pb.OW(), p.IH, p.IW)
+	}
+	flipped := tensor.NewFloat32(pb.DWShape()) // I_C×F_H×F_W×O_C
+	for a := 0; a < p.OC; a++ {
+		for fh := 0; fh < p.FH; fh++ {
+			for fw := 0; fw < p.FW; fw++ {
+				for b := 0; b < p.IC; b++ {
+					flipped.Set(b, p.FH-1-fh, p.FW-1-fw, a, w.At(a, fh, fw, b))
+				}
+			}
+		}
+	}
+	return Forward(pb, dy, flipped)
+}
+
+func parallelRows(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

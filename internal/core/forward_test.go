@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func fwdCase(t *testing.T, rng *rand.Rand, p conv.Params) (*tensor.Float32, *tensor.Float32, *tensor.Float64, *tensor.Float64) {
+	t.Helper()
+	x64 := tensor.NewFloat64(p.XShape())
+	w64 := tensor.NewFloat64(p.DWShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()*2 - 1
+	}
+	for i := range w64.Data {
+		w64.Data[i] = rng.Float64()*2 - 1
+	}
+	return x64.ToFloat32(), w64.ToFloat32(), x64, w64
+}
+
+// The fused 1-D Winograd forward pass must match the direct float64
+// forward convolution across filter sizes and paddings.
+func TestForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := []conv.Params{
+		{N: 2, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 4, PH: 1, PW: 1},
+		{N: 1, IH: 14, IW: 17, FH: 5, FW: 5, IC: 2, OC: 3, PH: 2, PW: 2},
+		{N: 2, IH: 9, IW: 11, FH: 2, FW: 2, IC: 2, OC: 2},
+		{N: 1, IH: 16, IW: 16, FH: 7, FW: 7, IC: 2, OC: 2, PH: 3, PW: 3},
+		{N: 1, IH: 10, IW: 13, FH: 3, FW: 4, IC: 2, OC: 2, PH: 1, PW: 2},
+		{N: 1, IH: 20, IW: 20, FH: 9, FW: 9, IC: 1, OC: 2, PH: 4, PW: 4},
+		{N: 1, IH: 8, IW: 8, FH: 1, FW: 1, IC: 3, OC: 3},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		x, w, x64, w64 := fwdCase(t, rng, p)
+		want := conv.Forward64(p, x64, w64)
+		got, err := Forward(p, x, w)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		tol := 1e-5
+		if p.FW >= 8 {
+			tol = 5e-4 // α = 16 conditioning band (signed inputs)
+		}
+		if m := tensor.MARE(got, want); m > tol {
+			t.Errorf("%v: MARE %v > %v", p, m, tol)
+		}
+	}
+}
+
+// BDC through the forward kernel must be the true gradient of the forward
+// pass with respect to X.
+func TestBackwardDataMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []conv.Params{
+		{N: 2, IH: 10, IW: 10, FH: 3, FW: 3, IC: 3, OC: 4, PH: 1, PW: 1},
+		{N: 1, IH: 12, IW: 14, FH: 5, FW: 5, IC: 2, OC: 2, PH: 2, PW: 2},
+	} {
+		x, w, _, _ := fwdCase(t, rng, p)
+		_ = x
+		dy64 := tensor.NewFloat64(p.DYShape())
+		for i := range dy64.Data {
+			dy64.Data[i] = rng.Float64()*2 - 1
+		}
+		dy := dy64.ToFloat32()
+		want := conv.BackwardData32(p, dy, w)
+		got, err := BackwardData(p, dy, w)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if m := tensor.MaxAbsDiff(got, want); m > 1e-3 {
+			t.Errorf("%v: max diff %v", p, m)
+		}
+	}
+}
+
+// BDC with asymmetric padding: valid geometry where F−1−p stays
+// non-negative.
+func TestBackwardDataZeroPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := conv.Params{N: 1, IH: 9, IW: 9, FH: 3, FW: 3, IC: 2, OC: 2}
+	_, w, _, _ := fwdCase(t, rng, p)
+	dy := tensor.NewFloat32(p.DYShape())
+	dy.FillUniform(rng, -1, 1)
+	want := conv.BackwardData32(p, dy, w)
+	got, err := BackwardData(p, dy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tensor.MaxAbsDiff(got, want); m > 1e-3 {
+		t.Errorf("max diff %v", m)
+	}
+}
+
+func TestForwardShapeErrors(t *testing.T) {
+	p := conv.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	good := tensor.NewFloat32(p.XShape())
+	w := tensor.NewFloat32(p.DWShape())
+	if _, err := Forward(p, tensor.NewFloat32(tensor.Shape{N: 1, H: 7, W: 8, C: 2}), w); err == nil {
+		t.Error("expected X shape error")
+	}
+	if _, err := Forward(p, good, tensor.NewFloat32(tensor.Shape{N: 2, H: 3, W: 4, C: 2})); err == nil {
+		t.Error("expected W shape error")
+	}
+	if _, err := Forward(conv.Params{}, good, w); err == nil {
+		t.Error("expected invalid-params error")
+	}
+}
+
+// The forward kernel must pick a higher-throughput variant than the
+// residual fallback for common widths.
+func TestSelectForwardKernel(t *testing.T) {
+	k, err := selectForwardKernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "Omega8(6,3)" {
+		t.Errorf("F_W=3 forward kernel = %v, want Omega8(6,3)", k)
+	}
+	k, err = selectForwardKernel(1)
+	if err != nil || k.N != 1 {
+		t.Errorf("F_W=1 should fall back to direct, got %v, %v", k, err)
+	}
+	if _, err := selectForwardKernel(99); err == nil {
+		t.Error("expected error for absurd width")
+	}
+}
+
+// End-to-end: a full layer triad computed by WinRS kernels only (FC by the
+// forward kernel, BFC by reduce-split) must satisfy the gradient check.
+func TestFullLayerTriadConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p := conv.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x, w, x64, w64 := fwdCase(t, rng, p)
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()*2 - 1
+	}
+	dy := dy64.ToFloat32()
+
+	// Forward agreement.
+	yWin, err := Forward(p, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yRef := conv.Forward64(p, x64, w64)
+	if m := tensor.MARE(yWin, yRef); m > 1e-5 {
+		t.Fatalf("forward MARE %v", m)
+	}
+	// Filter-gradient agreement.
+	dwWin, err := BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwRef := conv.BackwardFilterDirect64(p, x64, dy64)
+	if m := tensor.MARE(dwWin, dwRef); m > 1e-4 {
+		t.Fatalf("BFC MARE %v", m)
+	}
+	// Data-gradient agreement.
+	dxWin, err := BackwardData(p, dy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxRef := conv.BackwardData32(p, dy, w)
+	if m := tensor.MaxAbsDiff(dxWin, dxRef); m > 1e-3 {
+		t.Fatalf("BDC max diff %v", m)
+	}
+}
+
+func BenchmarkForwardWinograd(b *testing.B) {
+	p := conv.Params{N: 4, IH: 32, IW: 32, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewFloat32(p.XShape())
+	w := tensor.NewFloat32(p.DWShape())
+	x.FillUniform(rng, 0, 1)
+	w.FillUniform(rng, 0, 1)
+	b.SetBytes(p.DataBytes32())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(p, x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+
+	"winrs/internal/bf16"
+	"winrs/internal/conv"
+	"winrs/internal/fp8"
+	"winrs/internal/tensor"
+	"winrs/internal/winograd"
+)
+
+// Quantizer models a reduced-precision storage format in the value domain:
+// Round maps a float32 to the nearest representable value of the format.
+// The quantized execution path mirrors the FP16 Tensor-Core pipeline —
+// operands and transformed tiles are stored in the format, products
+// accumulate in FP32, output transform and bucket reduction stay FP32 —
+// which is exactly how the paper says the FP16 kernels "can be ported to
+// BF16, and further to FP8 and INT8" (§8).
+type Quantizer struct {
+	// Name labels the format in reports.
+	Name string
+	// Round quantizes one value (must be idempotent).
+	Round func(float32) float32
+	// UseScaling selects the eq. (7) scaling matrices for α ≥ 16
+	// transforms; formats with a narrow dynamic range (FP16, FP8) need
+	// them, wide-exponent formats (BF16) do not.
+	UseScaling bool
+}
+
+// QuantBF16 is the bfloat16 storage format: float32 range, 8-bit mantissa.
+var QuantBF16 = Quantizer{Name: "BF16", Round: bf16.Round}
+
+// QuantFP8E4M3 is the OCP FP8 E4M3 format (max 448), scaled transforms on.
+var QuantFP8E4M3 = Quantizer{Name: "FP8-E4M3", Round: fp8.E4M3.Round, UseScaling: true}
+
+// QuantFP8E5M2 is the OCP FP8 E5M2 format (max 57344), scaled transforms on.
+var QuantFP8E5M2 = Quantizer{Name: "FP8-E5M2", Round: fp8.E5M2.Round, UseScaling: true}
+
+// QuantInt8 returns a symmetric INT8 quantizer with the given absolute
+// maximum: values snap to the 255-level grid absmax·{-127..127}/127,
+// saturating beyond ±absmax.
+func QuantInt8(absmax float32) Quantizer {
+	scale := absmax / 127
+	return Quantizer{
+		Name: "INT8",
+		Round: func(v float32) float32 {
+			if scale == 0 {
+				return 0
+			}
+			q := float32(math.RoundToEven(float64(v / scale)))
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			return q * scale
+		},
+		UseScaling: true,
+	}
+}
+
+// ExecuteQuantized runs the configured plan with the given storage format.
+// x and dy are float32 tensors whose values are quantized on load (a
+// pre-quantized tensor passes through unchanged because Round is
+// idempotent). The result is FP32, like the FP16 path.
+func ExecuteQuantized(cfg *Config, x, dy *tensor.Float32, q Quantizer) *tensor.Float32 {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: ExecuteQuantized operand shape mismatch")
+	}
+	if q.Round == nil {
+		panic("core: ExecuteQuantized requires a Round function")
+	}
+	buckets := makeBuckets(cfg)
+	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+		segmentTileQuantized(p, seg, fh, j, x, dy, buckets[si], q)
+	})
+	return reduceBuckets(cfg, buckets)
+}
+
+// BackwardFilterQuantized is the one-call quantized path.
+func BackwardFilterQuantized(p conv.Params, x, dy *tensor.Float32, q Quantizer, opts ...Option) (*tensor.Float32, error) {
+	cfg, err := Configure(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteQuantized(cfg, x, dy, q), nil
+}
+
+// segmentTileQuantized mirrors segmentTileHalf for an arbitrary storage
+// format: gather → quantize → FP32 transform → quantize ("SMEM storage in
+// the format") → FP32-accumulated EWM → FP32 output transform.
+func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
+	x, dy *tensor.Float32, bucket []float32, q Quantizer) {
+	k := seg.K
+	tr := k.Transform()
+	bal := tr.Balanced()
+	gMat, dMat, aMat := bal.G, bal.D, bal.A
+	if q.UseScaling && tr.Alpha >= 16 {
+		sc := tr.Scaled()
+		gMat, dMat, aMat = sc.G, sc.D, sc.A
+	}
+	gPlan, dtPlan := winograd.PanelPlansFor(gMat, dMat)
+	n, r, alpha := tr.N, tr.R, tr.Alpha
+	oc, ic := p.OC, p.IC
+
+	v := make([]float32, alpha*oc*ic)
+	wRaw := make([]float32, r*oc)
+	wHat := make([]float32, alpha*oc)
+	xRaw := make([]float32, alpha*ic)
+	xHat := make([]float32, alpha*ic)
+	colBase := j * n
+
+	for oh := seg.Row0; oh < seg.Row1; oh++ {
+		ih := oh + fh - p.PH
+		if ih < 0 || ih >= p.IH {
+			continue // height-axis clipping
+		}
+		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
+			for nb := 0; nb < p.N; nb++ {
+				for u := 0; u < r; u++ {
+					base := dy.Shape.Index(nb, oh, ow0+u, 0)
+					dst := wRaw[u*oc : (u+1)*oc]
+					for c := 0; c < oc; c++ {
+						dst[c] = q.Round(dy.Data[base+c])
+					}
+				}
+				gPlan.MulPanel(wRaw, wHat, r, oc)
+				quantizeSlice(wHat, q)
+				for u := 0; u < alpha; u++ {
+					iw := ow0 + colBase + u - p.PW
+					dst := xRaw[u*ic : (u+1)*ic]
+					if iw < 0 || iw >= p.IW {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					base := x.Shape.Index(nb, ih, iw, 0)
+					for c := 0; c < ic; c++ {
+						dst[c] = q.Round(x.Data[base+c])
+					}
+				}
+				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
+				quantizeSlice(xHat, q)
+				for e := 0; e < alpha; e++ {
+					we := wHat[e*oc : (e+1)*oc]
+					xe := xHat[e*ic : (e+1)*ic]
+					ve := v[e*oc*ic : (e+1)*oc*ic]
+					for a, wv := range we {
+						if wv == 0 {
+							continue
+						}
+						row := ve[a*ic : (a+1)*ic]
+						for b, xv := range xe {
+							row[b] += wv * xv
+						}
+					}
+				}
+			}
+		}
+	}
+	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, nil)
+}
+
+func quantizeSlice(vs []float32, q Quantizer) {
+	for i, v := range vs {
+		vs[i] = q.Round(v)
+	}
+}

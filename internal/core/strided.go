@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+// BackwardFilterStrided extends WinRS to strided convolutions by phase
+// decimation. Writing the filter coordinates as f_h = s_H·m_h + q_h and
+// f_w = s_W·m_w + q_w, the strided gradient factors into s_H·s_W
+// independent *stride-1* BFC problems over phase-decimated inputs:
+//
+//	∇W[s_H·m_h+q_h, s_W·m_w+q_w] = Σ_{oh,ow} X_q[oh+m_h, ow+m_w]·∇Y[oh,ow]
+//	X_q[a, b] = X[s_H·a + q_h − p_H, s_W·b + q_w − p_W]   (0 outside)
+//
+// Each phase runs the full stride-1 WinRS pipeline (configuration
+// adaptation, reduce-split, segmentation, Kahan reduction) on the
+// decimated input, and the per-phase gradients interleave back into ∇W.
+// Stride 1 short-circuits to the standard path. The same decimation is the
+// stride-2 Winograd decomposition of the paper's related work ([16], [20]).
+func BackwardFilterStrided(p conv.StridedParams, x, dy *tensor.Float32, opts ...Option) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		return nil, fmt.Errorf("core: BackwardFilterStrided operand shapes %v/%v, want %v/%v",
+			x.Shape, dy.Shape, p.XShape(), p.DYShape())
+	}
+	if unit, ok := p.Unit(); ok {
+		return BackwardFilter(unit, x, dy, opts...)
+	}
+	sh, sw := p.StrideH(), p.StrideW()
+	dw := tensor.NewFloat32(p.DWShape())
+
+	for qh := 0; qh < sh && qh < p.FH; qh++ {
+		for qw := 0; qw < sw && qw < p.FW; qw++ {
+			// The decimated stride-1 problem: padding is folded into the
+			// decimated gather, so the phase problem is padding-free.
+			pq, fqh, fqw := phaseGeometry(p, qh, qw)
+			if err := pq.Validate(); err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d) geometry: %w", qh, qw, err)
+			}
+			xq := gatherPhaseInput(p, pq, x, qh, qw)
+			dwq, err := BackwardFilter(pq, xq, dy, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			// Interleave the phase gradient back: ∇W[s·m+q] = ∇W_q[m].
+			for oc := 0; oc < p.OC; oc++ {
+				for mh := 0; mh < fqh; mh++ {
+					for mw := 0; mw < fqw; mw++ {
+						src := dwq.Shape.Index(oc, mh, mw, 0)
+						dst := dw.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
+						copy(dw.Data[dst:dst+p.IC], dwq.Data[src:src+p.IC])
+					}
+				}
+			}
+		}
+	}
+	return dw, nil
+}
+
+// phaseGeometry returns the stride-1 problem of phase (qh, qw) and its
+// decimated filter tap counts.
+func phaseGeometry(p conv.StridedParams, qh, qw int) (conv.Params, int, int) {
+	sh, sw := p.StrideH(), p.StrideW()
+	fqh := ceilDiv(p.FH-qh, sh)
+	fqw := ceilDiv(p.FW-qw, sw)
+	pq := conv.Params{
+		N:  p.N,
+		IH: p.OH() + fqh - 1, IW: p.OW() + fqw - 1,
+		FH: fqh, FW: fqw,
+		IC: p.IC, OC: p.OC,
+	}
+	return pq, fqh, fqw
+}
+
+// gatherPhaseInput materializes X_q: the stride-decimated input plane with
+// the original zero padding folded in.
+func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, qh, qw int) *tensor.Float32 {
+	sh, sw := p.StrideH(), p.StrideW()
+	xq := tensor.NewFloat32(pq.XShape())
+	for n := 0; n < p.N; n++ {
+		for a := 0; a < pq.IH; a++ {
+			ih := sh*a + qh - p.PH
+			if ih < 0 || ih >= p.IH {
+				continue
+			}
+			for b := 0; b < pq.IW; b++ {
+				iw := sw*b + qw - p.PW
+				if iw < 0 || iw >= p.IW {
+					continue
+				}
+				src := x.Shape.Index(n, ih, iw, 0)
+				dst := xq.Shape.Index(n, a, b, 0)
+				copy(xq.Data[dst:dst+p.IC], x.Data[src:src+p.IC])
+			}
+		}
+	}
+	return xq
+}
+
+// decimateFilter extracts W_q[oc, m_h, m_w, ic] = W[oc, s·m_h+q_h, s·m_w+q_w, ic].
+func decimateFilter(p conv.StridedParams, pq conv.Params, w *tensor.Float32, qh, qw int) *tensor.Float32 {
+	sh, sw := p.StrideH(), p.StrideW()
+	wq := tensor.NewFloat32(pq.DWShape())
+	for oc := 0; oc < p.OC; oc++ {
+		for mh := 0; mh < pq.FH; mh++ {
+			for mw := 0; mw < pq.FW; mw++ {
+				src := w.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
+				dst := wq.Shape.Index(oc, mh, mw, 0)
+				copy(wq.Data[dst:dst+p.IC], w.Data[src:src+p.IC])
+			}
+		}
+	}
+	return wq
+}
+
+// ForwardStrided computes the strided forward convolution as the phase sum
+// of stride-1 fused-Winograd forward passes over decimated inputs and
+// filters — the forward counterpart of BackwardFilterStrided.
+func ForwardStrided(p conv.StridedParams, x, w *tensor.Float32) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Shape != p.XShape() || w.Shape != p.DWShape() {
+		return nil, fmt.Errorf("core: ForwardStrided operand shapes %v/%v", x.Shape, w.Shape)
+	}
+	if unit, ok := p.Unit(); ok {
+		return Forward(unit, x, w)
+	}
+	sh, sw := p.StrideH(), p.StrideW()
+	y := tensor.NewFloat32(p.DYShape())
+	for qh := 0; qh < sh && qh < p.FH; qh++ {
+		for qw := 0; qw < sw && qw < p.FW; qw++ {
+			pq, _, _ := phaseGeometry(p, qh, qw)
+			if err := pq.Validate(); err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			xq := gatherPhaseInput(p, pq, x, qh, qw)
+			wq := decimateFilter(p, pq, w, qh, qw)
+			yq, err := Forward(pq, xq, wq)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			for i, v := range yq.Data {
+				y.Data[i] += v
+			}
+		}
+	}
+	return y, nil
+}
+
+// BackwardDataStrided computes the input gradient of a strided convolution:
+// per phase, the stride-1 data gradient with the decimated filter lands on
+// the phase's (disjoint) decimation sites of ∇X.
+func BackwardDataStrided(p conv.StridedParams, dy, w *tensor.Float32) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if dy.Shape != p.DYShape() || w.Shape != p.DWShape() {
+		return nil, fmt.Errorf("core: BackwardDataStrided operand shapes %v/%v", dy.Shape, w.Shape)
+	}
+	if unit, ok := p.Unit(); ok {
+		return BackwardData(unit, dy, w)
+	}
+	sh, sw := p.StrideH(), p.StrideW()
+	dx := tensor.NewFloat32(p.XShape())
+	for qh := 0; qh < sh && qh < p.FH; qh++ {
+		for qw := 0; qw < sw && qw < p.FW; qw++ {
+			pq, _, _ := phaseGeometry(p, qh, qw)
+			if err := pq.Validate(); err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			wq := decimateFilter(p, pq, w, qh, qw)
+			dxq, err := BackwardData(pq, dy, wq)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			// Scatter onto the phase's decimation sites (disjoint across
+			// phases: ih + p_H ≡ q_h mod s_H uniquely determines the phase).
+			for n := 0; n < p.N; n++ {
+				for a := 0; a < pq.IH; a++ {
+					ih := sh*a + qh - p.PH
+					if ih < 0 || ih >= p.IH {
+						continue
+					}
+					for b := 0; b < pq.IW; b++ {
+						iw := sw*b + qw - p.PW
+						if iw < 0 || iw >= p.IW {
+							continue
+						}
+						src := dxq.Shape.Index(n, a, b, 0)
+						dst := dx.Shape.Index(n, ih, iw, 0)
+						copy(dx.Data[dst:dst+p.IC], dxq.Data[src:src+p.IC])
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// BackwardFilterStridedHalf is the FP16 Tensor-Core variant of
+// BackwardFilterStrided: each phase's decimated input is gathered in
+// binary16 and runs the stride-1 FP16 pipeline (mixed-precision transforms,
+// FP32 accumulation, scaling matrices for α = 16).
+func BackwardFilterStridedHalf(p conv.StridedParams, x, dy *tensor.Half, opts ...Option) (*tensor.Float32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		return nil, fmt.Errorf("core: BackwardFilterStridedHalf operand shapes %v/%v",
+			x.Shape, dy.Shape)
+	}
+	if unit, ok := p.Unit(); ok {
+		return BackwardFilterHalf(unit, x, dy, opts...)
+	}
+	opts = append(opts, WithFP16())
+	sh, sw := p.StrideH(), p.StrideW()
+	dw := tensor.NewFloat32(p.DWShape())
+	for qh := 0; qh < sh && qh < p.FH; qh++ {
+		for qw := 0; qw < sw && qw < p.FW; qw++ {
+			pq, fqh, fqw := phaseGeometry(p, qh, qw)
+			if err := pq.Validate(); err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d) geometry: %w", qh, qw, err)
+			}
+			xq := tensor.NewHalf(pq.XShape())
+			for n := 0; n < p.N; n++ {
+				for a := 0; a < pq.IH; a++ {
+					ih := sh*a + qh - p.PH
+					if ih < 0 || ih >= p.IH {
+						continue
+					}
+					for b := 0; b < pq.IW; b++ {
+						iw := sw*b + qw - p.PW
+						if iw < 0 || iw >= p.IW {
+							continue
+						}
+						src := x.Shape.Index(n, ih, iw, 0)
+						dst := xq.Shape.Index(n, a, b, 0)
+						copy(xq.Data[dst:dst+p.IC], x.Data[src:src+p.IC])
+					}
+				}
+			}
+			dwq, err := BackwardFilterHalf(pq, xq, dy, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
+			}
+			for oc := 0; oc < p.OC; oc++ {
+				for mh := 0; mh < fqh; mh++ {
+					for mw := 0; mw < fqw; mw++ {
+						src := dwq.Shape.Index(oc, mh, mw, 0)
+						dst := dw.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
+						copy(dw.Data[dst:dst+p.IC], dwq.Data[src:src+p.IC])
+					}
+				}
+			}
+		}
+	}
+	return dw, nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func stridedCase(rng *rand.Rand, p conv.StridedParams) (*tensor.Float32, *tensor.Float32, *tensor.Float64) {
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilterStridedDirect64(p, x64, dy64)
+	return x64.ToFloat32(), dy64.ToFloat32(), want
+}
+
+// Phase-decimated WinRS must match the strided direct reference across
+// strides, filter sizes and paddings.
+func TestBackwardFilterStridedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cases := []conv.StridedParams{
+		{N: 2, IH: 16, IW: 16, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1, SH: 2, SW: 2},
+		{N: 1, IH: 17, IW: 19, FH: 5, FW: 5, IC: 2, OC: 3, PH: 2, PW: 2, SH: 2, SW: 2},
+		{N: 1, IH: 15, IW: 15, FH: 3, FW: 3, IC: 2, OC: 2, SH: 2, SW: 2}, // no padding
+		{N: 1, IH: 20, IW: 20, FH: 7, FW: 7, IC: 2, OC: 2, PH: 3, PW: 3, SH: 2, SW: 2},
+		{N: 1, IH: 18, IW: 18, FH: 4, FW: 4, IC: 2, OC: 2, PH: 1, PW: 1, SH: 3, SW: 3},
+		{N: 1, IH: 16, IW: 20, FH: 3, FW: 5, IC: 2, OC: 2, PH: 1, PW: 2, SH: 2, SW: 3}, // mixed strides
+		{N: 1, IH: 12, IW: 12, FH: 2, FW: 2, IC: 2, OC: 2, SH: 2, SW: 2},               // patchify (ViT-style)
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		x, dy, want := stridedCase(rng, p)
+		got, err := BackwardFilterStrided(p, x, dy)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if m := tensor.MARE(got, want); m > 1e-5 {
+			t.Errorf("%+v: MARE %v", p, m)
+		}
+	}
+}
+
+// Stride 1 must short-circuit to the standard path bit-for-bit.
+func TestBackwardFilterStridedUnitStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	ps := conv.StridedParams{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2,
+		PH: 1, PW: 1, SH: 1, SW: 1}
+	x, dy, _ := stridedCase(rng, ps)
+	got, err := BackwardFilterStrided(ps, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, ok := ps.Unit()
+	if !ok {
+		t.Fatal("Unit() should succeed at stride 1")
+	}
+	ref, err := BackwardFilter(unit, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("stride-1 short circuit diverged at %d", i)
+		}
+	}
+}
+
+// Strides larger than the filter leave high-phase taps untouched: every
+// tap must still be covered exactly once by the phase interleave.
+func TestBackwardFilterStridedLargeStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	p := conv.StridedParams{N: 1, IH: 13, IW: 13, FH: 2, FW: 2, IC: 2, OC: 2,
+		SH: 4, SW: 4}
+	x, dy, want := stridedCase(rng, p)
+	got, err := BackwardFilterStrided(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tensor.MARE(got, want); m > 1e-5 {
+		t.Errorf("MARE %v", m)
+	}
+}
+
+func TestStridedParamsGeometry(t *testing.T) {
+	p := conv.StridedParams{N: 1, IH: 224, IW: 224, FH: 7, FW: 7, IC: 3, OC: 64,
+		PH: 3, PW: 3, SH: 2, SW: 2}
+	// The ResNet stem: 224 -> 112.
+	if p.OH() != 112 || p.OW() != 112 {
+		t.Errorf("ResNet stem output %dx%d, want 112x112", p.OH(), p.OW())
+	}
+	if p.StrideH() != 2 || (conv.StridedParams{}).StrideH() != 1 {
+		t.Error("stride defaulting wrong")
+	}
+	bad := conv.StridedParams{N: 1, IH: 2, IW: 2, FH: 5, FW: 5, IC: 1, OC: 1}
+	if bad.Validate() == nil {
+		t.Error("filter larger than input must be invalid")
+	}
+}
+
+func TestBackwardFilterStridedShapeErrors(t *testing.T) {
+	p := conv.StridedParams{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 1, OC: 1,
+		SH: 2, SW: 2}
+	wrong := tensor.NewFloat32(tensor.Shape{N: 1, H: 7, W: 8, C: 1})
+	if _, err := BackwardFilterStrided(p, wrong, tensor.NewFloat32(p.DYShape())); err == nil {
+		t.Error("expected shape error")
+	}
+	if _, err := BackwardFilterStrided(conv.StridedParams{}, nil, nil); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+// The ResNet downsampling layer, end to end at reduced size.
+func TestBackwardFilterStridedResNetStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	p := conv.StridedParams{N: 2, IH: 28, IW: 28, FH: 3, FW: 3, IC: 4, OC: 8,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	x, dy, want := stridedCase(rng, p)
+	got, err := BackwardFilterStrided(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tensor.MARE(got, want); m > 1e-5 {
+		t.Errorf("MARE %v", m)
+	}
+}
+
+// The strided forward pass (phase sum of fused-Winograd forwards) must
+// match the direct strided reference.
+func TestForwardStridedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for _, p := range []conv.StridedParams{
+		{N: 2, IH: 16, IW: 16, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1, SH: 2, SW: 2},
+		{N: 1, IH: 15, IW: 17, FH: 5, FW: 5, IC: 2, OC: 2, PH: 2, PW: 2, SH: 2, SW: 2},
+		{N: 1, IH: 14, IW: 14, FH: 7, FW: 7, IC: 2, OC: 2, PH: 3, PW: 3, SH: 2, SW: 2},
+		{N: 1, IH: 13, IW: 16, FH: 3, FW: 4, IC: 2, OC: 2, PH: 1, PW: 1, SH: 3, SW: 2},
+		{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1, SH: 1, SW: 1},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		x64 := tensor.NewFloat64(p.XShape())
+		w64 := tensor.NewFloat64(p.DWShape())
+		for i := range x64.Data {
+			x64.Data[i] = rng.Float64()*2 - 1
+		}
+		for i := range w64.Data {
+			w64.Data[i] = rng.Float64()*2 - 1
+		}
+		want := conv.ForwardStridedDirect64(p, x64, w64)
+		got, err := ForwardStrided(p, x64.ToFloat32(), w64.ToFloat32())
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if m := tensor.MARE(got, want.ToFloat32().ToFloat64()); m > 1e-4 {
+			t.Errorf("%+v: MARE %v", p, m)
+		}
+	}
+}
+
+// BackwardDataStrided must be the true gradient of the strided forward
+// pass (finite-difference check through the direct reference).
+func TestBackwardDataStridedGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	p := conv.StridedParams{N: 1, IH: 9, IW: 9, FH: 3, FW: 3, IC: 2, OC: 2,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	x64 := tensor.NewFloat64(p.XShape())
+	w64 := tensor.NewFloat64(p.DWShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()*2 - 1
+	}
+	for i := range w64.Data {
+		w64.Data[i] = rng.Float64()*2 - 1
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()*2 - 1
+	}
+	dx, err := BackwardDataStrided(p, dy64.ToFloat32(), w64.ToFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := func(xt *tensor.Float64) float64 {
+		y := conv.ForwardStridedDirect64(p, xt, w64)
+		var s float64
+		for i := range y.Data {
+			s += y.Data[i] * dy64.Data[i]
+		}
+		return s
+	}
+	const eps = 1e-6
+	for _, idx := range []int{0, 17, 40, len(x64.Data) - 1} {
+		xp := tensor.NewFloat64(p.XShape())
+		copy(xp.Data, x64.Data)
+		xp.Data[idx] += eps
+		xm := tensor.NewFloat64(p.XShape())
+		copy(xm.Data, x64.Data)
+		xm.Data[idx] -= eps
+		numeric := (dot(xp) - dot(xm)) / (2 * eps)
+		if d := numeric - float64(dx.Data[idx]); d > 1e-3 || d < -1e-3 {
+			t.Errorf("grad check idx %d: numeric %v vs strided BDC %v",
+				idx, numeric, dx.Data[idx])
+		}
+	}
+}
+
+// A full strided layer step must be self-consistent: descending X along
+// BackwardDataStrided reduces the quadratic loss through ForwardStrided.
+func TestStridedLayerDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	p := conv.StridedParams{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	x := tensor.NewFloat32(p.XShape())
+	w := tensor.NewFloat32(p.DWShape())
+	target := tensor.NewFloat32(p.DYShape())
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -0.5, 0.5)
+	target.FillUniform(rng, -1, 1)
+	loss := func() (float64, *tensor.Float32) {
+		y, err := ForwardStrided(p, x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		g := tensor.NewFloat32(p.DYShape())
+		for i := range y.Data {
+			d := y.Data[i] - target.Data[i]
+			s += 0.5 * float64(d) * float64(d)
+			g.Data[i] = d
+		}
+		return s, g
+	}
+	before, g := loss()
+	dx, err := BackwardDataStrided(p, g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data {
+		x.Data[i] -= 0.1 * dx.Data[i]
+	}
+	if after, _ := loss(); after >= before {
+		t.Errorf("descent failed: %v -> %v", before, after)
+	}
+}
+
+// The FP16 strided path must stay in the FP16 accuracy band against the
+// quantized-input ground truth.
+func TestBackwardFilterStridedHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	p := conv.StridedParams{N: 2, IH: 16, IW: 16, FH: 3, FW: 3, IC: 3, OC: 3,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64() * 0.01
+	}
+	xh := x64.ToFloat32().ToHalf()
+	dyh := dy64.ToFloat32().ToHalf()
+	// Ground truth from the quantized operands.
+	want := conv.BackwardFilterStridedDirect64(p,
+		xh.ToFloat32().ToFloat64(), dyh.ToFloat32().ToFloat64())
+	got, err := BackwardFilterStridedHalf(p, xh, dyh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tensor.MARE(got, want); m > 5e-3 {
+		t.Errorf("FP16 strided MARE %v", m)
+	}
+	// Stride-1 short circuit.
+	p1 := conv.StridedParams{N: 1, IH: 10, IW: 10, FH: 3, FW: 3, IC: 2, OC: 2,
+		PH: 1, PW: 1}
+	xh1 := tensor.NewHalf(p1.XShape())
+	dyh1 := tensor.NewHalf(p1.DYShape())
+	if _, err := BackwardFilterStridedHalf(p1, xh1, dyh1); err != nil {
+		t.Errorf("stride-1 FP16 short circuit failed: %v", err)
+	}
+}

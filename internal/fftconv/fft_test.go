@@ -1,0 +1,259 @@
+package fftconv
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 17: 32, 224: 256, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxCDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randComplex(n, rng)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		want := naiveDFT(x, false)
+		if d := maxCDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128, 1024} {
+		x := randComplex(n, rng)
+		y := make([]complex128, n)
+		copy(y, x)
+		FFT(y)
+		IFFT(y)
+		if d := maxCDiff(x, y); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip diff %v", n, d)
+		}
+	}
+}
+
+func TestFFTNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for length 6")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+// Bluestein path: arbitrary lengths against the naive DFT.
+func TestFFTAnyArbitraryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 3, 5, 6, 7, 12, 15, 17, 100, 224} {
+		x := randComplex(n, rng)
+		got := FFTAny(x)
+		want := naiveDFT(x, false)
+		if d := maxCDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("FFTAny n=%d: max diff %v", n, d)
+		}
+		back := IFFTAny(got)
+		if d := maxCDiff(back, x); d > 1e-8*float64(n) {
+			t.Errorf("IFFTAny n=%d: round trip diff %v", n, d)
+		}
+	}
+}
+
+// Parseval: energy preserved (with 1/N on inverse convention, forward grows
+// by N).
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 256
+	x := randComplex(n, rng)
+	var eTime float64
+	for _, v := range x {
+		eTime += real(v)*real(v) + imag(v)*imag(v)
+	}
+	y := make([]complex128, n)
+	copy(y, x)
+	FFT(y)
+	var eFreq float64
+	for _, v := range y {
+		eFreq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(eFreq/float64(n)-eTime) > 1e-8*eTime {
+		t.Errorf("Parseval violated: time %v, freq/N %v", eTime, eFreq/float64(n))
+	}
+}
+
+func TestFFT2DRoundTripAndImpulse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows, cols := 8, 16
+	x := randComplex(rows*cols, rng)
+	y := make([]complex128, len(x))
+	copy(y, x)
+	FFT2D(y, rows, cols)
+	IFFT2D(y, rows, cols)
+	if d := maxCDiff(x, y); d > 1e-10*float64(rows*cols) {
+		t.Errorf("2D round trip diff %v", d)
+	}
+	// Impulse at origin transforms to all-ones.
+	imp := make([]complex128, rows*cols)
+	imp[0] = 1
+	FFT2D(imp, rows, cols)
+	for i, v := range imp {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestBackwardFilterMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 6; trial++ {
+		p := conv.Params{
+			N:  1 + rng.Intn(3),
+			IH: 5 + rng.Intn(10),
+			IW: 5 + rng.Intn(10),
+			FH: 1 + rng.Intn(4),
+			FW: 1 + rng.Intn(4),
+			IC: 1 + rng.Intn(3),
+			OC: 1 + rng.Intn(3),
+			PH: rng.Intn(2),
+			PW: rng.Intn(2),
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		x64 := tensor.NewFloat64(p.XShape())
+		dy64 := tensor.NewFloat64(p.DYShape())
+		for i := range x64.Data {
+			x64.Data[i] = rng.Float64()*2 - 1
+		}
+		for i := range dy64.Data {
+			dy64.Data[i] = rng.Float64()*2 - 1
+		}
+		want := conv.BackwardFilterDirect64(p, x64, dy64)
+		got := BackwardFilter(p, x64.ToFloat32(), dy64.ToFloat32())
+		if m := tensor.MARE(got, want); m > 1e-5 {
+			t.Errorf("trial %d %v: MARE %v", trial, p, m)
+		}
+	}
+}
+
+// FFT BFC accuracy on uniform [0,1) inputs should be in the Cu-FFT band
+// (~1e-7 or better), clearly better than a long sequential float32 sum.
+func TestBackwardFilterAccuracyBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := conv.Params{N: 4, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilterDirect64(p, x64, dy64)
+	got := BackwardFilter(p, x64.ToFloat32(), dy64.ToFloat32())
+	if m := tensor.MARE(got, want); m > 5e-7 {
+		t.Errorf("MARE %v, want Cu-FFT band (<5e-7)", m)
+	}
+}
+
+// Workspace model: the fbfft layout and its explosive growth for small
+// channels / large features (the paper's Observation 1 driver).
+func TestModelWorkspace(t *testing.T) {
+	p := conv.Params{N: 32, IH: 56, IW: 56, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1}
+	lh, lw := NextPow2(58), NextPow2(58) // 64x64
+	want := int64(32*64+32*64+64*64) * int64(lh*lw) * 8
+	if got := ModelWorkspace(p); got != want {
+		t.Errorf("ModelWorkspace = %d, want %d", got, want)
+	}
+	// The workspace must be several times the data size (paper: ≥3.11×).
+	if ratio := float64(ModelWorkspace(p)) / float64(p.DataBytes32()); ratio < 3 {
+		t.Errorf("FFT workspace ratio %v, expected >3x data size", ratio)
+	}
+}
+
+func TestBackwardFilterShapeMismatchPanics(t *testing.T) {
+	p := conv.Params{N: 1, IH: 4, IW: 4, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BackwardFilter(p, tensor.NewFloat32(tensor.Shape{N: 1, H: 3, W: 4, C: 1}),
+		tensor.NewFloat32(p.DYShape()))
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(1024, rng)
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+func BenchmarkBackwardFilterFFT(b *testing.B) {
+	p := conv.Params{N: 2, IH: 32, IW: 32, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewFloat32(p.XShape())
+	dy := tensor.NewFloat32(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	b.SetBytes(p.DataBytes32())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BackwardFilter(p, x, dy)
+	}
+}

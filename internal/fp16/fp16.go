@@ -1,0 +1,218 @@
+// Package fp16 implements IEEE 754 binary16 ("half precision") arithmetic in
+// software.
+//
+// The package exists because WinRS's FP16 Tensor-Core kernels must be
+// reproduced without GPU hardware. Values are stored as uint16 bit patterns
+// and every arithmetic operation is performed in float32 and then rounded
+// back to binary16 with round-to-nearest-even, which matches the per-operation
+// rounding behaviour of native FP16 ALUs. Dot products offered by this
+// package accumulate in float32, matching the MMA (m16n8k8) semantics of
+// NVIDIA Tensor Cores that the paper's FP16 kernels rely on.
+package fp16
+
+import "math"
+
+// Bits is an IEEE 754 binary16 value stored as its raw bit pattern.
+type Bits uint16
+
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	fracMask     = 0x03FF
+	expBias      = 15
+	infBits      = Bits(expMask)
+	negInfBits   = Bits(signMask | expMask)
+	nanBits      = Bits(expMask | 0x0200)
+	maxFiniteF32 = 65504.0 // largest finite binary16 value
+)
+
+// PositiveInfinity returns the binary16 +Inf pattern.
+func PositiveInfinity() Bits { return infBits }
+
+// NegativeInfinity returns the binary16 -Inf pattern.
+func NegativeInfinity() Bits { return negInfBits }
+
+// NaN returns a quiet binary16 NaN pattern.
+func NaN() Bits { return nanBits }
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// overflowing to ±Inf and flushing tiny values to (sub)normals as IEEE
+// requires.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			return Bits(sign | expMask | 0x0200 | uint16(frac>>13))
+		}
+		return Bits(sign | expMask)
+	case exp == 0 && frac == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow to infinity
+		return Bits(sign | expMask)
+	case e >= -14: // normal binary16 range
+		// 10-bit mantissa; keep 13 dropped bits for rounding.
+		he := uint16(e+expBias) << 10
+		hf := uint16(frac >> 13)
+		rem := frac & 0x1FFF
+		half := uint32(0x1000)
+		if rem > half || (rem == half && hf&1 == 1) {
+			// Round up; carry may bump the exponent, which the bit layout
+			// handles naturally (mantissa overflow increments exponent).
+			return Bits(sign|he|hf) + 1
+		}
+		return Bits(sign | he | hf)
+	case e >= -25: // subnormal binary16 range
+		// Implicit leading 1 becomes explicit. The 24-bit significand
+		// represents sig·2^(e-23); the target subnormal unit is 2^-24,
+		// so the subnormal mantissa is round(sig·2^(e+1)) = sig >> (-e-1).
+		frac |= 0x800000
+		shift := uint32(-e - 1)
+		hf := uint16(frac >> shift)
+		rem := frac & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && hf&1 == 1) {
+			hf++
+		}
+		return Bits(sign | hf)
+	default: // underflow to signed zero
+		return Bits(sign)
+	}
+}
+
+// ToFloat32 converts a binary16 bit pattern to float32 exactly (binary16 is
+// a subset of float32, so no rounding occurs).
+func ToFloat32(h Bits) float32 {
+	sign := uint32(h&signMask) << 16
+	exp := uint32(h&expMask) >> 10
+	frac := uint32(h & fracMask)
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into float32 representation.
+		e := int32(-14)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | uint32(e+127)<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp-expBias+127)<<23 | frac<<13)
+	}
+}
+
+// FromFloat64 converts a float64 to binary16 via float32 (double rounding is
+// harmless here because float32 has more than twice the binary16 precision).
+func FromFloat64(f float64) Bits { return FromFloat32(float32(f)) }
+
+// ToFloat64 converts a binary16 bit pattern to float64 exactly.
+func ToFloat64(h Bits) float64 { return float64(ToFloat32(h)) }
+
+// IsNaN reports whether h is a NaN pattern.
+func IsNaN(h Bits) bool { return h&expMask == expMask && h&fracMask != 0 }
+
+// IsInf reports whether h is +Inf (sign > 0), -Inf (sign < 0) or either
+// (sign == 0).
+func IsInf(h Bits, sign int) bool {
+	if h&expMask != expMask || h&fracMask != 0 {
+		return false
+	}
+	switch {
+	case sign > 0:
+		return h&signMask == 0
+	case sign < 0:
+		return h&signMask != 0
+	default:
+		return true
+	}
+}
+
+// IsFinite reports whether h encodes a finite value.
+func IsFinite(h Bits) bool { return h&expMask != expMask }
+
+// MaxValue returns the largest finite binary16 value as float32 (65504).
+func MaxValue() float32 { return maxFiniteF32 }
+
+// Add returns RN16(a+b): the binary16 result of adding two halves with a
+// single rounding, emulating a native FP16 adder.
+func Add(a, b Bits) Bits { return FromFloat32(ToFloat32(a) + ToFloat32(b)) }
+
+// Sub returns RN16(a-b).
+func Sub(a, b Bits) Bits { return FromFloat32(ToFloat32(a) - ToFloat32(b)) }
+
+// Mul returns RN16(a*b).
+func Mul(a, b Bits) Bits { return FromFloat32(ToFloat32(a) * ToFloat32(b)) }
+
+// Div returns RN16(a/b).
+func Div(a, b Bits) Bits { return FromFloat32(ToFloat32(a) / ToFloat32(b)) }
+
+// Neg flips the sign bit.
+func Neg(a Bits) Bits { return a ^ signMask }
+
+// FMA returns RN16(a*b+c) with the product and sum computed in float32
+// before the single final rounding, as an FP16 fused multiply-add does.
+func FMA(a, b, c Bits) Bits {
+	return FromFloat32(ToFloat32(a)*ToFloat32(b) + ToFloat32(c))
+}
+
+// DotF32Acc computes the dot product of two binary16 vectors with float32
+// accumulation and returns the float32 accumulator. This is the Tensor-Core
+// MMA contract: FP16 inputs, FP32 products and accumulation.
+func DotF32Acc(a, b []Bits) float32 {
+	if len(a) != len(b) {
+		panic("fp16: DotF32Acc length mismatch")
+	}
+	var acc float32
+	for i := range a {
+		acc += ToFloat32(a[i]) * ToFloat32(b[i])
+	}
+	return acc
+}
+
+// DotF16Acc computes the dot product with binary16 accumulation (every
+// partial sum rounded to half), modelling pure-FP16 accumulation. It exists
+// so tests and benchmarks can contrast FP32-accumulate against the lossier
+// mode the paper avoids.
+func DotF16Acc(a, b []Bits) Bits {
+	if len(a) != len(b) {
+		panic("fp16: DotF16Acc length mismatch")
+	}
+	var acc Bits
+	for i := range a {
+		acc = FMA(a[i], b[i], acc)
+	}
+	return acc
+}
+
+// SliceFromFloat32 converts src into a freshly allocated binary16 slice.
+func SliceFromFloat32(src []float32) []Bits {
+	dst := make([]Bits, len(src))
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// SliceToFloat32 converts src into a freshly allocated float32 slice.
+func SliceToFloat32(src []Bits) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = ToFloat32(v)
+	}
+	return dst
+}

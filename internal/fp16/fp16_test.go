@@ -1,0 +1,251 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // max finite
+		{-65504, 0xFBFF},                // min finite
+		{6.103515625e-05, 0x0400},       // smallest normal 2^-14
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal 2^-24
+		{0.333251953125, 0x3555},        // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := ToFloat32(c.bits); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	if !IsInf(FromFloat32(float32(math.Inf(1))), 1) {
+		t.Error("+Inf should convert to +Inf")
+	}
+	if !IsInf(FromFloat32(float32(math.Inf(-1))), -1) {
+		t.Error("-Inf should convert to -Inf")
+	}
+	if !IsNaN(FromFloat32(float32(math.NaN()))) {
+		t.Error("NaN should convert to NaN")
+	}
+	if !math.IsNaN(ToFloat64(NaN())) {
+		t.Error("NaN bits should decode to NaN")
+	}
+	if !math.IsInf(ToFloat64(PositiveInfinity()), 1) {
+		t.Error("+Inf bits should decode to +Inf")
+	}
+	if !math.IsInf(ToFloat64(NegativeInfinity()), -1) {
+		t.Error("-Inf bits should decode to -Inf")
+	}
+	if IsFinite(PositiveInfinity()) || IsFinite(NaN()) {
+		t.Error("Inf/NaN must not be finite")
+	}
+	if !IsFinite(FromFloat32(1.5)) {
+		t.Error("1.5 must be finite")
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(65520); !IsInf(got, 1) {
+		// 65520 rounds up past max finite (65504 + half-ULP boundary).
+		t.Errorf("FromFloat32(65520) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(65519.99); IsInf(got, 1) {
+		t.Errorf("FromFloat32(65519.99) overflowed, want max finite rounding")
+	}
+	if got := FromFloat32(-1e6); !IsInf(got, -1) {
+		t.Errorf("FromFloat32(-1e6) = %#04x, want -Inf", got)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	tiny := float32(1e-9) // below half subnormal range
+	got := FromFloat32(tiny)
+	if got != 0 {
+		t.Errorf("FromFloat32(%v) = %#04x, want +0", tiny, got)
+	}
+	got = FromFloat32(-tiny)
+	if got != 0x8000 {
+		t.Errorf("FromFloat32(%v) = %#04x, want -0", -tiny, got)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 2048 is exactly representable; 2049 is exactly halfway between 2048
+	// and 2050 in binary16 (ULP = 2 at this magnitude) and must round to
+	// the even mantissa, i.e. 2048.
+	if got := ToFloat32(FromFloat32(2049)); got != 2048 {
+		t.Errorf("RNE(2049) = %v, want 2048", got)
+	}
+	// 2051 is halfway between 2050 and 2052; even neighbour is 2052.
+	if got := ToFloat32(FromFloat32(2051)); got != 2052 {
+		t.Errorf("RNE(2051) = %v, want 2052", got)
+	}
+}
+
+// Round-trip: every binary16 bit pattern must survive conversion to float32
+// and back unchanged (modulo NaN payload canonicalisation).
+func TestRoundTripAllPatterns(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := Bits(i)
+		if IsNaN(h) {
+			if !IsNaN(FromFloat32(ToFloat32(h))) {
+				t.Fatalf("NaN pattern %#04x lost NaN-ness", i)
+			}
+			continue
+		}
+		if got := FromFloat32(ToFloat32(h)); got != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", i, ToFloat32(h), got)
+		}
+	}
+}
+
+// Property: conversion error of FromFloat32 is at most half a ULP for values
+// within the finite binary16 range.
+func TestConversionErrorBound(t *testing.T) {
+	f := func(v float32) bool {
+		if v != v || v > 65504 || v < -65504 {
+			return true // out of scope
+		}
+		h := FromFloat32(v)
+		back := ToFloat32(h)
+		// ULP at magnitude of v: for normals 2^(e-10), measure via neighbours.
+		diff := math.Abs(float64(back) - float64(v))
+		ulp := math.Max(float64(ulpAt(v)), 5.9604644775390625e-08)
+		return diff <= ulp/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ulpAt(v float32) float32 {
+	av := float32(math.Abs(float64(v)))
+	if av < 6.103515625e-05 {
+		return 5.9604644775390625e-08 // subnormal spacing 2^-24
+	}
+	e := math.Floor(math.Log2(float64(av)))
+	return float32(math.Pow(2, e-10))
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := FromFloat32(1.5), FromFloat32(2.25)
+	if got := ToFloat32(Add(a, b)); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := ToFloat32(Sub(a, b)); got != -0.75 {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if got := ToFloat32(Mul(a, b)); got != 3.375 {
+		t.Errorf("1.5*2.25 = %v", got)
+	}
+	if got := ToFloat32(Div(b, a)); got != 1.5 {
+		t.Errorf("2.25/1.5 = %v", got)
+	}
+	if got := ToFloat32(Neg(a)); got != -1.5 {
+		t.Errorf("-1.5 = %v", got)
+	}
+	if got := ToFloat32(FMA(a, b, FromFloat32(1))); got != 4.375 {
+		t.Errorf("fma(1.5,2.25,1) = %v", got)
+	}
+}
+
+// Property: Add is commutative and Neg is an involution at the bit level.
+func TestAlgebraicProperties(t *testing.T) {
+	f := func(x, y float32) bool {
+		a, b := FromFloat32(x), FromFloat32(y)
+		if IsNaN(a) || IsNaN(b) {
+			return true
+		}
+		return Add(a, b) == Add(b, a) && Neg(Neg(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FP32 accumulation must beat FP16 accumulation on long sums of small terms:
+// FP16 accumulation stagnates once the running sum dwarfs each addend.
+func TestDotAccumulationModes(t *testing.T) {
+	n := 4096
+	a := make([]Bits, n)
+	b := make([]Bits, n)
+	one := FromFloat32(1)
+	small := FromFloat32(0.5)
+	for i := range a {
+		a[i] = one
+		b[i] = small
+	}
+	exact := 0.5 * float64(n)
+	f32acc := float64(DotF32Acc(a, b))
+	f16acc := ToFloat64(DotF16Acc(a, b))
+	errF32 := math.Abs(f32acc-exact) / exact
+	errF16 := math.Abs(f16acc-exact) / exact
+	if errF32 > 1e-6 {
+		t.Errorf("FP32-accumulated dot error %v too large", errF32)
+	}
+	if errF16 <= errF32 {
+		t.Errorf("expected FP16 accumulation (%v) to be worse than FP32 (%v)",
+			errF16, errF32)
+	}
+	// FP16 accumulation stops growing at 2048 (+0.5 is below half-ULP).
+	if f16acc >= exact {
+		t.Errorf("FP16 accumulation %v should stagnate below exact %v", f16acc, exact)
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	src := []float32{0, 1, -2, 0.25, 65504}
+	h := SliceFromFloat32(src)
+	back := SliceToFloat32(h)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Errorf("slice round trip [%d]: got %v want %v", i, back[i], src[i])
+		}
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	DotF32Acc(make([]Bits, 2), make([]Bits, 3))
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FromFloat32(float32(i) * 0.001)
+	}
+}
+
+func BenchmarkDotF32Acc(b *testing.B) {
+	n := 1024
+	x := make([]Bits, n)
+	y := make([]Bits, n)
+	for i := range x {
+		x[i] = FromFloat32(float32(i%7) * 0.125)
+		y[i] = FromFloat32(float32(i%5) * 0.25)
+	}
+	b.SetBytes(int64(2 * n * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DotF32Acc(x, y)
+	}
+}

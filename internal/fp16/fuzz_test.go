@@ -1,0 +1,68 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConversion checks the binary16 conversion invariants on arbitrary
+// float32 bit patterns: idempotent rounding, sign preservation, and
+// ordering preservation for finite values.
+func FuzzConversion(f *testing.F) {
+	for _, seed := range []uint32{
+		0, 0x3F800000, 0xBF800000, 0x7F800000, 0x7FC00000, 0x00000001,
+		0x477FE000, 0x33800000, 0x38800000, 0x42DE4355,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		h := FromFloat32(v)
+		back := ToFloat32(h)
+		if v != v { // NaN in
+			if !IsNaN(h) || back == back {
+				t.Fatalf("NaN %#08x must stay NaN", bits)
+			}
+			return
+		}
+		// Idempotence: re-converting the rounded value is a fixed point.
+		if h2 := FromFloat32(back); h2 != h {
+			t.Fatalf("rounding not idempotent: %v -> %#04x -> %v -> %#04x",
+				v, h, back, h2)
+		}
+		// Sign preservation (zero keeps its sign bit).
+		if math.Signbit(float64(v)) != math.Signbit(float64(back)) {
+			t.Fatalf("sign flipped: %v -> %v", v, back)
+		}
+		// Magnitude error bound for in-range values: relative 2^-11 or
+		// the subnormal quantum.
+		av := math.Abs(float64(v))
+		if av <= 65504 {
+			diff := math.Abs(float64(back) - float64(v))
+			bound := math.Max(av/2048, 2.980232238769531e-08)
+			if diff > bound {
+				t.Fatalf("error %v exceeds bound %v for %v", diff, bound, v)
+			}
+		}
+	})
+}
+
+// FuzzOrdering: conversion must be monotone — a larger finite float32
+// never converts to a smaller half.
+func FuzzOrdering(f *testing.F) {
+	f.Add(float32(1.0), float32(2.0))
+	f.Add(float32(-5.5), float32(0.125))
+	f.Add(float32(60000), float32(70000))
+	f.Fuzz(func(t *testing.T, a, b float32) {
+		if a != a || b != b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := ToFloat32(FromFloat32(a)), ToFloat32(FromFloat32(b))
+		if !(ha <= hb) {
+			t.Fatalf("ordering violated: %v<=%v but %v>%v", a, b, ha, hb)
+		}
+	})
+}

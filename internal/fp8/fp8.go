@@ -1,0 +1,105 @@
+// Package fp8 implements the two OCP 8-bit floating-point formats in
+// software: E4M3 (4 exponent bits, 3 mantissa bits, bias 7, max 448, no
+// infinities) and E5M2 (5 exponent bits, 2 mantissa bits, bias 15, IEEE
+// specials). The paper's conclusion lists FP8 as a future porting target
+// for the WinRS kernels; these rounders drive the generic quantized
+// execution path.
+package fp8
+
+import "math"
+
+// Format selects an 8-bit layout.
+type Format int
+
+// The supported formats.
+const (
+	E4M3 Format = iota // range ±448, finer mantissa
+	E5M2               // range ±57344, coarser mantissa
+)
+
+type spec struct {
+	expBits, manBits int
+	bias             int
+	maxFinite        float64
+	hasInf           bool
+}
+
+func (f Format) spec() spec {
+	switch f {
+	case E4M3:
+		// E4M3 sacrifices the infinity/NaN block of the top exponent for
+		// extra finite values; max finite is 1.75·2^8 = 448.
+		return spec{expBits: 4, manBits: 3, bias: 7, maxFinite: 448, hasInf: false}
+	default:
+		return spec{expBits: 5, manBits: 2, bias: 15, maxFinite: 57344, hasInf: true}
+	}
+}
+
+// MaxValue returns the format's largest finite magnitude.
+func (f Format) MaxValue() float32 { return float32(f.spec().maxFinite) }
+
+// Round returns the nearest representable value of the format as a
+// float32, with round-to-nearest-even, saturating E4M3 at ±448 (the OCP
+// convention for conversions) and overflowing E5M2 to ±Inf.
+func (f Format) Round(v float32) float32 {
+	s := f.spec()
+	x := float64(v)
+	if math.IsNaN(x) {
+		return v
+	}
+	sign := 1.0
+	if math.Signbit(x) {
+		sign = -1
+	}
+	ax := math.Abs(x)
+	if math.IsInf(x, 0) {
+		if s.hasInf {
+			return v
+		}
+		return float32(sign * s.maxFinite)
+	}
+	if ax == 0 {
+		return v
+	}
+
+	minNormExp := 1 - s.bias // unbiased exponent of the smallest normal
+	// Decompose ax = m·2^e with m ∈ [1,2).
+	m, e := math.Frexp(ax) // m ∈ [0.5,1), ax = m·2^e
+	m *= 2
+	e--
+
+	grid := float64(int64(1) << s.manBits) // mantissa steps per binade
+	var q float64
+	if e < minNormExp {
+		// Subnormal: fixed quantum 2^(minNormExp - manBits).
+		quantum := math.Ldexp(1, minNormExp-s.manBits)
+		q = roundEven(ax/quantum) * quantum
+	} else {
+		q = math.Ldexp(roundEven(m*grid)/grid, e)
+	}
+	if q > s.maxFinite {
+		if s.hasInf {
+			return float32(sign * math.Inf(1))
+		}
+		q = s.maxFinite
+	}
+	return float32(sign * q)
+}
+
+// roundEven rounds to the nearest integer with ties to even.
+func roundEven(x float64) float64 {
+	return math.RoundToEven(x)
+}
+
+// Epsilon returns the relative spacing at 1.0.
+func (f Format) Epsilon() float32 {
+	return float32(math.Ldexp(1, -f.spec().manBits))
+}
+
+// String names the format.
+func (f Format) String() string {
+	if f == E4M3 {
+		return "FP8-E4M3"
+	}
+	return "FP8-E5M2"
+}

@@ -1,0 +1,116 @@
+package fp8
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	for _, f := range []Format{E4M3, E5M2} {
+		for _, v := range []float32{0, 1, -1, 2, 0.5, 1.5, -3, 8, 0.25} {
+			if got := f.Round(v); got != v {
+				t.Errorf("%v.Round(%v) = %v, want exact", f, v, got)
+			}
+		}
+	}
+}
+
+func TestMaxValues(t *testing.T) {
+	if E4M3.MaxValue() != 448 {
+		t.Errorf("E4M3 max = %v, want 448", E4M3.MaxValue())
+	}
+	if E5M2.MaxValue() != 57344 {
+		t.Errorf("E5M2 max = %v, want 57344", E5M2.MaxValue())
+	}
+	// Saturation vs overflow semantics.
+	if got := E4M3.Round(1e6); got != 448 {
+		t.Errorf("E4M3 should saturate at 448, got %v", got)
+	}
+	if got := E4M3.Round(-1e6); got != -448 {
+		t.Errorf("E4M3 should saturate at -448, got %v", got)
+	}
+	if got := E5M2.Round(1e6); !math.IsInf(float64(got), 1) {
+		t.Errorf("E5M2 should overflow to +Inf, got %v", got)
+	}
+}
+
+func TestMantissaGranularity(t *testing.T) {
+	// E4M3 at [1,2): steps of 1/8. 1.0625 is halfway between 1 and 1.125;
+	// RNE picks the even mantissa (1.0).
+	if got := E4M3.Round(1.0625); got != 1.0 {
+		t.Errorf("E4M3 RNE(1.0625) = %v, want 1", got)
+	}
+	if got := E4M3.Round(1.19); got != 1.25 {
+		t.Errorf("E4M3 Round(1.19) = %v, want 1.25", got)
+	}
+	// E5M2 at [1,2): steps of 1/4.
+	if got := E5M2.Round(1.1); got != 1.0 {
+		t.Errorf("E5M2 Round(1.1) = %v, want 1", got)
+	}
+	if got := E5M2.Round(1.2); got != 1.25 {
+		t.Errorf("E5M2 Round(1.2) = %v, want 1.25", got)
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	for _, f := range []Format{E4M3, E5M2} {
+		if got := f.Round(float32(math.NaN())); !math.IsNaN(float64(got)) {
+			t.Errorf("%v: NaN must pass through", f)
+		}
+		if got := f.Round(0); got != 0 {
+			t.Errorf("%v: zero must pass through", f)
+		}
+	}
+	if got := E5M2.Round(float32(math.Inf(-1))); !math.IsInf(float64(got), -1) {
+		t.Error("E5M2 must keep -Inf")
+	}
+	if got := E4M3.Round(float32(math.Inf(1))); got != 448 {
+		t.Errorf("E4M3 must clamp +Inf to 448, got %v", got)
+	}
+}
+
+// Round is idempotent and the relative error is bounded by half the
+// format's epsilon for normal-range inputs.
+func TestRoundProperties(t *testing.T) {
+	for _, f := range []Format{E4M3, E5M2} {
+		eps := float64(f.Epsilon())
+		max := float64(f.MaxValue())
+		prop := func(v float32) bool {
+			x := float64(v)
+			if x != x || math.Abs(x) > max || math.Abs(x) < 0.01 {
+				return true
+			}
+			r := f.Round(v)
+			if f.Round(r) != r {
+				return false
+			}
+			rel := math.Abs(float64(r)-x) / math.Abs(x)
+			return rel <= eps/2+1e-9
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	// E4M3 smallest subnormal: 2^-9 ≈ 0.001953125.
+	tiny := float32(math.Ldexp(1, -9))
+	if got := E4M3.Round(tiny); got != tiny {
+		t.Errorf("E4M3 smallest subnormal %v -> %v", tiny, got)
+	}
+	// Half of it rounds to zero (ties to even).
+	if got := E4M3.Round(tiny / 2); got != 0 {
+		t.Errorf("E4M3 half subnormal should round to 0, got %v", got)
+	}
+	if got := E4M3.Round(tiny * 0.75); got != tiny {
+		t.Errorf("E4M3 0.75 subnormal should round up, got %v", got)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if E4M3.String() != "FP8-E4M3" || E5M2.String() != "FP8-E5M2" {
+		t.Error("format names wrong")
+	}
+}

@@ -1,0 +1,186 @@
+// Package gpusim is a wave-based GPU execution-time simulator.
+//
+// The paper evaluates WinRS on four NVIDIA GPUs; this package replaces that
+// hardware with a cost model implementing the mechanisms the paper's
+// analysis rests on (eq. 8 and §6.2):
+//
+//   - a roofline per kernel launch: T = max(C_time/V_comp, C_data/V_band),
+//   - block-level parallelism with wave quantization and a tail effect —
+//     launching 8 blocks on a 128-SM device uses 1/16 of it, the
+//     small-output starvation of Figure 2,
+//   - latency hiding that improves with blocks-per-SM and with the kernel's
+//     computation intensity (eq. 4), the effect Algorithm 1 balances
+//     against partitioning overhead,
+//   - per-launch fixed overhead, which penalizes many-kernel (non-fused)
+//     pipelines.
+//
+// Device numbers are public spec-sheet values; the model targets relative
+// shape (who wins, where crossovers fall), not absolute nanoseconds.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device models one GPU.
+type Device struct {
+	Name string
+	// NSM is the number of streaming multiprocessors.
+	NSM int
+	// FP32TFLOPS is the CUDA-core FP32 peak; FP16TFLOPS the Tensor-Core
+	// FP16 (dense) peak.
+	FP32TFLOPS, FP16TFLOPS float64
+	// BandwidthGBs is the DRAM bandwidth in GB/s.
+	BandwidthGBs float64
+	// LaunchOverheadUS is the fixed cost of one kernel launch in
+	// microseconds.
+	LaunchOverheadUS float64
+}
+
+// The evaluation devices (paper §6): spec-sheet SM counts, peak FLOPS and
+// bandwidths.
+var (
+	RTX4090 = Device{Name: "RTX 4090", NSM: 128, FP32TFLOPS: 82.6,
+		FP16TFLOPS: 330.3, BandwidthGBs: 1008, LaunchOverheadUS: 4}
+	RTX3090 = Device{Name: "RTX 3090", NSM: 82, FP32TFLOPS: 35.6,
+		FP16TFLOPS: 142.3, BandwidthGBs: 936, LaunchOverheadUS: 4}
+	L40S = Device{Name: "L40S", NSM: 142, FP32TFLOPS: 91.6,
+		FP16TFLOPS: 366.0, BandwidthGBs: 864, LaunchOverheadUS: 4}
+	RTXA5000 = Device{Name: "RTX A5000", NSM: 64, FP32TFLOPS: 27.8,
+		FP16TFLOPS: 111.1, BandwidthGBs: 768, LaunchOverheadUS: 4}
+)
+
+// Devices lists the four evaluation GPUs.
+var Devices = []Device{RTX4090, RTX3090, L40S, RTXA5000}
+
+// Launch describes one kernel launch of an algorithm's execution plan.
+type Launch struct {
+	// Name identifies the kernel (for reports).
+	Name string
+	// Blocks is the grid size.
+	Blocks int
+	// FLOPs is the arithmetic the kernel executes (not the direct-conv
+	// equivalent — Winograd kernels execute fewer).
+	FLOPs float64
+	// Bytes is the kernel's DRAM traffic (reads + writes).
+	Bytes float64
+	// Intensity is the kernel's on-chip computation intensity (eq. 4),
+	// governing how many resident blocks per SM it needs to hide latency.
+	Intensity float64
+	// Tensor selects the Tensor-Core peak instead of the CUDA-core peak.
+	Tensor bool
+	// Eff derates the selected peak for the kernel's achievable fraction
+	// (instruction mix, bank conflicts); 0 means the default 0.85.
+	Eff float64
+}
+
+// rho0 calibrates how much intensity substitutes for occupancy: a kernel
+// with intensity ρ needs about rho0/ρ resident blocks per SM for full
+// latency hiding (clamped to [1, 6]).
+const rho0 = 24.0
+
+// neededBlocksPerSM returns the resident blocks per SM required to hide
+// most latency at the given computation intensity.
+func neededBlocksPerSM(intensity float64) float64 {
+	if intensity <= 0 {
+		return 6
+	}
+	n := rho0 / intensity
+	return math.Min(6, math.Max(1, n))
+}
+
+// Efficiency returns the fraction of peak compute the launch can sustain
+// given its grid size: the product of tail/wave quantization and latency
+// hiding. It is 1 when blocks fill every SM with enough residency.
+func (d Device) Efficiency(l Launch) float64 {
+	if l.Blocks <= 0 {
+		return 0
+	}
+	needed := neededBlocksPerSM(l.Intensity)
+	slots := float64(d.NSM) * needed
+	b := float64(l.Blocks)
+	if b >= slots {
+		// Full-throughput waves with a quantization tail. The min guards
+		// against float rounding pushing an exact multiple above 1.
+		waves := math.Ceil(b / slots)
+		return math.Min(1, b/(waves*slots))
+	}
+	// Under-filled device: throughput proportional to filled slots.
+	return b / slots
+}
+
+// LaunchTime returns the modelled execution time of one kernel launch in
+// seconds: roofline of derated compute vs DRAM bandwidth, plus fixed launch
+// overhead.
+func (d Device) LaunchTime(l Launch) float64 {
+	if l.Blocks <= 0 {
+		return 0
+	}
+	peak := d.FP32TFLOPS
+	if l.Tensor {
+		peak = d.FP16TFLOPS
+	}
+	eff := l.Eff
+	if eff == 0 {
+		eff = 0.85
+	}
+	compute := peak * 1e12 * eff * d.Efficiency(l)
+	tComp := 0.0
+	if l.FLOPs > 0 {
+		tComp = l.FLOPs / compute
+	}
+	tMem := l.Bytes / (d.BandwidthGBs * 1e9)
+	return math.Max(tComp, tMem) + d.LaunchOverheadUS*1e-6
+}
+
+// Plan is an algorithm's full execution: an ordered kernel sequence plus
+// the global-memory workspace it requires.
+type Plan struct {
+	Algorithm      string
+	Launches       []Launch
+	WorkspaceBytes int64
+}
+
+// Time returns the modelled wall time of the plan in seconds (kernels run
+// back to back, as cuDNN's non-fused pipelines do).
+func (d Device) Time(p Plan) float64 {
+	var t float64
+	for _, l := range p.Launches {
+		t += d.LaunchTime(l)
+	}
+	return t
+}
+
+// ThroughputTFLOPS converts a modelled time into the paper's throughput
+// metric: direct-convolution-equivalent FLOPs divided by time. Algorithms
+// with reduced time complexity can exceed the device peak by design (§6.2).
+func ThroughputTFLOPS(directFLOPs int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(directFLOPs) / seconds / 1e12
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s: %d launches, workspace %d B", p.Algorithm, len(p.Launches), p.WorkspaceBytes)
+}
+
+// TotalBytes returns the plan's aggregate DRAM traffic.
+func (p Plan) TotalBytes() float64 {
+	var b float64
+	for _, l := range p.Launches {
+		b += l.Bytes
+	}
+	return b
+}
+
+// TotalFLOPs returns the plan's aggregate executed FLOPs.
+func (p Plan) TotalFLOPs() float64 {
+	var f float64
+	for _, l := range p.Launches {
+		f += l.FLOPs
+	}
+	return f
+}

@@ -1,0 +1,194 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceSpecsMatchPaperObservations(t *testing.T) {
+	// Observation 2: 3090 → 4090 raises V_comp by ~132% and V_band by ~8%.
+	compGain := RTX4090.FP32TFLOPS/RTX3090.FP32TFLOPS - 1
+	bandGain := RTX4090.BandwidthGBs/RTX3090.BandwidthGBs - 1
+	if compGain < 1.2 || compGain > 1.45 {
+		t.Errorf("3090→4090 compute gain %v, paper says ~132%%", compGain)
+	}
+	if bandGain < 0.05 || bandGain > 0.12 {
+		t.Errorf("3090→4090 bandwidth gain %v, paper says ~8%%", bandGain)
+	}
+	// FP32 CUDA → FP16 Tensor on 4090: ~297% more compute.
+	tensorGain := RTX4090.FP16TFLOPS/RTX4090.FP32TFLOPS - 1
+	if tensorGain < 2.7 || tensorGain > 3.3 {
+		t.Errorf("4090 tensor gain %v, paper says ~297%%", tensorGain)
+	}
+	// A5000 has a lower compute/bandwidth ratio than the 4090 (§6.2).
+	r5000 := RTXA5000.FP16TFLOPS / RTXA5000.BandwidthGBs
+	r4090 := RTX4090.FP16TFLOPS / RTX4090.BandwidthGBs
+	if r5000 >= r4090 {
+		t.Errorf("A5000 comp/band ratio %v should be below 4090's %v", r5000, r4090)
+	}
+	// L40S is comparable to the 4090 in both (§6.2).
+	if math.Abs(L40S.FP16TFLOPS/RTX4090.FP16TFLOPS-1) > 0.2 {
+		t.Error("L40S FP16 peak should be within 20% of the 4090")
+	}
+}
+
+func TestEfficiencyTailEffect(t *testing.T) {
+	d := RTX4090
+	high := Launch{Blocks: 100000, Intensity: 100} // needs 1 block/SM
+	if eff := d.Efficiency(high); eff < 0.95 {
+		t.Errorf("huge grid efficiency %v, want ~1", eff)
+	}
+	// The Figure 2 situation: 8 blocks on 128 SMs.
+	tiny := Launch{Blocks: 8, Intensity: 100}
+	if eff := d.Efficiency(tiny); math.Abs(eff-8.0/128.0) > 1e-9 {
+		t.Errorf("8-block efficiency %v, want %v", eff, 8.0/128.0)
+	}
+	if d.Efficiency(Launch{Blocks: 0}) != 0 {
+		t.Error("zero blocks should have zero efficiency")
+	}
+}
+
+func TestEfficiencyLatencyHiding(t *testing.T) {
+	d := RTX4090
+	// Low intensity needs more resident blocks: same block count, lower
+	// efficiency.
+	lo := d.Efficiency(Launch{Blocks: 256, Intensity: 4})
+	hi := d.Efficiency(Launch{Blocks: 256, Intensity: 100})
+	if lo >= hi {
+		t.Errorf("low-intensity efficiency %v should trail high-intensity %v", lo, hi)
+	}
+	// With enough blocks both saturate.
+	loSat := d.Efficiency(Launch{Blocks: 128 * 6 * 4, Intensity: 4})
+	if loSat < 0.95 {
+		t.Errorf("saturated low-intensity efficiency %v, want ~1", loSat)
+	}
+}
+
+// Property: efficiency is monotone non-decreasing in block count up to the
+// first full wave and always within (0, 1].
+func TestEfficiencyMonotoneAndBounded(t *testing.T) {
+	d := RTX3090
+	f := func(b1, b2 uint16, intens uint8) bool {
+		i := float64(intens%64) + 1
+		x, y := int(b1%2000)+1, int(b2%2000)+1
+		if x > y {
+			x, y = y, x
+		}
+		ex := d.Efficiency(Launch{Blocks: x, Intensity: i})
+		ey := d.Efficiency(Launch{Blocks: y, Intensity: i})
+		needed := neededBlocksPerSM(i)
+		slots := float64(d.NSM) * needed
+		if ex <= 0 || ex > 1 || ey <= 0 || ey > 1 {
+			return false
+		}
+		if float64(y) <= slots && ex > ey+1e-12 {
+			return false // must be monotone below one wave
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaunchTimeRoofline(t *testing.T) {
+	d := RTX4090
+	// Pure compute-bound: 82.6e12 FLOPs at full efficiency ≈ 1s/0.85.
+	cb := Launch{Blocks: 1 << 20, FLOPs: 82.6e12, Bytes: 1, Intensity: 100}
+	tc := d.LaunchTime(cb)
+	if math.Abs(tc-1/0.85) > 0.02 {
+		t.Errorf("compute-bound time %v, want ~%v", tc, 1/0.85)
+	}
+	// Pure memory-bound: 1008e9 bytes ≈ 1s.
+	mb := Launch{Blocks: 1 << 20, FLOPs: 1, Bytes: 1008e9, Intensity: 100}
+	tm := d.LaunchTime(mb)
+	if math.Abs(tm-1) > 0.02 {
+		t.Errorf("memory-bound time %v, want ~1", tm)
+	}
+	// Tensor-core launch is faster for the same FLOPs.
+	ct := d.LaunchTime(Launch{Blocks: 1 << 20, FLOPs: 82.6e12, Bytes: 1,
+		Intensity: 100, Tensor: true})
+	if ct >= tc {
+		t.Errorf("tensor time %v should beat CUDA-core %v", ct, tc)
+	}
+	// Launch overhead floors tiny kernels.
+	if lt := d.LaunchTime(Launch{Blocks: 1, FLOPs: 1, Bytes: 1, Intensity: 10}); lt < 4e-6 {
+		t.Errorf("tiny launch %v below overhead floor", lt)
+	}
+	if d.LaunchTime(Launch{}) != 0 {
+		t.Error("empty launch should cost nothing")
+	}
+}
+
+// The mechanism WinRS exploits: splitting the same work into Z× more blocks
+// speeds up a starved launch nearly Z× on the simulator.
+func TestSegmentationRecoversStarvation(t *testing.T) {
+	d := RTX4090
+	flops, bytes := 1e12, 1e9
+	starved := Plan{Launches: []Launch{{Blocks: 8, FLOPs: flops, Bytes: bytes, Intensity: 6.4}}}
+	segmented := Plan{Launches: []Launch{
+		{Blocks: 8 * 16, FLOPs: flops, Bytes: bytes, Intensity: 6.4},
+		{Name: "reduce", Blocks: 128, FLOPs: 1e7, Bytes: 3e7, Intensity: 1},
+	}}
+	t0 := d.Time(starved)
+	t1 := d.Time(segmented)
+	if t1 >= t0/4 {
+		t.Errorf("segmentation speedup only %vx, expected >4x", t0/t1)
+	}
+}
+
+// Non-fused pipelines pay for intermediate traffic: same useful FLOPs, but
+// extra memory-bound launches make them slower on a compute-rich device.
+func TestFusedBeatsNonFusedOnComputeRichDevice(t *testing.T) {
+	d := RTX4090
+	flops := 5e11
+	data := 4e8
+	fused := Plan{Launches: []Launch{
+		{Blocks: 4096, FLOPs: flops, Bytes: data, Intensity: 6.4},
+	}}
+	nonFused := Plan{Launches: []Launch{
+		{Name: "FT", Blocks: 4096, FLOPs: flops * 0.05, Bytes: data * 2, Intensity: 1},
+		{Name: "IT", Blocks: 4096, FLOPs: flops * 0.05, Bytes: data * 2, Intensity: 1},
+		{Name: "EWM", Blocks: 4096, FLOPs: flops * 0.85, Bytes: data * 4, Intensity: 20},
+		{Name: "OT", Blocks: 4096, FLOPs: flops * 0.05, Bytes: data * 2, Intensity: 1},
+	}}
+	if d.Time(fused) >= d.Time(nonFused) {
+		t.Errorf("fused %v should beat non-fused %v", d.Time(fused), d.Time(nonFused))
+	}
+}
+
+func TestPlanAggregates(t *testing.T) {
+	p := Plan{
+		Algorithm: "x",
+		Launches: []Launch{
+			{Blocks: 1, FLOPs: 10, Bytes: 100},
+			{Blocks: 1, FLOPs: 20, Bytes: 300},
+		},
+		WorkspaceBytes: 42,
+	}
+	if p.TotalFLOPs() != 30 || p.TotalBytes() != 400 {
+		t.Errorf("aggregates = %v FLOPs, %v bytes", p.TotalFLOPs(), p.TotalBytes())
+	}
+	if p.String() == "" {
+		t.Error("String should format")
+	}
+}
+
+func TestThroughputTFLOPS(t *testing.T) {
+	if got := ThroughputTFLOPS(2e12, 1); got != 2 {
+		t.Errorf("ThroughputTFLOPS = %v, want 2", got)
+	}
+	if ThroughputTFLOPS(1, 0) != 0 {
+		t.Error("zero time should yield zero throughput")
+	}
+	// Winograd effect: direct-equivalent FLOPs at reduced executed work can
+	// exceed the peak.
+	d := RTX4090
+	l := Launch{Blocks: 1 << 20, FLOPs: 82.6e12 / 2.25, Bytes: 1, Intensity: 100}
+	tput := ThroughputTFLOPS(int64(82.6e12), d.Time(Plan{Launches: []Launch{l}}))
+	if tput < d.FP32TFLOPS {
+		t.Errorf("Winograd-reduced plan throughput %v should exceed peak %v",
+			tput, d.FP32TFLOPS)
+	}
+}

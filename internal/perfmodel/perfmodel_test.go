@@ -1,0 +1,387 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/gpusim"
+	"winrs/internal/report"
+	"winrs/internal/workload"
+)
+
+func vggConv2(n int) conv.Params {
+	return conv.Params{N: n, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64,
+		PH: 1, PW: 1}
+}
+
+func TestWinRSPlanStructure(t *testing.T) {
+	p := vggConv2(32)
+	plan, cfg, err := WinRS(p, gpusim.RTX4090, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Z() < 2 {
+		t.Errorf("VGG conv2 should segment heavily, got Z=%d", cfg.Z())
+	}
+	if len(plan.Launches) != 2 {
+		t.Errorf("expected fused launch + reduction, got %d launches", len(plan.Launches))
+	}
+	if plan.WorkspaceBytes != cfg.WorkspaceBytes() {
+		t.Error("plan workspace must mirror the configuration")
+	}
+	// Executed FLOPs must be below direct (Winograd reduction) but within
+	// the 1.5x-4.5x band plus transform overhead.
+	direct := float64(p.FLOPs())
+	ratio := direct / plan.Launches[0].FLOPs
+	if ratio < 1.2 || ratio > 4.6 {
+		t.Errorf("complexity reduction %v outside the paper band", ratio)
+	}
+}
+
+// Table 3 band: WinRS beats Cu-GEMM across the sweep, with larger filter
+// gradients gaining more (paper: 1.05x-4.7x, growing from 2x2 to 9x9).
+func TestSpeedupOverCuGEMMBand(t *testing.T) {
+	d := gpusim.RTX4090
+	perF := map[int][]float64{}
+	for _, c := range workload.PaperSweep() {
+		w, _, err := WinRS(c.P, d, false)
+		if err != nil {
+			t.Fatalf("%v: %v", c.P, err)
+		}
+		g := CuGEMM(c.P, d, false)
+		perF[c.P.FH] = append(perF[c.P.FH], Speedup(d, w, g))
+	}
+	var avg2, avg9 float64
+	for f, sp := range perF {
+		avg, min, max := report.SummaryStats(sp)
+		if min < 0.9 || max > 8 {
+			t.Errorf("F=%d: speedup range [%v,%v] outside the plausible band", f, min, max)
+		}
+		if avg < 1.0 {
+			t.Errorf("F=%d: average speedup %v, WinRS should win on average", f, avg)
+		}
+		switch f {
+		case 2:
+			avg2 = avg
+		case 9:
+			avg9 = avg
+		}
+	}
+	if avg9 <= avg2 {
+		t.Errorf("9x9 average speedup (%v) should exceed 2x2 (%v)", avg9, avg2)
+	}
+}
+
+// Observation 1 analogue: WinRS beats Cu-FFT decisively on small filters
+// with large features, while Cu-FFT catches up (and can win) at large
+// filters with small features.
+func TestFFTCrossover(t *testing.T) {
+	d := gpusim.RTX4090
+	w2, _, err := WinRS(workload.Layer(32, 224, 2, 64), d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFast := Speedup(d, w2, FFT(workload.Layer(32, 224, 2, 64)))
+	if sFast < 3 {
+		t.Errorf("2x2 large-feature FFT speedup %v, expected >3 (paper avg 7.85)", sFast)
+	}
+	p9 := workload.Layer(32, 56, 9, 256)
+	w9, _, err := WinRS(p9, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSlow := Speedup(d, w9, FFT(p9))
+	if sSlow >= sFast {
+		t.Errorf("FFT should close the gap at 9x9 small features: %v vs %v", sSlow, sFast)
+	}
+}
+
+// The Cu-WinNF crossover of §6.2: FP16 WinRS outperforms Cu-WinNF for
+// O_C ≤ 512 on the RTX 4090, and only up to a smaller channel count on the
+// A5000 (whose compute/bandwidth ratio favours non-fused algorithms).
+func TestWinNFCrossover(t *testing.T) {
+	speedupAt := func(d gpusim.Device, c int, hw int) float64 {
+		p := workload.Layer(32, hw, 3, c)
+		w, _, err := WinRS(p, d, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, ok := WinNF(p, true)
+		if !ok {
+			t.Fatal("WinNF should support 3x3 FP16")
+		}
+		return Speedup(d, w, wp)
+	}
+	if s := speedupAt(gpusim.RTX4090, 512, 28); s < 1 {
+		t.Errorf("4090 FP16 3x3 @512ch: speedup %v, paper says WinRS wins up to 512", s)
+	}
+	s4090 := speedupAt(gpusim.RTX4090, 256, 56)
+	s5000 := speedupAt(gpusim.RTXA5000, 256, 56)
+	if s5000 >= s4090 {
+		t.Errorf("A5000 (%v) should favour non-fused WinNF more than 4090 (%v)", s5000, s4090)
+	}
+}
+
+// Observation 2: moving from FP32 CUDA Cores to FP16 Tensor Cores speeds
+// WinRS up by roughly the paper's 3.27x average.
+func TestFP16OverFP32Ratio(t *testing.T) {
+	d := gpusim.RTX4090
+	var ratios []float64
+	for _, f := range workload.FP16Filters {
+		for _, c := range workload.ConstantComplexitySeries(32, 224, 64, f) {
+			w32, _, err32 := WinRS(c.P, d, false)
+			w16, _, err16 := WinRS(c.P, d, true)
+			if err32 != nil || err16 != nil {
+				continue
+			}
+			ratios = append(ratios, d.Time(w32)/d.Time(w16))
+		}
+	}
+	avg, _, _ := report.SummaryStats(ratios)
+	if avg < 2.3 || avg > 4.2 {
+		t.Errorf("FP16/FP32 average ratio %v, paper reports 3.27", avg)
+	}
+}
+
+// Observation 2, device axis: the 4090's 132% compute / 8% bandwidth gain
+// over the 3090 must widen WinRS's advantage over the non-fused FFT.
+func TestDeviceScalingFavoursFused(t *testing.T) {
+	p := vggConv2(32)
+	rel := func(d gpusim.Device) float64 {
+		w, _, err := WinRS(p, d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Speedup(d, w, FFT(p))
+	}
+	if r4090, r3090 := rel(gpusim.RTX4090), rel(gpusim.RTX3090); r4090 <= r3090 {
+		t.Errorf("4090 advantage over FFT (%v) should exceed 3090's (%v)", r4090, r3090)
+	}
+}
+
+// Table 2: average workspace ratios per algorithm across the paper sweep
+// must land in the reported bands.
+func TestWorkspaceBands(t *testing.T) {
+	d := gpusim.RTX4090
+	var winrs, algo1, algo3, fft, winnfR []float64
+	for _, c := range workload.PaperSweep() {
+		data := float64(c.P.DataBytes32())
+		w, _, err := WinRS(c.P, d, false)
+		if err != nil {
+			t.Fatalf("%v: %v", c.P, err)
+		}
+		winrs = append(winrs, float64(w.WorkspaceBytes)/data)
+		algo1 = append(algo1, float64(Algo1Workspace(c.P, false))/data)
+		algo3 = append(algo3, float64(Algo3Workspace(c.P))/data)
+		fft = append(fft, float64(FFT(c.P).WorkspaceBytes)/data)
+		if wp, ok := WinNF(c.P, false); ok {
+			winnfR = append(winnfR, float64(wp.WorkspaceBytes)/data)
+		}
+	}
+	avgW, minW, maxW := report.SummaryStats(winrs)
+	if avgW > 0.6 || minW != 0 || maxW > 2.1 {
+		t.Errorf("WinRS workspace avg=%v min=%v max=%v, paper: 0.18x avg, 0 min, 1.67x max",
+			avgW, minW, maxW)
+	}
+	avgFFT, minFFT, _ := report.SummaryStats(fft)
+	if avgFFT < 3 || minFFT < 1.5 {
+		t.Errorf("Cu-FFT workspace avg=%v min=%v, paper: 9.09x avg, 3.11x min", avgFFT, minFFT)
+	}
+	avgNF, _, _ := report.SummaryStats(winnfR)
+	if avgNF < 1.5 || avgNF > 7 {
+		t.Errorf("Cu-WinNF workspace avg=%v, paper: 2.67x", avgNF)
+	}
+	avg1, _, max1 := report.SummaryStats(algo1)
+	if avg1 < 0.2 || max1 > 2.3 {
+		t.Errorf("Cu-Algo1 workspace avg=%v max=%v, paper: 1.06x avg, 2.21x max", avg1, max1)
+	}
+	avg3, _, _ := report.SummaryStats(algo3)
+	if avg3 > 0.5 {
+		t.Errorf("Cu-Algo3 workspace avg=%v, paper: 0.10x", avg3)
+	}
+	// Relative ordering of Table 2: WinRS uses a few percent of FFT and
+	// WinNF workspace.
+	if avgW/avgFFT > 0.15 || avgW/avgNF > 0.35 {
+		t.Errorf("WinRS/FFT=%v and WinRS/WinNF=%v workspace ratios too large",
+			avgW/avgFFT, avgW/avgNF)
+	}
+}
+
+// Figure 9: the workspace vanishes at large channels and grows (bounded)
+// at small channels.
+func TestFig9WorkspaceTrend(t *testing.T) {
+	d := gpusim.RTX4090
+	ws := func(hw, c int) int64 {
+		p := conv.Params{N: 32, IH: hw, IW: hw - 2, FH: 3, FW: 3, IC: c, OC: c,
+			PH: 1, PW: 1} // OW multiple of 6 at hw=14: 12
+		plan, _, err := WinRS(p, d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.WorkspaceBytes
+	}
+	if w := ws(14, 1024); w != 0 {
+		t.Errorf("1024 channels: workspace %d, want 0", w)
+	}
+	if w := ws(112, 64); w == 0 {
+		t.Error("64 channels at 112x112 should need bucket workspace")
+	}
+}
+
+// The segmentation ablation: forcing Z=1 on a starved layer must be far
+// slower on the simulator than the adaptive configuration.
+func TestSegmentationAblation(t *testing.T) {
+	d := gpusim.RTX4090
+	p := vggConv2(32)
+	adaptive, cfg, err := WinRS(p, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Z() < 8 {
+		t.Fatalf("expected heavy segmentation, got Z=%d", cfg.Z())
+	}
+	forced, _, err := WinRSForced(p, d, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := d.Time(forced) / d.Time(adaptive); sp < 5 {
+		t.Errorf("adaptive segmentation speedup %vx over Z=1, expected >5x", sp)
+	}
+}
+
+func TestCuGEMMPicksFastest(t *testing.T) {
+	d := gpusim.RTX4090
+	p := vggConv2(32)
+	best := CuGEMM(p, d, false)
+	for _, alt := range []gpusim.Plan{Algo0(p, false), Algo1(p, false), Algo3(p, false)} {
+		if d.Time(best) > d.Time(alt)*1.0001 {
+			t.Errorf("CuGEMM (%v) slower than %s (%v)", d.Time(best), alt.Algorithm, d.Time(alt))
+		}
+	}
+}
+
+func TestWinNFEnvelope(t *testing.T) {
+	if _, ok := WinNF(workload.Layer(32, 56, 4, 64), false); ok {
+		t.Error("WinNF must reject 4x4")
+	}
+	if _, ok := WinNF(workload.Layer(32, 56, 5, 64), true); ok {
+		t.Error("FP16 WinNF must reject 5x5")
+	}
+	if _, ok := WinNF(workload.Layer(32, 56, 5, 64), false); !ok {
+		t.Error("FP32 WinNF must accept 5x5")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := gpusim.RTX4090
+	p := vggConv2(32)
+	s := Describe(Algo0(p, false), d, p.FLOPs())
+	if s == "" {
+		t.Error("Describe should format")
+	}
+}
+
+// The related-work comparison (§7): with identical kernels, WinRS's
+// adaptive segmentation must dominate the fixed distribution of
+// Im2col-Winograd on the small-output BFC regime, and the two converge
+// when a single segment already saturates the device.
+func TestIm2colWinogradBaseline(t *testing.T) {
+	d := gpusim.RTX4090
+	starved := vggConv2(32)
+	w, cfg, err := WinRS(starved, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Z() < 8 {
+		t.Fatalf("setup: expected segmentation, Z=%d", cfg.Z())
+	}
+	i2c, err := Im2colWinograd(starved, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := Speedup(d, w, i2c); sp < 5 {
+		t.Errorf("WinRS speedup over fixed distribution %v, expected >5x on a starved layer", sp)
+	}
+	// Saturated regime: large channels, single segment — near parity.
+	big := workload.Layer(32, 14, 3, 1024)
+	wBig, _, err := WinRS(big, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2cBig, err := Im2colWinograd(big, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := Speedup(d, wBig, i2cBig); sp < 0.8 || sp > 2 {
+		t.Errorf("saturated-regime speedup %v, expected near parity", sp)
+	}
+}
+
+// Observation 1 (§6.2): at constant time complexity, non-fused algorithms'
+// throughput varies far more across tensor dimensions than fused ones.
+// Measure the relative spread (max/min time) of each algorithm over the
+// constant-complexity ladder.
+func TestObservation1DimensionSensitivity(t *testing.T) {
+	d := gpusim.RTX4090
+	spread := func(timeOf func(conv.Params) (float64, bool)) float64 {
+		lo, hi := 0.0, 0.0
+		for i, c := range workload.ConstantComplexitySeries(32, 224, 64, 3) {
+			tt, ok := timeOf(c.P)
+			if !ok {
+				continue
+			}
+			if i == 0 || tt < lo {
+				lo = tt
+			}
+			if tt > hi {
+				hi = tt
+			}
+		}
+		if lo == 0 {
+			return 0
+		}
+		return hi / lo
+	}
+	fused := spread(func(p conv.Params) (float64, bool) {
+		plan, _, err := WinRS(p, d, false)
+		if err != nil {
+			return 0, false
+		}
+		return d.Time(plan), true
+	})
+	nonFused := spread(func(p conv.Params) (float64, bool) {
+		return d.Time(FFT(p)), true
+	})
+	if nonFused <= fused {
+		t.Errorf("Observation 1 violated: FFT spread %v should exceed WinRS spread %v",
+			nonFused, fused)
+	}
+	if fused > 2.5 {
+		t.Errorf("fused algorithm spread %v suspiciously large at constant complexity", fused)
+	}
+}
+
+// The FP32 3090 crossover of §6.2: "FP32 WinRS is faster [than Cu-WinNF] at
+// O_C ≤ 256 and O_C ≤ 128 on RTX 3090" — assert WinRS wins at 64 channels
+// and loses by 512 channels on the 3090.
+func TestWinNFCrossoverFP32On3090(t *testing.T) {
+	d := gpusim.RTX3090
+	at := func(c, hw int) float64 {
+		p := workload.Layer(32, hw, 3, c)
+		w, _, err := WinRS(p, d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, ok := WinNF(p, false)
+		if !ok {
+			t.Fatal("WinNF should support 3x3")
+		}
+		return Speedup(d, w, wp)
+	}
+	if s := at(64, 224); s < 1 {
+		t.Errorf("3090 FP32 3x3 @64ch: speedup %v, WinRS should win", s)
+	}
+	if s := at(512, 28); s > 1 {
+		t.Errorf("3090 FP32 3x3 @512ch: speedup %v, Cu-WinNF should win", s)
+	}
+}

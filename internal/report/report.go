@@ -1,0 +1,110 @@
+// Package report renders aligned ASCII tables and series for the
+// experiment binaries, matching the row/column structure of the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series prints one labelled numeric series (a figure line) as
+// "label: v1 v2 v3 …".
+func Series(w io.Writer, label string, xs []string, ys []float64) {
+	fmt.Fprintf(w, "%s:\n", label)
+	for i := range xs {
+		fmt.Fprintf(w, "  %-18s %10.4g\n", xs[i], ys[i])
+	}
+}
+
+// SummaryStats returns (avg, min, max) of a slice.
+func SummaryStats(vs []float64) (avg, min, max float64) {
+	if len(vs) == 0 {
+		return 0, 0, 0
+	}
+	min, max = vs[0], vs[0]
+	var sum float64
+	for _, v := range vs {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return sum / float64(len(vs)), min, max
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("Demo", "name", "value", "note")
+	tab.AddRow("alpha", 1.23456789, "first")
+	tab.AddRow("a-much-longer-name", 42, "second row")
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("missing long row")
+	}
+	// Floats use compact %.4g.
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	// Every line of the body should be column-aligned: the header and
+	// separator must be the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+	header, sep := lines[1], lines[2]
+	if len(strings.TrimRight(header, " ")) > len(sep) {
+		t.Errorf("separator shorter than header:\n%q\n%q", header, sep)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow(1)
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	if strings.Contains(buf.String(), "==") {
+		t.Error("untitled table should not print a title banner")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "throughput", []string{"a", "b"}, []float64{1.5, 2.5})
+	out := buf.String()
+	if !strings.Contains(out, "throughput:") ||
+		!strings.Contains(out, "a") || !strings.Contains(out, "2.5") {
+		t.Errorf("series output malformed:\n%s", out)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	avg, min, max := SummaryStats([]float64{1, 2, 3, 4})
+	if avg != 2.5 || min != 1 || max != 4 {
+		t.Errorf("stats = %v %v %v", avg, min, max)
+	}
+	avg, min, max = SummaryStats(nil)
+	if avg != 0 || min != 0 || max != 0 {
+		t.Error("empty stats should be zero")
+	}
+	avg, min, max = SummaryStats([]float64{-7})
+	if avg != -7 || min != -7 || max != -7 {
+		t.Error("single-element stats wrong")
+	}
+}

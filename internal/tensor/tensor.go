@@ -1,0 +1,242 @@
+// Package tensor provides the NHWC 4-D tensors used throughout WinRS.
+//
+// The paper stores all operands in NHWC layout (batch, height, width,
+// channels), which makes the channel axis contiguous — the property WinRS
+// kernels exploit for vectorized loads. The package offers float32 tensors
+// (the working precision), float64 tensors (the accuracy ground truth), and
+// binary16 tensors (the Tensor-Core emulation path), plus the error metrics
+// used by the paper's accuracy evaluation (MARE).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"winrs/internal/fp16"
+)
+
+// Shape describes an N×H×W×C tensor extent.
+type Shape struct {
+	N, H, W, C int
+}
+
+// Elems returns the total number of elements.
+func (s Shape) Elems() int { return s.N * s.H * s.W * s.C }
+
+// Valid reports whether every extent is positive.
+func (s Shape) Valid() bool { return s.N > 0 && s.H > 0 && s.W > 0 && s.C > 0 }
+
+// String formats the shape in the paper's N:H:W:C style.
+func (s Shape) String() string {
+	return fmt.Sprintf("%d:%d:%d:%d", s.N, s.H, s.W, s.C)
+}
+
+// Index returns the flat NHWC offset of (n,h,w,c). It performs no bounds
+// checking; callers in hot loops index Data directly.
+func (s Shape) Index(n, h, w, c int) int {
+	return ((n*s.H+h)*s.W+w)*s.C + c
+}
+
+// Float32 is a dense NHWC float32 tensor.
+type Float32 struct {
+	Shape Shape
+	Data  []float32
+}
+
+// NewFloat32 allocates a zeroed tensor of the given shape.
+func NewFloat32(shape Shape) *Float32 {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Float32{Shape: shape, Data: make([]float32, shape.Elems())}
+}
+
+// At returns the element at (n,h,w,c).
+func (t *Float32) At(n, h, w, c int) float32 {
+	return t.Data[t.Shape.Index(n, h, w, c)]
+}
+
+// Set stores v at (n,h,w,c).
+func (t *Float32) Set(n, h, w, c int, v float32) {
+	t.Data[t.Shape.Index(n, h, w, c)] = v
+}
+
+// Fill sets every element to v.
+func (t *Float32) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero clears the tensor.
+func (t *Float32) Zero() { t.Fill(0) }
+
+// FillUniform fills the tensor with U[lo,hi) values from rng.
+func (t *Float32) FillUniform(rng *rand.Rand, lo, hi float32) {
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*rng.Float32()
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Float32) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Float32) Clone() *Float32 {
+	c := NewFloat32(t.Shape)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// ToFloat64 widens into a fresh float64 tensor.
+func (t *Float32) ToFloat64() *Float64 {
+	d := NewFloat64(t.Shape)
+	for i, v := range t.Data {
+		d.Data[i] = float64(v)
+	}
+	return d
+}
+
+// ToHalf rounds into a fresh binary16 tensor (round-to-nearest-even).
+func (t *Float32) ToHalf() *Half {
+	h := NewHalf(t.Shape)
+	for i, v := range t.Data {
+		h.Data[i] = fp16.FromFloat32(v)
+	}
+	return h
+}
+
+// Float64 is a dense NHWC float64 tensor used as accuracy ground truth.
+type Float64 struct {
+	Shape Shape
+	Data  []float64
+}
+
+// NewFloat64 allocates a zeroed tensor of the given shape.
+func NewFloat64(shape Shape) *Float64 {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Float64{Shape: shape, Data: make([]float64, shape.Elems())}
+}
+
+// At returns the element at (n,h,w,c).
+func (t *Float64) At(n, h, w, c int) float64 {
+	return t.Data[t.Shape.Index(n, h, w, c)]
+}
+
+// Set stores v at (n,h,w,c).
+func (t *Float64) Set(n, h, w, c int, v float64) {
+	t.Data[t.Shape.Index(n, h, w, c)] = v
+}
+
+// ToFloat32 narrows into a fresh float32 tensor.
+func (t *Float64) ToFloat32() *Float32 {
+	f := NewFloat32(t.Shape)
+	for i, v := range t.Data {
+		f.Data[i] = float32(v)
+	}
+	return f
+}
+
+// Half is a dense NHWC binary16 tensor for the FP16 Tensor-Core path.
+type Half struct {
+	Shape Shape
+	Data  []fp16.Bits
+}
+
+// NewHalf allocates a zeroed binary16 tensor of the given shape.
+func NewHalf(shape Shape) *Half {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Half{Shape: shape, Data: make([]fp16.Bits, shape.Elems())}
+}
+
+// At returns the element at (n,h,w,c) widened to float32.
+func (t *Half) At(n, h, w, c int) float32 {
+	return fp16.ToFloat32(t.Data[t.Shape.Index(n, h, w, c)])
+}
+
+// Set rounds v to binary16 and stores it at (n,h,w,c).
+func (t *Half) Set(n, h, w, c int, v float32) {
+	t.Data[t.Shape.Index(n, h, w, c)] = fp16.FromFloat32(v)
+}
+
+// ToFloat32 widens into a fresh float32 tensor.
+func (t *Half) ToFloat32() *Float32 {
+	f := NewFloat32(t.Shape)
+	for i, v := range t.Data {
+		f.Data[i] = fp16.ToFloat32(v)
+	}
+	return f
+}
+
+// MARE computes the Mean Absolute Relative Error of approx against the
+// float64 ground truth exact, the paper's accuracy metric:
+//
+//	MARE = mean_i |approx_i - exact_i| / |exact_i|
+//
+// Elements whose exact value is zero are skipped (relative error is
+// undefined there); if every element is zero MARE returns 0.
+func MARE(approx *Float32, exact *Float64) float64 {
+	if approx.Shape != exact.Shape {
+		panic("tensor: MARE shape mismatch")
+	}
+	var sum float64
+	n := 0
+	for i, e := range exact.Data {
+		if e == 0 {
+			continue
+		}
+		sum += math.Abs(float64(approx.Data[i])-e) / math.Abs(e)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// two float32 tensors of identical shape.
+func MaxAbsDiff(a, b *Float32) float64 {
+	if a.Shape != b.Shape {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element of a is within atol + rtol*|b| of b.
+func AllClose(a, b *Float32, rtol, atol float64) bool {
+	if a.Shape != b.Shape {
+		return false
+	}
+	for i := range a.Data {
+		av, bv := float64(a.Data[i]), float64(b.Data[i])
+		if math.Abs(av-bv) > atol+rtol*math.Abs(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes32 returns the storage footprint of a float32 tensor with the given
+// shape, in bytes.
+func Bytes32(s Shape) int64 { return int64(s.Elems()) * 4 }
+
+// Bytes16 returns the storage footprint of a binary16 tensor with the given
+// shape, in bytes.
+func Bytes16(s Shape) int64 { return int64(s.Elems()) * 2 }

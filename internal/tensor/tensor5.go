@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shape5 describes an N×D×H×W×C tensor extent (NDHWC layout) for the
+// volumetric (3-D convolution) extension of WinRS — the paper's §3
+// Level-2 claim that dimension reduction generalizes BFC to N-D.
+type Shape5 struct {
+	N, D, H, W, C int
+}
+
+// Elems returns the total element count.
+func (s Shape5) Elems() int { return s.N * s.D * s.H * s.W * s.C }
+
+// Valid reports whether every extent is positive.
+func (s Shape5) Valid() bool {
+	return s.N > 0 && s.D > 0 && s.H > 0 && s.W > 0 && s.C > 0
+}
+
+// Index returns the flat NDHWC offset of (n,d,h,w,c).
+func (s Shape5) Index(n, d, h, w, c int) int {
+	return (((n*s.D+d)*s.H+h)*s.W+w)*s.C + c
+}
+
+// String formats the shape as N:D:H:W:C.
+func (s Shape5) String() string {
+	return fmt.Sprintf("%d:%d:%d:%d:%d", s.N, s.D, s.H, s.W, s.C)
+}
+
+// Float325 is a dense NDHWC float32 tensor.
+type Float325 struct {
+	Shape Shape5
+	Data  []float32
+}
+
+// NewFloat325 allocates a zeroed 5-D float32 tensor.
+func NewFloat325(shape Shape5) *Float325 {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Float325{Shape: shape, Data: make([]float32, shape.Elems())}
+}
+
+// At returns the element at (n,d,h,w,c).
+func (t *Float325) At(n, d, h, w, c int) float32 {
+	return t.Data[t.Shape.Index(n, d, h, w, c)]
+}
+
+// Set stores v at (n,d,h,w,c).
+func (t *Float325) Set(n, d, h, w, c int, v float32) {
+	t.Data[t.Shape.Index(n, d, h, w, c)] = v
+}
+
+// FillUniform fills with U[lo,hi) values.
+func (t *Float325) FillUniform(rng *rand.Rand, lo, hi float32) {
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*rng.Float32()
+	}
+}
+
+// ToFloat645 widens into a fresh float64 tensor.
+func (t *Float325) ToFloat645() *Float645 {
+	d := NewFloat645(t.Shape)
+	for i, v := range t.Data {
+		d.Data[i] = float64(v)
+	}
+	return d
+}
+
+// Float645 is a dense NDHWC float64 tensor (3-D ground truth).
+type Float645 struct {
+	Shape Shape5
+	Data  []float64
+}
+
+// NewFloat645 allocates a zeroed 5-D float64 tensor.
+func NewFloat645(shape Shape5) *Float645 {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Float645{Shape: shape, Data: make([]float64, shape.Elems())}
+}
+
+// At returns the element at (n,d,h,w,c).
+func (t *Float645) At(n, d, h, w, c int) float64 {
+	return t.Data[t.Shape.Index(n, d, h, w, c)]
+}
+
+// Set stores v at (n,d,h,w,c).
+func (t *Float645) Set(n, d, h, w, c int, v float64) {
+	t.Data[t.Shape.Index(n, d, h, w, c)] = v
+}
+
+// ToFloat325 narrows into a fresh float32 tensor.
+func (t *Float645) ToFloat325() *Float325 {
+	f := NewFloat325(t.Shape)
+	for i, v := range t.Data {
+		f.Data[i] = float32(v)
+	}
+	return f
+}
+
+// MARE5 computes mean absolute relative error for 5-D tensors.
+func MARE5(approx *Float325, exact *Float645) float64 {
+	if approx.Shape != exact.Shape {
+		panic("tensor: MARE5 shape mismatch")
+	}
+	var sum float64
+	n := 0
+	for i, e := range exact.Data {
+		if e == 0 {
+			continue
+		}
+		sum += math.Abs(float64(approx.Data[i])-e) / math.Abs(e)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestShape5Basics(t *testing.T) {
+	s := Shape5{N: 2, D: 3, H: 4, W: 5, C: 6}
+	if s.Elems() != 720 {
+		t.Errorf("Elems = %d", s.Elems())
+	}
+	if !s.Valid() {
+		t.Error("should be valid")
+	}
+	if (Shape5{N: 1, D: 0, H: 1, W: 1, C: 1}).Valid() {
+		t.Error("zero depth should be invalid")
+	}
+	if s.String() != "2:3:4:5:6" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestShape5IndexRowMajor(t *testing.T) {
+	s := Shape5{N: 2, D: 2, H: 3, W: 2, C: 2}
+	prev := -1
+	for n := 0; n < s.N; n++ {
+		for d := 0; d < s.D; d++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					for c := 0; c < s.C; c++ {
+						idx := s.Index(n, d, h, w, c)
+						if idx != prev+1 {
+							t.Fatalf("Index(%d,%d,%d,%d,%d) = %d, want %d",
+								n, d, h, w, c, idx, prev+1)
+						}
+						prev = idx
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFloat325RoundTrip(t *testing.T) {
+	s := Shape5{N: 1, D: 2, H: 2, W: 2, C: 2}
+	a := NewFloat325(s)
+	a.Set(0, 1, 0, 1, 1, 42)
+	if a.At(0, 1, 0, 1, 1) != 42 {
+		t.Error("Set/At failed")
+	}
+	d := a.ToFloat645()
+	if d.At(0, 1, 0, 1, 1) != 42 {
+		t.Error("ToFloat645 failed")
+	}
+	d.Set(0, 0, 0, 0, 0, 7)
+	back := d.ToFloat325()
+	if back.At(0, 0, 0, 0, 0) != 7 {
+		t.Error("ToFloat325 failed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	a.FillUniform(rng, -1, 1)
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+}
+
+func TestMARE5(t *testing.T) {
+	s := Shape5{N: 1, D: 1, H: 1, W: 1, C: 4}
+	exact := NewFloat645(s)
+	approx := NewFloat325(s)
+	copy(exact.Data, []float64{1, 2, 4, 0})
+	copy(approx.Data, []float32{1.01, 1.98, 4, 5})
+	want := (0.01 + 0.01 + 0) / 3
+	if got := MARE5(approx, exact); math.Abs(got-want) > 1e-7 {
+		t.Errorf("MARE5 = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected shape-mismatch panic")
+		}
+	}()
+	MARE5(NewFloat325(Shape5{N: 1, D: 1, H: 1, W: 1, C: 3}), exact)
+}
+
+func TestNewFloat5InvalidPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFloat325(Shape5{}) },
+		func() { NewFloat645(Shape5{N: 1, D: 1, H: -1, W: 1, C: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,228 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{N: 2, H: 3, W: 4, C: 5}
+	if s.Elems() != 120 {
+		t.Errorf("Elems = %d, want 120", s.Elems())
+	}
+	if !s.Valid() {
+		t.Error("shape should be valid")
+	}
+	if (Shape{N: 0, H: 3, W: 4, C: 5}).Valid() {
+		t.Error("zero extent should be invalid")
+	}
+	if s.String() != "2:3:4:5" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// Property: Index is a bijection onto [0, Elems) matching NHWC order.
+func TestIndexBijection(t *testing.T) {
+	s := Shape{N: 3, H: 4, W: 5, C: 7}
+	seen := make(map[int]bool, s.Elems())
+	prev := -1
+	for n := 0; n < s.N; n++ {
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < s.C; c++ {
+					idx := s.Index(n, h, w, c)
+					if idx != prev+1 {
+						t.Fatalf("Index(%d,%d,%d,%d) = %d, want %d (row-major NHWC)",
+							n, h, w, c, idx, prev+1)
+					}
+					if seen[idx] {
+						t.Fatalf("duplicate index %d", idx)
+					}
+					seen[idx] = true
+					prev = idx
+				}
+			}
+		}
+	}
+	if len(seen) != s.Elems() {
+		t.Fatalf("covered %d indices, want %d", len(seen), s.Elems())
+	}
+}
+
+func TestFloat32AccessorsAndClone(t *testing.T) {
+	s := Shape{N: 2, H: 2, W: 2, C: 3}
+	a := NewFloat32(s)
+	a.Set(1, 0, 1, 2, 42)
+	if a.At(1, 0, 1, 2) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+	b := a.Clone()
+	b.Set(1, 0, 1, 2, 7)
+	if a.At(1, 0, 1, 2) != 42 {
+		t.Error("Clone must be deep")
+	}
+	a.Fill(3)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Scale(2)
+	if a.Data[0] != 6 {
+		t.Error("Scale failed")
+	}
+	a.Zero()
+	if a.Data[0] != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewFloat32(Shape{N: 1, H: 8, W: 8, C: 8})
+	a.FillUniform(rng, -2, 5)
+	var lo, hi float32 = 5, -2
+	for _, v := range a.Data {
+		if v < -2 || v >= 5 {
+			t.Fatalf("value %v out of [-2,5)", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 3 {
+		t.Errorf("suspiciously narrow spread [%v,%v] for uniform fill", lo, hi)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	s := Shape{N: 1, H: 2, W: 2, C: 2}
+	a := NewFloat32(s)
+	for i := range a.Data {
+		a.Data[i] = float32(i) * 0.25
+	}
+	d := a.ToFloat64()
+	for i := range d.Data {
+		if d.Data[i] != float64(a.Data[i]) {
+			t.Fatal("ToFloat64 mismatch")
+		}
+	}
+	back := d.ToFloat32()
+	if !AllClose(back, a, 0, 0) {
+		t.Error("Float64 round trip mismatch")
+	}
+	h := a.ToHalf()
+	hf := h.ToFloat32()
+	// 0..1.75 in steps of .25 are exactly representable in binary16.
+	if !AllClose(hf, a, 0, 0) {
+		t.Error("Half round trip should be exact for quarter-integers")
+	}
+	h.Set(0, 1, 1, 1, 1.5)
+	if h.At(0, 1, 1, 1) != 1.5 {
+		t.Error("Half Set/At failed")
+	}
+	d.Set(0, 0, 0, 1, 9)
+	if d.At(0, 0, 0, 1) != 9 {
+		t.Error("Float64 Set/At failed")
+	}
+}
+
+func TestMARE(t *testing.T) {
+	s := Shape{N: 1, H: 1, W: 1, C: 4}
+	exact := NewFloat64(s)
+	approx := NewFloat32(s)
+	copy(exact.Data, []float64{1, 2, 4, 0}) // zero entry must be skipped
+	copy(approx.Data, []float32{1.01, 1.98, 4, 5})
+	want := (0.01 + 0.01 + 0) / 3
+	// Tolerance covers the float32 representation error of 1.01 and 1.98.
+	if got := MARE(approx, exact); math.Abs(got-want) > 1e-7 {
+		t.Errorf("MARE = %v, want %v", got, want)
+	}
+	allZero := NewFloat64(s)
+	if MARE(approx, allZero) != 0 {
+		t.Error("MARE against all-zero exact should be 0")
+	}
+}
+
+func TestMaxAbsDiffAndAllClose(t *testing.T) {
+	s := Shape{N: 1, H: 1, W: 2, C: 2}
+	a := NewFloat32(s)
+	b := NewFloat32(s)
+	copy(a.Data, []float32{1, 2, 3, 4})
+	copy(b.Data, []float32{1, 2.5, 3, 4})
+	if got := MaxAbsDiff(a, b); got != 0.5 {
+		t.Errorf("MaxAbsDiff = %v, want 0.5", got)
+	}
+	if !AllClose(a, b, 0.25, 0) {
+		t.Error("AllClose with rtol 0.25 should pass (0.5 <= 0.25*2.5)")
+	}
+	if AllClose(a, b, 0.01, 0.01) {
+		t.Error("AllClose with tight tolerances should fail")
+	}
+	c := NewFloat32(Shape{N: 1, H: 1, W: 1, C: 4})
+	if AllClose(a, c, 1, 1) {
+		t.Error("AllClose across shapes must be false")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := Shape{N: 2, H: 4, W: 4, C: 8}
+	if Bytes32(s) != 1024 {
+		t.Errorf("Bytes32 = %d, want 1024", Bytes32(s))
+	}
+	if Bytes16(s) != 512 {
+		t.Errorf("Bytes16 = %d, want 512", Bytes16(s))
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFloat32(Shape{}) },
+		func() { NewFloat64(Shape{N: 1, H: -1, W: 1, C: 1}) },
+		func() { NewHalf(Shape{N: 1, H: 1, W: 0, C: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid shape")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMAREShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MARE(NewFloat32(Shape{N: 1, H: 1, W: 1, C: 2}), NewFloat64(Shape{N: 1, H: 1, W: 1, C: 3}))
+}
+
+// Property: MARE of a tensor against itself (widened) is 0, and MARE scales
+// linearly with a uniform relative perturbation.
+func TestMAREProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewFloat32(Shape{N: 1, H: 3, W: 3, C: 4})
+		a.FillUniform(rng, 0.5, 2)
+		exact := a.ToFloat64()
+		if MARE(a, exact) != 0 {
+			return false
+		}
+		perturbed := a.Clone()
+		perturbed.Scale(1.01)
+		got := MARE(perturbed, exact)
+		return math.Abs(got-0.01) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package train is a minimal CNN training substrate for the paper's
+// Figure 13 experiment: it shows that networks trained with WinRS-computed
+// filter gradients converge like networks trained with exact (direct)
+// gradients, in FP32 and in FP16 with loss scaling.
+//
+// The paper trains VGG/ResNet on ImageNet-1K; the convergence-equivalence
+// claim is architecture- and dataset-independent, so this substrate uses a
+// small two-conv CNN on a synthetic separable classification task — enough
+// to expose any systematic gradient error while staying laptop-scale.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/tensor"
+)
+
+// BFC computes filter gradients for one layer; the trainer is parameterized
+// over it so exact, WinRS-FP32 and WinRS-FP16 gradients are interchangeable.
+type BFC func(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error)
+
+// FC computes a forward convolution; BDC a data gradient. Both are
+// pluggable like BFC so the trainer can run every convolution pass on
+// WinRS kernels (the paper's "supports FC and BDC" claim, end to end).
+type FC func(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error)
+
+// BDC computes the input gradient from the output gradient and filter.
+type BDC func(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error)
+
+// DirectFC is the exact float32 forward reference.
+func DirectFC(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
+	return conv.Forward32(p, x, w), nil
+}
+
+// DirectBDC is the exact float32 data-gradient reference.
+func DirectBDC(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error) {
+	return conv.BackwardData32(p, dy, w), nil
+}
+
+// WinRSFC runs the forward pass on fused 1-D Winograd kernels.
+func WinRSFC(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
+	return core.Forward(p, x, w)
+}
+
+// WinRSBDC runs the data gradient on the flipped-filter forward kernel.
+func WinRSBDC(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error) {
+	return core.BackwardData(p, dy, w)
+}
+
+// DirectBFC is the exact float32 reference gradient.
+func DirectBFC(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error) {
+	return conv.BackwardFilterDirect32(p, x, dy), nil
+}
+
+// WinRSBFC computes gradients with the FP32 WinRS pipeline.
+func WinRSBFC(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error) {
+	return core.BackwardFilter(p, x, dy)
+}
+
+// WinRSHalfBFC returns a BFC running the FP16 Tensor-Core emulation with
+// the given loss scale: ∇Y is scaled up before the binary16 conversion
+// (keeping small gradients above the FP16 underflow threshold) and the
+// result is scaled back down — the paper's Loss Scaling setup for Fig 13.
+func WinRSHalfBFC(lossScale float32) BFC {
+	return func(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error) {
+		scaled := dy.Clone()
+		scaled.Scale(lossScale)
+		dw, err := core.BackwardFilterHalf(p, x.ToHalf(), scaled.ToHalf())
+		if err != nil {
+			return nil, err
+		}
+		dw.Scale(1 / lossScale)
+		return dw, nil
+	}
+}
+
+// Dataset is a synthetic classification task: each class has a smooth
+// random template; samples are the template plus Gaussian-ish noise. The
+// task is linearly separable enough that a two-conv network learns it in a
+// few hundred steps.
+type Dataset struct {
+	Classes   int
+	H, W, C   int
+	templates []*tensor.Float32
+	rng       *rand.Rand
+}
+
+// NewDataset builds the task with the given geometry and seed.
+func NewDataset(classes, h, w, c int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Classes: classes, H: h, W: w, C: c, rng: rng}
+	for k := 0; k < classes; k++ {
+		t := tensor.NewFloat32(tensor.Shape{N: 1, H: h, W: w, C: c})
+		// Smooth template: sum of a few random low-frequency waves.
+		for ch := 0; ch < c; ch++ {
+			fx := rng.Float64()*2 + 0.5
+			fy := rng.Float64()*2 + 0.5
+			ph := rng.Float64() * 2 * math.Pi
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := math.Sin(fx*float64(x)/float64(w)*2*math.Pi+ph) *
+						math.Cos(fy*float64(y)/float64(h)*2*math.Pi)
+					t.Set(0, y, x, ch, float32(0.5*v))
+				}
+			}
+		}
+		d.templates = append(d.templates, t)
+	}
+	return d
+}
+
+// Batch samples n labelled examples.
+func (d *Dataset) Batch(n int) (*tensor.Float32, []int) {
+	x := tensor.NewFloat32(tensor.Shape{N: n, H: d.H, W: d.W, C: d.C})
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		k := d.rng.Intn(d.Classes)
+		labels[i] = k
+		tpl := d.templates[k]
+		for y := 0; y < d.H; y++ {
+			for xx := 0; xx < d.W; xx++ {
+				for ch := 0; ch < d.C; ch++ {
+					noise := float32(d.rng.NormFloat64() * 0.2)
+					x.Set(i, y, xx, ch, tpl.At(0, y, xx, ch)+noise)
+				}
+			}
+		}
+	}
+	return x, labels
+}
+
+// Net is a two-conv CNN: conv3x3 → ReLU → conv3x3 → ReLU → global average
+// pool → dense → softmax.
+type Net struct {
+	H, W, InC  int
+	C1, C2     int
+	Classes    int
+	W1, W2     *tensor.Float32 // conv filters, O_C×3×3×I_C
+	Dense      []float32       // Classes×C2
+	DenseBias  []float32
+	LR         float32
+	BFCForward BFC
+	// Forward and DataGrad default to the exact references; set them to
+	// WinRSFC/WinRSBDC for an all-WinRS training loop.
+	Forward  FC
+	DataGrad BDC
+}
+
+// UseWinRSEverywhere switches every convolution pass (FC, BDC, BFC) to the
+// WinRS kernels.
+func (n *Net) UseWinRSEverywhere() {
+	n.BFCForward = WinRSBFC
+	n.Forward = WinRSFC
+	n.DataGrad = WinRSBDC
+}
+
+// NewNet initializes a network with He-style scaled random weights.
+func NewNet(h, w, inC, c1, c2, classes int, bfc BFC, seed int64) *Net {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Net{
+		H: h, W: w, InC: inC, C1: c1, C2: c2, Classes: classes,
+		W1:         tensor.NewFloat32(tensor.Shape{N: c1, H: 3, W: 3, C: inC}),
+		W2:         tensor.NewFloat32(tensor.Shape{N: c2, H: 3, W: 3, C: c1}),
+		Dense:      make([]float32, classes*c2),
+		DenseBias:  make([]float32, classes),
+		LR:         0.1,
+		BFCForward: bfc,
+		Forward:    DirectFC,
+		DataGrad:   DirectBDC,
+	}
+	initScale := func(fanIn int) float32 {
+		return float32(math.Sqrt(2 / float64(fanIn)))
+	}
+	s1 := initScale(9 * inC)
+	for i := range n.W1.Data {
+		n.W1.Data[i] = float32(rng.NormFloat64()) * s1
+	}
+	s2 := initScale(9 * c1)
+	for i := range n.W2.Data {
+		n.W2.Data[i] = float32(rng.NormFloat64()) * s2
+	}
+	sd := initScale(c2)
+	for i := range n.Dense {
+		n.Dense[i] = float32(rng.NormFloat64()) * sd
+	}
+	return n
+}
+
+func (n *Net) convParams(batch, ic, oc int) conv.Params {
+	return conv.Params{N: batch, IH: n.H, IW: n.W, FH: 3, FW: 3,
+		IC: ic, OC: oc, PH: 1, PW: 1}
+}
+
+// Step runs one SGD step on a batch and returns the cross-entropy loss. The
+// forward and backward-data passes are exact float32; the filter gradients
+// come from the pluggable BFC (the quantity under test in Fig 13).
+func (n *Net) Step(x *tensor.Float32, labels []int) (float64, error) {
+	batch := x.Shape.N
+	p1 := n.convParams(batch, n.InC, n.C1)
+	p2 := n.convParams(batch, n.C1, n.C2)
+
+	// Forward.
+	a1, err := n.Forward(p1, x, n.W1)
+	if err != nil {
+		return 0, err
+	}
+	relu(a1)
+	a2, err := n.Forward(p2, a1, n.W2)
+	if err != nil {
+		return 0, err
+	}
+	relu(a2)
+	pooled := globalAvgPool(a2) // [batch][C2]
+	logits := make([]float32, batch*n.Classes)
+	for b := 0; b < batch; b++ {
+		for k := 0; k < n.Classes; k++ {
+			s := n.DenseBias[k]
+			for c := 0; c < n.C2; c++ {
+				s += n.Dense[k*n.C2+c] * pooled[b*n.C2+c]
+			}
+			logits[b*n.Classes+k] = s
+		}
+	}
+	loss, dLogits := softmaxXent(logits, labels, n.Classes)
+
+	// Backward through dense.
+	dPooled := make([]float32, batch*n.C2)
+	gDense := make([]float32, len(n.Dense))
+	gBias := make([]float32, n.Classes)
+	for b := 0; b < batch; b++ {
+		for k := 0; k < n.Classes; k++ {
+			g := dLogits[b*n.Classes+k]
+			gBias[k] += g
+			for c := 0; c < n.C2; c++ {
+				gDense[k*n.C2+c] += g * pooled[b*n.C2+c]
+				dPooled[b*n.C2+c] += g * n.Dense[k*n.C2+c]
+			}
+		}
+	}
+	// Backward through global average pool.
+	da2 := tensor.NewFloat32(a2.Shape)
+	inv := 1 / float32(n.H*n.W)
+	for b := 0; b < batch; b++ {
+		for y := 0; y < n.H; y++ {
+			for xx := 0; xx < n.W; xx++ {
+				for c := 0; c < n.C2; c++ {
+					da2.Set(b, y, xx, c, dPooled[b*n.C2+c]*inv)
+				}
+			}
+		}
+	}
+	reluBackward(da2, a2)
+
+	// Layer 2 gradients: BFC under test + exact BDC.
+	gW2, err := n.BFCForward(p2, a1, da2)
+	if err != nil {
+		return 0, err
+	}
+	da1, err := n.DataGrad(p2, da2, n.W2)
+	if err != nil {
+		return 0, err
+	}
+	reluBackward(da1, a1)
+
+	// Layer 1 filter gradient.
+	gW1, err := n.BFCForward(p1, x, da1)
+	if err != nil {
+		return 0, err
+	}
+
+	// SGD update (mean over batch).
+	scale := n.LR / float32(batch)
+	for i := range n.W1.Data {
+		n.W1.Data[i] -= scale * gW1.Data[i]
+	}
+	for i := range n.W2.Data {
+		n.W2.Data[i] -= scale * gW2.Data[i]
+	}
+	for i := range n.Dense {
+		n.Dense[i] -= scale * gDense[i]
+	}
+	for k := range n.DenseBias {
+		n.DenseBias[k] -= scale * gBias[k]
+	}
+	return loss, nil
+}
+
+// Accuracy evaluates classification accuracy on a batch.
+func (n *Net) Accuracy(x *tensor.Float32, labels []int) float64 {
+	batch := x.Shape.N
+	p1 := n.convParams(batch, n.InC, n.C1)
+	p2 := n.convParams(batch, n.C1, n.C2)
+	a1, err := n.Forward(p1, x, n.W1)
+	if err != nil {
+		return 0
+	}
+	relu(a1)
+	a2, err := n.Forward(p2, a1, n.W2)
+	if err != nil {
+		return 0
+	}
+	relu(a2)
+	pooled := globalAvgPool(a2)
+	correct := 0
+	for b := 0; b < batch; b++ {
+		bestK, bestV := 0, float32(math.Inf(-1))
+		for k := 0; k < n.Classes; k++ {
+			s := n.DenseBias[k]
+			for c := 0; c < n.C2; c++ {
+				s += n.Dense[k*n.C2+c] * pooled[b*n.C2+c]
+			}
+			if s > bestV {
+				bestK, bestV = k, s
+			}
+		}
+		if bestK == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(batch)
+}
+
+// Run trains for steps steps with the given batch size and returns the loss
+// curve.
+func Run(net *Net, ds *Dataset, steps, batch int) ([]float64, error) {
+	if ds.H != net.H || ds.W != net.W || ds.C != net.InC {
+		return nil, fmt.Errorf("train: dataset %dx%dx%d does not match net %dx%dx%d",
+			ds.H, ds.W, ds.C, net.H, net.W, net.InC)
+	}
+	losses := make([]float64, 0, steps)
+	for s := 0; s < steps; s++ {
+		x, labels := ds.Batch(batch)
+		loss, err := net.Step(x, labels)
+		if err != nil {
+			return nil, err
+		}
+		losses = append(losses, loss)
+	}
+	return losses, nil
+}
+
+func relu(t *tensor.Float32) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// reluBackward zeroes gradient entries where the activation was clipped.
+func reluBackward(grad, act *tensor.Float32) {
+	for i := range grad.Data {
+		if act.Data[i] <= 0 {
+			grad.Data[i] = 0
+		}
+	}
+}
+
+// globalAvgPool reduces N×H×W×C to a flat [N][C] feature matrix.
+func globalAvgPool(t *tensor.Float32) []float32 {
+	s := t.Shape
+	out := make([]float32, s.N*s.C)
+	inv := 1 / float32(s.H*s.W)
+	for n := 0; n < s.N; n++ {
+		for y := 0; y < s.H; y++ {
+			for x := 0; x < s.W; x++ {
+				base := s.Index(n, y, x, 0)
+				for c := 0; c < s.C; c++ {
+					out[n*s.C+c] += t.Data[base+c] * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// softmaxXent returns the mean cross-entropy loss and the logits gradient
+// (softmax − one-hot).
+func softmaxXent(logits []float32, labels []int, classes int) (float64, []float32) {
+	batch := len(labels)
+	grad := make([]float32, len(logits))
+	var loss float64
+	for b := 0; b < batch; b++ {
+		row := logits[b*classes : (b+1)*classes]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		logSum := math.Log(sum)
+		for k, v := range row {
+			pk := math.Exp(float64(v-mx)) / sum
+			grad[b*classes+k] = float32(pk)
+			if k == labels[b] {
+				grad[b*classes+k] -= 1
+				loss += -(float64(v-mx) - logSum)
+			}
+		}
+	}
+	return loss / float64(batch), grad
+}

@@ -1,0 +1,200 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func avgTail(losses []float64, n int) float64 {
+	if len(losses) < n {
+		n = len(losses)
+	}
+	var s float64
+	for _, v := range losses[len(losses)-n:] {
+		s += v
+	}
+	return s / float64(n)
+}
+
+func TestDatasetShapeAndLabels(t *testing.T) {
+	ds := NewDataset(3, 8, 8, 2, 1)
+	x, labels := ds.Batch(16)
+	if x.Shape != (tensor.Shape{N: 16, H: 8, W: 8, C: 2}) {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Error("16 samples should span multiple classes")
+	}
+}
+
+// The Fig 13 core claim, FP32: training with WinRS gradients converges like
+// training with exact gradients.
+func TestWinRSTrainingMatchesExact(t *testing.T) {
+	const steps, batch = 400, 8
+	ds1 := NewDataset(3, 8, 8, 2, 7)
+	exact := NewNet(8, 8, 2, 4, 6, 3, DirectBFC, 99)
+	exact.LR = 0.5
+	lossExact, err := Run(exact, ds1, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2 := NewDataset(3, 8, 8, 2, 7) // identical stream
+	wrs := NewNet(8, 8, 2, 4, 6, 3, WinRSBFC, 99)
+	wrs.LR = 0.5
+	lossWinRS, err := Run(wrs, ds2, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, e1 := avgTail(lossExact, 20), avgTail(lossWinRS, 20)
+	if e0 > 0.8*lossExact[0] {
+		t.Fatalf("exact training failed to reduce loss: %v -> %v", lossExact[0], e0)
+	}
+	if math.Abs(e1-e0) > 0.15*math.Max(e0, 0.05)+0.05 {
+		t.Errorf("WinRS final loss %v diverges from exact %v", e1, e0)
+	}
+	// Accuracy parity on a held-out batch.
+	x, labels := ds1.Batch(64)
+	accE, accW := exact.Accuracy(x, labels), wrs.Accuracy(x, labels)
+	if math.Abs(accE-accW) > 0.2 {
+		t.Errorf("accuracy gap too large: exact %v vs WinRS %v", accE, accW)
+	}
+	if accE < 0.6 {
+		t.Errorf("exact accuracy %v too low for a separable task", accE)
+	}
+}
+
+// FP16 with loss scaling must also converge (the Fig 13 FP16 curve).
+func TestFP16LossScalingConverges(t *testing.T) {
+	const steps, batch = 400, 8
+	ds := NewDataset(3, 8, 8, 2, 11)
+	net := NewNet(8, 8, 2, 4, 6, 3, WinRSHalfBFC(128), 99)
+	net.LR = 0.5
+	losses, err := Run(net, ds, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := avgTail(losses, 20); tail > 0.6*losses[0] {
+		t.Errorf("FP16 training failed to converge: %v -> %v", losses[0], tail)
+	}
+}
+
+// Without loss scaling, tiny FP16 gradients underflow; with scaling they
+// survive — the mechanism loss scaling exists for.
+func TestLossScalingPreservesSmallGradients(t *testing.T) {
+	p := conv.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x := tensor.NewFloat32(p.XShape())
+	dy := tensor.NewFloat32(p.DYShape())
+	for i := range x.Data {
+		x.Data[i] = 0.5
+	}
+	for i := range dy.Data {
+		dy.Data[i] = 1e-8 // rounds to zero in binary16 (subnormal floor ~6e-8)
+	}
+	unscaled, err := WinRSHalfBFC(1)(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := WinRSHalfBFC(1024)(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumU, sumS float64
+	for i := range unscaled.Data {
+		sumU += math.Abs(float64(unscaled.Data[i]))
+		sumS += math.Abs(float64(scaled.Data[i]))
+	}
+	if sumU != 0 {
+		t.Errorf("unscaled FP16 gradients should underflow to zero, got %v", sumU)
+	}
+	if sumS == 0 {
+		t.Error("loss-scaled FP16 gradients must survive")
+	}
+}
+
+func TestRunRejectsMismatchedDataset(t *testing.T) {
+	ds := NewDataset(2, 8, 8, 2, 1)
+	net := NewNet(10, 10, 2, 2, 2, 2, DirectBFC, 1)
+	if _, err := Run(net, ds, 1, 2); err == nil {
+		t.Error("expected geometry mismatch error")
+	}
+}
+
+func TestSoftmaxXentGradient(t *testing.T) {
+	logits := []float32{1, 2, 3, 0.5, 0.5, 0.5}
+	labels := []int{2, 0}
+	loss, grad := softmaxXent(logits, labels, 3)
+	if loss <= 0 {
+		t.Error("loss must be positive")
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for b := 0; b < 2; b++ {
+		var s float64
+		for k := 0; k < 3; k++ {
+			s += float64(grad[b*3+k])
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Errorf("row %d gradient sum %v, want 0", b, s)
+		}
+	}
+	// Finite-difference check on logit (0,0).
+	const eps = 1e-3
+	lp := make([]float32, len(logits))
+	copy(lp, logits)
+	lp[0] += eps
+	lossP, _ := softmaxXent(lp, labels, 3)
+	lm := make([]float32, len(logits))
+	copy(lm, logits)
+	lm[0] -= eps
+	lossM, _ := softmaxXent(lm, labels, 3)
+	numeric := (lossP - lossM) / (2 * eps) * 2 // mean over batch of 2
+	if math.Abs(numeric-float64(grad[0])) > 1e-3 {
+		t.Errorf("grad[0] = %v, numeric %v", grad[0], numeric)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := tensor.NewFloat32(tensor.Shape{N: 1, H: 2, W: 2, C: 2})
+	copy(x.Data, []float32{1, 10, 2, 20, 3, 30, 4, 40})
+	out := globalAvgPool(x)
+	if out[0] != 2.5 || out[1] != 25 {
+		t.Errorf("pool = %v, want [2.5 25]", out)
+	}
+}
+
+// The all-WinRS training loop (FC, BDC and BFC all on WinRS kernels) must
+// converge like the all-direct loop.
+func TestAllWinRSTrainingConverges(t *testing.T) {
+	const steps, batch = 300, 8
+	dsA := NewDataset(3, 8, 8, 2, 17)
+	direct := NewNet(8, 8, 2, 4, 6, 3, DirectBFC, 99)
+	direct.LR = 0.5
+	lossDirect, err := Run(direct, dsA, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB := NewDataset(3, 8, 8, 2, 17)
+	all := NewNet(8, 8, 2, 4, 6, 3, DirectBFC, 99)
+	all.UseWinRSEverywhere()
+	all.LR = 0.5
+	lossAll, err := Run(all, dsB, steps, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := avgTail(lossDirect, 20), avgTail(lossAll, 20)
+	if d1 > 0.6*lossAll[0] {
+		t.Fatalf("all-WinRS training failed to converge: %v -> %v", lossAll[0], d1)
+	}
+	if diff := math.Abs(d1 - d0); diff > 0.1*math.Max(d0, 0.05)+0.05 {
+		t.Errorf("all-WinRS final loss %v diverges from direct %v", d1, d0)
+	}
+}

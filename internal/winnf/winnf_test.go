@@ -1,0 +1,199 @@
+package winnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+)
+
+func TestSupported(t *testing.T) {
+	mk := func(f int) conv.Params {
+		return conv.Params{N: 1, IH: 12, IW: 12, FH: f, FW: f, IC: 1, OC: 1,
+			PH: f / 2, PW: f / 2}
+	}
+	if !Supported(mk(3)) || !Supported(mk(5)) {
+		t.Error("3x3 and 5x5 must be supported")
+	}
+	if Supported(mk(4)) || Supported(mk(7)) {
+		t.Error("4x4 and 7x7 must be unsupported (Cu-WinNF envelope)")
+	}
+	p := mk(3)
+	p.FW = 5
+	if Supported(p) {
+		t.Error("non-square filters must be unsupported")
+	}
+}
+
+func TestAccelMatchesPaperFootnote(t *testing.T) {
+	p3 := conv.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}
+	p5 := conv.Params{N: 1, IH: 12, IW: 12, FH: 5, FW: 5, IC: 1, OC: 1, PH: 2, PW: 2}
+	if got := Accel(p3); got != 4 {
+		t.Errorf("3x3 accel = %v, want 4 (footnote 4)", got)
+	}
+	if got := Accel(p5); got != 6.25 {
+		t.Errorf("5x5 accel = %v, want 6.25 (footnote 4)", got)
+	}
+}
+
+func randLayer(rng *rand.Rand, f int) (conv.Params, *tensor.Float64, *tensor.Float64) {
+	p := conv.Params{
+		N:  1 + rng.Intn(2),
+		IH: f + 3 + rng.Intn(12),
+		IW: f + 3 + rng.Intn(12),
+		FH: f, FW: f,
+		IC: 1 + rng.Intn(3),
+		OC: 1 + rng.Intn(3),
+		PH: rng.Intn(f/2 + 1),
+		PW: rng.Intn(f/2 + 1),
+	}
+	x := tensor.NewFloat64(p.XShape())
+	dy := tensor.NewFloat64(p.DYShape())
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	for i := range dy.Data {
+		dy.Data[i] = rng.Float64()*2 - 1
+	}
+	return p, x, dy
+}
+
+func TestBackwardFilterMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, f := range []int{3, 5} {
+		// F(5,4) (α=8) transforms are worse conditioned than F(3,4) (α=6),
+		// so the 5×5 band is looser — mirroring Cu-WinNF's spread in Table 4.
+		tol := 2e-5
+		if f == 5 {
+			tol = 2e-4
+		}
+		for trial := 0; trial < 6; trial++ {
+			p, x64, dy64 := randLayer(rng, f)
+			want := conv.BackwardFilterDirect64(p, x64, dy64)
+			got := BackwardFilter(p, x64.ToFloat32(), dy64.ToFloat32())
+			if m := tensor.MARE(got, want); m > tol {
+				t.Errorf("%dx%d trial %d (%v): MARE %v", f, f, trial, p, m)
+			}
+		}
+	}
+}
+
+// Ragged edges: O_H, O_W not multiples of the tile size exercise the
+// zero-padded boundary tiles.
+func TestBackwardFilterRaggedTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := conv.Params{N: 1, IH: 9, IW: 11, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	// OH = 9, OW = 11: neither divisible by 4.
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64()
+	}
+	want := conv.BackwardFilterDirect64(p, x64, dy64)
+	got := BackwardFilter(p, x64.ToFloat32(), dy64.ToFloat32())
+	if m := tensor.MARE(got, want); m > 2e-5 {
+		t.Errorf("MARE %v", m)
+	}
+}
+
+func TestBackwardFilterUnsupportedPanics(t *testing.T) {
+	p := conv.Params{N: 1, IH: 10, IW: 10, FH: 4, FW: 4, IC: 1, OC: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 4x4")
+		}
+	}()
+	BackwardFilter(p, tensor.NewFloat32(p.XShape()), tensor.NewFloat32(p.DYShape()))
+}
+
+func TestBackwardFilterHalf3x3(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := conv.Params{N: 2, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x64 := tensor.NewFloat64(p.XShape())
+	dy64 := tensor.NewFloat64(p.DYShape())
+	for i := range x64.Data {
+		x64.Data[i] = rng.Float64()
+	}
+	for i := range dy64.Data {
+		dy64.Data[i] = rng.Float64() * 0.01 // paper's FP16 scaling
+	}
+	want := conv.BackwardFilterDirect64(p, x64, dy64)
+	got := BackwardFilterHalf(p, x64.ToFloat32().ToHalf(), dy64.ToFloat32().ToHalf())
+	// Small accumulation length: FP16 error in the 1e-3 band.
+	if m := tensor.MARE(got, want); m > 2e-2 {
+		t.Errorf("FP16 MARE %v", m)
+	}
+}
+
+func TestBackwardFilterHalfRejects5x5(t *testing.T) {
+	p := conv.Params{N: 1, IH: 12, IW: 12, FH: 5, FW: 5, IC: 1, OC: 1, PH: 2, PW: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: FP16 Cu-WinNF is 3x3-only")
+		}
+	}()
+	BackwardFilterHalf(p, tensor.NewHalf(p.XShape()), tensor.NewHalf(p.DYShape()))
+}
+
+// FP16 accuracy must degrade with accumulation length (the paper's Fig 12C
+// mechanism for Cu-WinNF).
+func TestHalfAccuracyDegradesWithAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	mare := func(n, hw int) float64 {
+		p := conv.Params{N: n, IH: hw, IW: hw, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+		x64 := tensor.NewFloat64(p.XShape())
+		dy64 := tensor.NewFloat64(p.DYShape())
+		for i := range x64.Data {
+			x64.Data[i] = rng.Float64()
+		}
+		for i := range dy64.Data {
+			dy64.Data[i] = rng.Float64() * 0.01
+		}
+		want := conv.BackwardFilterDirect64(p, x64, dy64)
+		got := BackwardFilterHalf(p, x64.ToFloat32().ToHalf(), dy64.ToFloat32().ToHalf())
+		return tensor.MARE(got, want)
+	}
+	small := mare(1, 8)
+	large := mare(4, 40)
+	if large <= small {
+		t.Errorf("expected degradation with accumulation length: small %v, large %v",
+			small, large)
+	}
+}
+
+func TestWorkspaceAccounting(t *testing.T) {
+	p := conv.Params{N: 2, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	// OH=OW=16 → 4x4 tiles, nt = 2·16 = 32, α = 6, a² = 36.
+	want := int64(2*16*4*36+2*16*4*36+36*4*4) * 4
+	if got := Workspace(p); got != want {
+		t.Errorf("Workspace = %d, want %d", got, want)
+	}
+	// Paper band: Cu-WinNF workspace is ≥2.23× the data size for real
+	// layers.
+	vgg := conv.Params{N: 32, IH: 224, IW: 224, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1}
+	ratio := float64(Workspace(vgg)) / float64(vgg.DataBytes32())
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("VGG conv2 workspace ratio %v, want within the paper's 2.23-5.9x band", ratio)
+	}
+	if Workspace(conv.Params{N: 1, IH: 8, IW: 8, FH: 4, FW: 4, IC: 1, OC: 1}) != 0 {
+		t.Error("unsupported shapes should report zero workspace")
+	}
+}
+
+func BenchmarkBackwardFilterWinNF(b *testing.B) {
+	p := conv.Params{N: 2, IH: 32, IW: 32, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewFloat32(p.XShape())
+	dy := tensor.NewFloat32(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	b.SetBytes(p.DataBytes32())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BackwardFilter(p, x, dy)
+	}
+}

@@ -1,0 +1,194 @@
+package winograd
+
+import (
+	"winrs/internal/fp16"
+)
+
+// Conv1D computes the F(n,r) Winograd correlation in float64:
+// y[i] = Σ_k x[i+k]·w[k] for i in [0,n), with len(x) = α and len(w) = r.
+func (t *Transform) Conv1D(x, w []float64) []float64 {
+	if len(x) != t.Alpha || len(w) != t.R {
+		panic("winograd: Conv1D operand size mismatch")
+	}
+	gw := t.G.MulVec(w)  // filter transform, length α
+	dx := t.D.TMulVec(x) // input transform, length α
+	for i := range gw {
+		gw[i] *= dx[i] // element-wise multiplication
+	}
+	return t.A.TMulVec(gw) // output transform, length n
+}
+
+// Conv1D32 computes the F(n,r) correlation in float32 arithmetic, matching
+// the paper's FP32 CUDA-core kernels (transforms, EWM and accumulation all
+// rounded to float32 per operation).
+func (t *Transform) Conv1D32(x, w []float32) []float32 {
+	if len(x) != t.Alpha || len(w) != t.R {
+		panic("winograd: Conv1D32 operand size mismatch")
+	}
+	gw := t.G.MulVec32(w)
+	dx := t.D.TMulVec32(x)
+	for i := range gw {
+		gw[i] *= dx[i]
+	}
+	return t.A.TMulVec32(gw)
+}
+
+// Direct1D is the direct (non-Winograd) correlation reference used for
+// validation: y[i] = Σ_k x[i+k]·w[k].
+func Direct1D(x, w []float64, n int) []float64 {
+	r := len(w)
+	if len(x) < n+r-1 {
+		panic("winograd: Direct1D input too short")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := 0; k < r; k++ {
+			s += x[i+k] * w[k]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Direct1D32 is the float32 direct correlation reference.
+func Direct1D32(x, w []float32, n int) []float32 {
+	r := len(w)
+	if len(x) < n+r-1 {
+		panic("winograd: Direct1D32 input too short")
+	}
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float32
+		for k := 0; k < r; k++ {
+			s += x[i+k] * w[k]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Conv2D computes the nested 2-D Winograd correlation
+// F(n0×n1, r0×r1) in float64 per the paper's eq. (2):
+//
+//	Y = A0ᵀ[(G0·W·G1ᵀ) ⊙ (D0ᵀ·X·D1)]·A1
+//
+// x is an α0×α1 row-major tile, w an r0×r1 row-major tile; the result is
+// n0×n1 row-major. It is used by the non-fused 2-D Winograd baseline.
+func Conv2D(t0, t1 *Transform, x, w []float64) []float64 {
+	a0, a1 := t0.Alpha, t1.Alpha
+	if len(x) != a0*a1 || len(w) != t0.R*t1.R {
+		panic("winograd: Conv2D operand size mismatch")
+	}
+	// Filter transform: G0·W·G1ᵀ (α0×α1).
+	gw := matSandwich(t0.G, w, t0.R, t1.R, t1.G)
+	// Input transform: D0ᵀ·X·D1 = (D0ᵀ X) then ·D1; using the same helper
+	// with transposed application.
+	dx := matSandwichT(t0.D, x, a0, a1, t1.D)
+	for i := range gw {
+		gw[i] *= dx[i]
+	}
+	// Output transform: A0ᵀ·Ŷ·A1 (n0×n1).
+	return matSandwichT(t0.A, gw, a0, a1, t1.A)
+}
+
+// matSandwich computes L·M·Rᵀ where M is rows×cols row-major, L is
+// (l.Rows×rows) and R is (r.Rows×cols); the result is l.Rows×r.Rows.
+func matSandwich(l *Mat, m []float64, rows, cols int, r *Mat) []float64 {
+	if l.Cols != rows || r.Cols != cols {
+		panic("winograd: matSandwich dimension mismatch")
+	}
+	// tmp = L·M (l.Rows×cols)
+	tmp := make([]float64, l.Rows*cols)
+	for i := 0; i < l.Rows; i++ {
+		for k := 0; k < rows; k++ {
+			lv := l.At(i, k)
+			if lv == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				tmp[i*cols+j] += lv * m[k*cols+j]
+			}
+		}
+	}
+	// out = tmp·Rᵀ (l.Rows×r.Rows)
+	out := make([]float64, l.Rows*r.Rows)
+	for i := 0; i < l.Rows; i++ {
+		for j := 0; j < r.Rows; j++ {
+			var s float64
+			for k := 0; k < cols; k++ {
+				s += tmp[i*cols+k] * r.At(j, k)
+			}
+			out[i*r.Rows+j] = s
+		}
+	}
+	return out
+}
+
+// matSandwichT computes Lᵀ·M·R where M is rows×cols row-major, L is
+// (rows×l.Cols) and R is (cols×r.Cols); the result is l.Cols×r.Cols.
+func matSandwichT(l *Mat, m []float64, rows, cols int, r *Mat) []float64 {
+	if l.Rows != rows || r.Rows != cols {
+		panic("winograd: matSandwichT dimension mismatch")
+	}
+	// tmp = Lᵀ·M (l.Cols×cols)
+	tmp := make([]float64, l.Cols*cols)
+	for k := 0; k < rows; k++ {
+		for i := 0; i < l.Cols; i++ {
+			lv := l.At(k, i)
+			if lv == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				tmp[i*cols+j] += lv * m[k*cols+j]
+			}
+		}
+	}
+	// out = tmp·R (l.Cols×r.Cols)
+	out := make([]float64, l.Cols*r.Cols)
+	for i := 0; i < l.Cols; i++ {
+		for j := 0; j < r.Cols; j++ {
+			var s float64
+			for k := 0; k < cols; k++ {
+				s += tmp[i*cols+k] * r.At(k, j)
+			}
+			out[i*r.Cols+j] = s
+		}
+	}
+	return out
+}
+
+// Conv1DHalf computes the F(n,r) correlation with the paper's FP16
+// Tensor-Core semantics (§5.2 "Accuracy Optimization"):
+//
+//   - FT and IT are computed in FP32 ("mixed-precision transforms") and
+//     then rounded to binary16,
+//   - the EWM multiplies binary16 operands and accumulates in FP32
+//     (Tensor-Core MMA contract),
+//   - the OT runs in FP32 on the accumulators.
+//
+// When s is non-nil its scaling matrices are used (eq. 7), which keeps the
+// Ω16 transforms inside the binary16 dynamic range.
+func (t *Transform) Conv1DHalf(x, w []fp16.Bits, s *ScaledTransform) []float32 {
+	if len(x) != t.Alpha || len(w) != t.R {
+		panic("winograd: Conv1DHalf operand size mismatch")
+	}
+	gMat, dMat, aMat := t.G, t.D, t.A
+	if s != nil {
+		gMat, dMat, aMat = s.G, s.D, s.A
+	}
+	// FP32 transforms on widened inputs, rounded once to binary16.
+	xf := fp16.SliceToFloat32(x)
+	wf := fp16.SliceToFloat32(w)
+	gw16 := fp16.SliceFromFloat32(gMat.MulVec32(wf))
+	dx16 := fp16.SliceFromFloat32(dMat.TMulVec32(xf))
+	// EWM with FP32 accumulation surrogate: products of binary16 values
+	// kept in float32 (no binary16 rounding of the products — Tensor
+	// Cores form exact FP16×FP16 products into FP32 accumulators).
+	acc := make([]float32, t.Alpha)
+	for i := range acc {
+		acc[i] = fp16.ToFloat32(gw16[i]) * fp16.ToFloat32(dx16[i])
+	}
+	// FP32 output transform on the accumulators.
+	return aMat.TMulVec32(acc)
+}

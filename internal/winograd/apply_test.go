@@ -1,0 +1,369 @@
+package winograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"winrs/internal/fp16"
+)
+
+func maxAbsErr(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Float64 application must match direct correlation to near machine
+// precision for every registry kernel.
+func TestConv1DMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range Kernels {
+		tr := Generate(k.N, k.R)
+		for trial := 0; trial < 5; trial++ {
+			x := make([]float64, tr.Alpha)
+			w := make([]float64, tr.R)
+			for i := range x {
+				x[i] = rng.Float64()*2 - 1
+			}
+			for i := range w {
+				w[i] = rng.Float64()*2 - 1
+			}
+			got := tr.Conv1D(x, w)
+			want := Direct1D(x, w, tr.N)
+			// Larger α has worse conditioning; scale tolerance with the
+			// transform magnitude.
+			tol := 1e-12 * math.Max(1, tr.D.MaxAbs())
+			if err := maxAbsErr(got, want); err > tol {
+				t.Errorf("%v trial %d: max err %v > %v", k, trial, err, tol)
+			}
+		}
+	}
+}
+
+// Property-based: random shapes and inputs, float64 path.
+func TestConv1DQuick(t *testing.T) {
+	tr := Generate(3, 6)
+	f := func(xa [8]float64, wa [6]float64) bool {
+		x, w := xa[:], wa[:]
+		for i := range x {
+			x[i] = math.Mod(x[i], 4)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		for i := range w {
+			w[i] = math.Mod(w[i], 4)
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		got := tr.Conv1D(x, w)
+		want := Direct1D(x, w, 3)
+		return maxAbsErr(got, want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Float32 path: relative accuracy around 1e-6 for the small-α kernels
+// (paper Table 4 reports ~1e-7 MARE for Ω4/Ω8 and ~1e-5 for Ω16).
+func TestConv1D32Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range Kernels {
+		tr := Generate(k.N, k.R)
+		tol := 1e-5
+		if k.Alpha == 16 {
+			tol = 1e-3
+		}
+		for trial := 0; trial < 5; trial++ {
+			x64 := make([]float64, tr.Alpha)
+			w64 := make([]float64, tr.R)
+			x32 := make([]float32, tr.Alpha)
+			w32 := make([]float32, tr.R)
+			for i := range x64 {
+				x64[i] = rng.Float64()
+				x32[i] = float32(x64[i])
+			}
+			for i := range w64 {
+				w64[i] = rng.Float64()
+				w32[i] = float32(w64[i])
+			}
+			got := tr.Conv1D32(x32, w32)
+			want := Direct1D(x64, w64, tr.N)
+			for i := range got {
+				rel := math.Abs(float64(got[i])-want[i]) / math.Max(1e-9, math.Abs(want[i]))
+				if rel > tol {
+					t.Errorf("%v trial %d out %d: rel err %v > %v", k, trial, i, rel, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestConv2DMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	t0 := Generate(2, 3)
+	t1 := Generate(2, 3)
+	a0, a1 := t0.Alpha, t1.Alpha
+	x := make([]float64, a0*a1)
+	w := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	for i := range w {
+		w[i] = rng.Float64()*2 - 1
+	}
+	got := Conv2D(t0, t1, x, w)
+	// Direct 2-D valid correlation.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for u := 0; u < 3; u++ {
+				for v := 0; v < 3; v++ {
+					s += x[(i+u)*a1+(j+v)] * w[u*3+v]
+				}
+			}
+			if math.Abs(got[i*2+j]-s) > 1e-12 {
+				t.Errorf("Conv2D[%d,%d] = %v, want %v", i, j, got[i*2+j], s)
+			}
+		}
+	}
+}
+
+func TestConv2DAsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	t0 := Generate(2, 3) // rows
+	t1 := Generate(3, 2) // cols
+	x := make([]float64, t0.Alpha*t1.Alpha)
+	w := make([]float64, t0.R*t1.R)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	got := Conv2D(t0, t1, x, w)
+	for i := 0; i < t0.N; i++ {
+		for j := 0; j < t1.N; j++ {
+			var s float64
+			for u := 0; u < t0.R; u++ {
+				for v := 0; v < t1.R; v++ {
+					s += x[(i+u)*t1.Alpha+(j+v)] * w[u*t1.R+v]
+				}
+			}
+			if math.Abs(got[i*t1.N+j]-s) > 1e-12 {
+				t.Errorf("[%d,%d] = %v, want %v", i, j, got[i*t1.N+j], s)
+			}
+		}
+	}
+}
+
+// FP16 path with scaling matrices: all six ported kernels must stay finite,
+// and their mean relative error on unit-scale inputs must sit in the
+// paper's Table 4 band (~1e-3 for Ω8, up to ~1e-2 and worse per single tile
+// for Ω16 — single tiles lack the FP32-accumulation averaging of full BFC,
+// so the per-tile bound is looser than the system-level MARE).
+func TestConv1DHalfAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range Kernels {
+		if !k.FP16 {
+			continue
+		}
+		tr := Generate(k.N, k.R)
+		var sc *ScaledTransform
+		if k.Alpha >= 16 {
+			sc = tr.Scaled()
+		}
+		meanTol := 1e-2
+		if k.Alpha == 16 {
+			meanTol = 8e-2
+		}
+		var errSum float64
+		samples := 0
+		for trial := 0; trial < 20; trial++ {
+			x64 := make([]float64, tr.Alpha)
+			w64 := make([]float64, tr.R)
+			x16 := make([]fp16.Bits, tr.Alpha)
+			w16 := make([]fp16.Bits, tr.R)
+			for i := range x64 {
+				x64[i] = rng.Float64()
+				x16[i] = fp16.FromFloat64(x64[i])
+				x64[i] = fp16.ToFloat64(x16[i]) // quantized ground truth input
+			}
+			for i := range w64 {
+				w64[i] = rng.Float64() * 0.01 // paper scales ∇Y by 1e-2
+				w16[i] = fp16.FromFloat64(w64[i])
+				w64[i] = fp16.ToFloat64(w16[i])
+			}
+			got := tr.Conv1DHalf(x16, w16, sc)
+			want := Direct1D(x64, w64, tr.N)
+			for i := range got {
+				if math.IsNaN(float64(got[i])) || math.IsInf(float64(got[i]), 0) {
+					t.Fatalf("%v: non-finite output %v", k, got[i])
+				}
+				errSum += math.Abs(float64(got[i])-want[i]) / math.Max(1e-6, math.Abs(want[i]))
+				samples++
+			}
+		}
+		if mean := errSum / float64(samples); mean > meanTol {
+			t.Errorf("%v: mean rel err %v > %v", k, mean, meanTol)
+		}
+	}
+}
+
+// The Ω16 FP16 kernels without scaling matrices must be measurably worse
+// than with them — the ablation motivating eq. (7).
+func TestScalingMatricesAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := Generate(9, 8)
+	sc := tr.Scaled()
+	var errScaled, errRaw float64
+	n := 0
+	for trial := 0; trial < 50; trial++ {
+		x64 := make([]float64, tr.Alpha)
+		w64 := make([]float64, tr.R)
+		x16 := make([]fp16.Bits, tr.Alpha)
+		w16 := make([]fp16.Bits, tr.R)
+		for i := range x64 {
+			x64[i] = rng.Float64()
+			x16[i] = fp16.FromFloat64(x64[i])
+			x64[i] = fp16.ToFloat64(x16[i])
+		}
+		for i := range w64 {
+			w64[i] = rng.Float64() * 0.01
+			w16[i] = fp16.FromFloat64(w64[i])
+			w64[i] = fp16.ToFloat64(w16[i])
+		}
+		want := Direct1D(x64, w64, tr.N)
+		gs := tr.Conv1DHalf(x16, w16, sc)
+		gr := tr.Conv1DHalf(x16, w16, nil)
+		for i := range want {
+			d := math.Max(1e-6, math.Abs(want[i]))
+			errScaled += math.Abs(float64(gs[i])-want[i]) / d
+			errRaw += math.Abs(float64(gr[i])-want[i]) / d
+			n++
+		}
+	}
+	if errScaled >= errRaw {
+		t.Errorf("scaling matrices did not help: scaled %v vs raw %v",
+			errScaled/float64(n), errRaw/float64(n))
+	}
+}
+
+// The scaling matrices must leave the algebra unchanged: in float64 the
+// scaled transform reproduces the unscaled result exactly (up to rounding).
+func TestScaledTransformPreservesResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range Kernels {
+		tr := Generate(k.N, k.R)
+		sc := tr.Scaled()
+		x := make([]float64, tr.Alpha)
+		w := make([]float64, tr.R)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		for i := range w {
+			w[i] = rng.Float64()*2 - 1
+		}
+		gw := sc.G.MulVec(w)
+		dx := sc.D.TMulVec(x)
+		for i := range gw {
+			gw[i] *= dx[i]
+		}
+		got := sc.A.TMulVec(gw)
+		want := tr.Conv1D(x, w)
+		tol := 1e-9 * math.Max(1, sc.A.MaxAbs())
+		if err := maxAbsErr(got, want); err > tol {
+			t.Errorf("%v: scaled result differs by %v (tol %v)", k, err, tol)
+		}
+	}
+}
+
+// After scaling, every row of G and every column of D must have unit L1
+// norm (the eq. 7 normalization), so transformed binary16 values cannot
+// exceed the input magnitude times α.
+func TestScaledTransformUnitNorms(t *testing.T) {
+	tr := Generate(9, 8) // Ω16(9,8), the worst dynamic range
+	sc := tr.Scaled()
+	for i, n := range sc.G.RowL1Norms() {
+		if math.Abs(n-1) > 1e-12 {
+			t.Errorf("G row %d L1 norm %v, want 1", i, n)
+		}
+	}
+	for j := 0; j < sc.D.Cols; j++ {
+		var n float64
+		for i := 0; i < sc.D.Rows; i++ {
+			n += math.Abs(sc.D.At(i, j))
+		}
+		if math.Abs(n-1) > 1e-12 {
+			t.Errorf("D column %d L1 norm %v, want 1", j, n)
+		}
+	}
+	// Unscaled Ω16 transforms overflow binary16's max normal (65504) or
+	// underflow its precision; the paper motivates scaling by the 1e-8 to
+	// 1e5 magnitude span.
+	unscaledSpan := tr.D.MaxAbs() / tr.D.MinAbsNonZero()
+	scaledSpan := sc.D.MaxAbs() / sc.D.MinAbsNonZero()
+	if scaledSpan >= unscaledSpan {
+		t.Errorf("scaling did not reduce dynamic range: %v -> %v", unscaledSpan, scaledSpan)
+	}
+}
+
+func TestScaledCaching(t *testing.T) {
+	a := Generate(3, 2).Scaled()
+	b := Generate(3, 2).Scaled()
+	if a != b {
+		t.Error("Scaled should return the cached instance")
+	}
+}
+
+func TestDirect1DShortInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Direct1D([]float64{1, 2}, []float64{1, 1, 1}, 2)
+}
+
+func TestOperandSizeMismatchPanics(t *testing.T) {
+	tr := Generate(2, 3)
+	for _, f := range []func(){
+		func() { tr.Conv1D(make([]float64, 3), make([]float64, 3)) },
+		func() { tr.Conv1D32(make([]float32, 4), make([]float32, 2)) },
+		func() { tr.Conv1DHalf(make([]fp16.Bits, 4), make([]fp16.Bits, 2), nil) },
+		func() { Conv2D(tr, tr, make([]float64, 15), make([]float64, 9)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on size mismatch")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkConv1D32_F36(b *testing.B) {
+	tr := Generate(3, 6)
+	x := make([]float32, tr.Alpha)
+	w := make([]float32, tr.R)
+	for i := range x {
+		x[i] = float32(i) * 0.1
+	}
+	for i := range w {
+		w[i] = float32(i) * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Conv1D32(x, w)
+	}
+}

@@ -1,0 +1,235 @@
+package winograd
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Transform holds the three Winograd transform matrices of F(n,r):
+//
+//	A ∈ R^{α×n}  — output transform (applied as Aᵀ)
+//	G ∈ R^{α×r}  — filter transform
+//	D ∈ R^{α×α}  — input transform (applied as Dᵀ)
+//
+// with α = N + R - 1. The matrices are generated exactly with rational
+// arithmetic and converted once to float64, so their entries carry no
+// construction rounding beyond the final conversion.
+type Transform struct {
+	N, R, Alpha int
+	A, G, D     *Mat
+}
+
+// interpolation point sequence used by the paper (§5.2 "Transform
+// Simplification"): 0, then ±p pairs with growing complexity. Ordering
+// points as {0, 1, -1, 2, -2, ...} pairs rows 2k/2k+1 into the ± symmetry
+// of Figure 8.
+// The ±3/2 and ±2/3 pairs are preferred over ±4 and ±1/4 for the α = 16
+// transforms: keeping point magnitudes near 1 roughly halves the float32
+// error of the generated matrices (measured on F(6,11), F(9,8), F(5,12)).
+var pointSequence = []*big.Rat{
+	big.NewRat(0, 1),
+	big.NewRat(1, 1), big.NewRat(-1, 1),
+	big.NewRat(2, 1), big.NewRat(-2, 1),
+	big.NewRat(1, 2), big.NewRat(-1, 2),
+	big.NewRat(3, 1), big.NewRat(-3, 1),
+	big.NewRat(1, 3), big.NewRat(-1, 3),
+	big.NewRat(3, 2), big.NewRat(-3, 2),
+	big.NewRat(2, 3), big.NewRat(-2, 3),
+	big.NewRat(4, 1), big.NewRat(-4, 1),
+	big.NewRat(1, 4), big.NewRat(-1, 4),
+}
+
+// Points returns the k finite interpolation points used for a transform of
+// size α = k+1 (the last point is the point at infinity). It panics if more
+// points are requested than the sequence provides (α > 20).
+func Points(k int) []*big.Rat {
+	if k > len(pointSequence) {
+		panic(fmt.Sprintf("winograd: %d interpolation points requested, only %d available",
+			k, len(pointSequence)))
+	}
+	return pointSequence[:k]
+}
+
+// ratPoly is a dense polynomial with rational coefficients, index = degree.
+type ratPoly []*big.Rat
+
+func newRatPoly(deg int) ratPoly {
+	p := make(ratPoly, deg+1)
+	for i := range p {
+		p[i] = new(big.Rat)
+	}
+	return p
+}
+
+// mulLinear returns p(s)·(s - root).
+func (p ratPoly) mulLinear(root *big.Rat) ratPoly {
+	q := newRatPoly(len(p)) // degree grows by one
+	negRoot := new(big.Rat).Neg(root)
+	for i, c := range p {
+		// s term: shifts coefficient up by one degree.
+		q[i+1].Add(q[i+1], c)
+		// -root term.
+		t := new(big.Rat).Mul(c, negRoot)
+		q[i].Add(q[i], t)
+	}
+	return q
+}
+
+// GenerateExact constructs the F(n,r) transform matrices with exact
+// rational arithmetic and returns them as rational matrices
+// (row-major [][]*big.Rat). The construction is the classic Cook–Toom /
+// Winograd method with α-1 finite points plus the point at infinity:
+//
+//   - A (α×n): row i evaluates a degree-(n-1) polynomial at point pᵢ
+//     ([1, pᵢ, pᵢ², …]); the ∞ row selects the leading coefficient.
+//   - G (α×r): same Vandermonde structure with r columns.
+//   - D (α×α): column i holds the coefficients of the scaled Lagrange basis
+//     L̂ᵢ(s) = Π_{k≠i}(s−p_k)/Nᵢ  (Nᵢ = Π_{k≠i}(pᵢ−p_k)); the ∞ column
+//     holds the coefficients of m̂(s) = Π_k(s−p_k).
+//
+// With these definitions the full linear convolution of u (len n) and
+// v (len r) is C[(A·u) ⊙ (G·v)] with C = D, and by the transposition
+// principle Y = Aᵀ[(G·W) ⊙ (Dᵀ·X)] computes the n-output r-tap valid
+// correlation of X (len α). GenerateExact panics for n < 1, r < 1 or an α
+// beyond the available point sequence.
+func GenerateExact(n, r int) (aRat, gRat, dRat [][]*big.Rat) {
+	if n < 1 || r < 1 {
+		panic(fmt.Sprintf("winograd: invalid F(%d,%d)", n, r))
+	}
+	alpha := n + r - 1
+	pts := Points(alpha - 1)
+
+	// Vandermonde evaluation matrices A (α×n) and G (α×r).
+	vander := func(cols int) [][]*big.Rat {
+		m := make([][]*big.Rat, alpha)
+		for i := 0; i < alpha-1; i++ {
+			m[i] = make([]*big.Rat, cols)
+			pw := big.NewRat(1, 1)
+			for j := 0; j < cols; j++ {
+				m[i][j] = new(big.Rat).Set(pw)
+				pw = new(big.Rat).Mul(pw, pts[i])
+			}
+		}
+		// Point at infinity: leading coefficient.
+		inf := make([]*big.Rat, cols)
+		for j := range inf {
+			inf[j] = new(big.Rat)
+		}
+		inf[cols-1].SetInt64(1)
+		m[alpha-1] = inf
+		return m
+	}
+	aRat = vander(n)
+	gRat = vander(r)
+
+	// Interpolation matrix D (α×α).
+	dRat = make([][]*big.Rat, alpha)
+	for i := range dRat {
+		dRat[i] = make([]*big.Rat, alpha)
+		for j := range dRat[i] {
+			dRat[i][j] = new(big.Rat)
+		}
+	}
+	// Finite columns: coefficients of Π_{k≠i}(s−p_k)/Nᵢ.
+	for i := 0; i < alpha-1; i++ {
+		poly := ratPoly{big.NewRat(1, 1)}
+		ni := big.NewRat(1, 1)
+		for k := 0; k < alpha-1; k++ {
+			if k == i {
+				continue
+			}
+			poly = poly.mulLinear(pts[k])
+			diff := new(big.Rat).Sub(pts[i], pts[k])
+			ni.Mul(ni, diff)
+		}
+		inv := new(big.Rat).Inv(ni)
+		for deg, c := range poly {
+			dRat[deg][i].Mul(c, inv)
+		}
+	}
+	// Infinity column: coefficients of m̂(s) = Π_k(s−p_k), monic deg α-1.
+	mhat := ratPoly{big.NewRat(1, 1)}
+	for k := 0; k < alpha-1; k++ {
+		mhat = mhat.mulLinear(pts[k])
+	}
+	for deg, c := range mhat {
+		dRat[deg][alpha-1].Set(c)
+	}
+	return aRat, gRat, dRat
+}
+
+func ratMatToFloat(m [][]*big.Rat) *Mat {
+	out := NewMat(len(m), len(m[0]))
+	for i, row := range m {
+		for j, v := range row {
+			f, _ := v.Float64()
+			out.Set(i, j, f)
+		}
+	}
+	return out
+}
+
+var (
+	transformCacheMu sync.Mutex
+	transformCache   = map[[2]int]*Transform{}
+)
+
+// Generate returns the float64 transform matrices of F(n,r). Results are
+// cached; the returned Transform is shared and must be treated as
+// read-only (use Clone on the matrices before mutating).
+func Generate(n, r int) *Transform {
+	key := [2]int{n, r}
+	transformCacheMu.Lock()
+	defer transformCacheMu.Unlock()
+	if t, ok := transformCache[key]; ok {
+		return t
+	}
+	aR, gR, dR := GenerateExact(n, r)
+	t := &Transform{
+		N: n, R: r, Alpha: n + r - 1,
+		A: ratMatToFloat(aR),
+		G: ratMatToFloat(gR),
+		D: ratMatToFloat(dR),
+	}
+	transformCache[key] = t
+	return t
+}
+
+// Multiplies returns the number of element-wise multiplications F(n,r)
+// needs per tile (α), the quantity direct convolution would need (n·r),
+// and the acceleration factor n·r/α of the paper's footnote 2.
+func (t *Transform) Multiplies() (ewm, direct int, accel float64) {
+	return t.Alpha, t.N * t.R, float64(t.N*t.R) / float64(t.Alpha)
+}
+
+// Accel1DMax returns (α+1)²/(4α): the best acceleration factor n·r/α any
+// 1-D F(n,r) with tile size α can reach, attained at n = r = (α+1)/2. This
+// is the paper's eq. (3) left-hand side (the paper states both sides divided
+// by the common factor α).
+func Accel1DMax(alpha int) float64 {
+	a := float64(alpha)
+	return (a + 1) * (a + 1) / (4 * a)
+}
+
+// Accel2DMax returns the best acceleration factor of a nested 2-D
+// F(n0×n1, r0×r1) with tile sizes α0, α1 — the paper's eq. (3) right-hand
+// side under the equivalent space limit α = α0·α1. For any factorization
+// α = α0·α1 with α0,α1 ≥ 1, Accel1DMax(α) ≥ Accel2DMax(α0, α1).
+func Accel2DMax(alpha0, alpha1 int) float64 {
+	return Accel1DMax(alpha0) * Accel1DMax(alpha1)
+}
+
+// Intensity1D returns the paper's eq. (4) computation intensity ρ_1D of a
+// fused F(n,r) kernel with cache block B_N×B_M: 2·B_N·B_M / (B_N·r + B_M·α).
+func Intensity1D(bn, bm, r, alpha int) float64 {
+	return 2 * float64(bn) * float64(bm) /
+		(float64(bn)*float64(r) + float64(bm)*float64(alpha))
+}
+
+// Intensity2D returns the eq. (4) computation intensity ρ_2D of a fused
+// nested F(n0×n1, r0×r1) kernel: 2·B_N·B_M / (B_N·r0·r1 + B_M·α0·α1).
+func Intensity2D(bn, bm, r0, r1, alpha0, alpha1 int) float64 {
+	return 2 * float64(bn) * float64(bm) /
+		(float64(bn)*float64(r0)*float64(r1) + float64(bm)*float64(alpha0)*float64(alpha1))
+}

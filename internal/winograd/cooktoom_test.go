@@ -1,0 +1,194 @@
+package winograd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// exactConv1D checks, entirely in rational arithmetic, that the generated
+// matrices satisfy y = Aᵀ[(G·w) ⊙ (Dᵀ·x)] = valid correlation of x and w.
+// With exact arithmetic this is a proof of correctness of the construction
+// for the tested (n, r) — there is no tolerance to hide behind.
+func exactConv1D(t *testing.T, n, r int, rng *rand.Rand) {
+	t.Helper()
+	alpha := n + r - 1
+	aR, gR, dR := GenerateExact(n, r)
+
+	randVec := func(ln int) []*big.Rat {
+		v := make([]*big.Rat, ln)
+		for i := range v {
+			v[i] = big.NewRat(int64(rng.Intn(19)-9), int64(1+rng.Intn(4)))
+		}
+		return v
+	}
+	x := randVec(alpha)
+	w := randVec(r)
+
+	mulVec := func(m [][]*big.Rat, v []*big.Rat) []*big.Rat {
+		out := make([]*big.Rat, len(m))
+		for i, row := range m {
+			s := new(big.Rat)
+			for j, c := range row {
+				s.Add(s, new(big.Rat).Mul(c, v[j]))
+			}
+			out[i] = s
+		}
+		return out
+	}
+	tMulVec := func(m [][]*big.Rat, v []*big.Rat) []*big.Rat {
+		cols := len(m[0])
+		out := make([]*big.Rat, cols)
+		for j := 0; j < cols; j++ {
+			out[j] = new(big.Rat)
+		}
+		for i, row := range m {
+			for j, c := range row {
+				out[j].Add(out[j], new(big.Rat).Mul(c, v[i]))
+			}
+		}
+		return out
+	}
+
+	gw := mulVec(gR, w)
+	dx := tMulVec(dR, x)
+	ewm := make([]*big.Rat, alpha)
+	for i := range ewm {
+		ewm[i] = new(big.Rat).Mul(gw[i], dx[i])
+	}
+	y := tMulVec(aR, ewm)
+
+	for i := 0; i < n; i++ {
+		want := new(big.Rat)
+		for k := 0; k < r; k++ {
+			want.Add(want, new(big.Rat).Mul(x[i+k], w[k]))
+		}
+		if y[i].Cmp(want) != 0 {
+			t.Fatalf("F(%d,%d): y[%d] = %v, want %v (exact rational mismatch)",
+				n, r, i, y[i], want)
+		}
+	}
+}
+
+// TestExactCorrectnessAllKernels proves, with exact rational arithmetic,
+// that every registry kernel's transform computes the correlation exactly.
+func TestExactCorrectnessAllKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range Kernels {
+		for trial := 0; trial < 3; trial++ {
+			exactConv1D(t, k.N, k.R, rng)
+		}
+	}
+}
+
+// The construction must also hold for (n, r) pairs outside the registry.
+func TestExactCorrectnessArbitraryShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nr := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {4, 4}, {2, 9}, {10, 3}, {4, 13}} {
+		exactConv1D(t, nr[0], nr[1], rng)
+	}
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	for _, k := range Kernels {
+		tr := Generate(k.N, k.R)
+		if tr.Alpha != k.Alpha {
+			t.Errorf("%v: alpha %d, want %d", k, tr.Alpha, k.Alpha)
+		}
+		if tr.A.Rows != k.Alpha || tr.A.Cols != k.N {
+			t.Errorf("%v: A is %dx%d, want %dx%d", k, tr.A.Rows, tr.A.Cols, k.Alpha, k.N)
+		}
+		if tr.G.Rows != k.Alpha || tr.G.Cols != k.R {
+			t.Errorf("%v: G is %dx%d, want %dx%d", k, tr.G.Rows, tr.G.Cols, k.Alpha, k.R)
+		}
+		if tr.D.Rows != k.Alpha || tr.D.Cols != k.Alpha {
+			t.Errorf("%v: D is %dx%d, want square %d", k, tr.D.Rows, tr.D.Cols, k.Alpha)
+		}
+	}
+}
+
+func TestGenerateCaching(t *testing.T) {
+	a := Generate(3, 6)
+	b := Generate(3, 6)
+	if a != b {
+		t.Error("Generate should return the cached instance")
+	}
+}
+
+func TestMultipliesAndAccel(t *testing.T) {
+	tr := Generate(2, 3) // F(2,3): 4 multiplies vs 6 direct
+	ewm, direct, accel := tr.Multiplies()
+	if ewm != 4 || direct != 6 || accel != 1.5 {
+		t.Errorf("F(2,3) Multiplies = (%d,%d,%v), want (4,6,1.5)", ewm, direct, accel)
+	}
+}
+
+// Eq. (3): the 1-D acceleration limit dominates every 2-D factorization of
+// the same α.
+func TestAccelLimits1DBeats2D(t *testing.T) {
+	for _, f := range [][2]int{{2, 8}, {4, 4}, {2, 2}, {4, 2}, {8, 2}} {
+		alpha := f[0] * f[1]
+		a1 := Accel1DMax(alpha)
+		a2 := Accel2DMax(f[0], f[1])
+		if a1 < a2 {
+			t.Errorf("alpha=%d=%dx%d: Accel1DMax %v < Accel2DMax %v",
+				alpha, f[0], f[1], a1, a2)
+		}
+	}
+	// Spot value: α=16 → (17)²/64 = 4.515625.
+	if got := Accel1DMax(16); got != 289.0/64.0 {
+		t.Errorf("Accel1DMax(16) = %v, want %v", got, 289.0/64.0)
+	}
+}
+
+// Eq. (4): fused 1-D kernels have computation intensity at least that of
+// the 2-D factorization with the same cache block.
+func TestIntensity1DBeats2D(t *testing.T) {
+	for _, c := range []struct{ bn, bm, r0, r1, a0, a1 int }{
+		{64, 32, 3, 3, 4, 4},
+		{64, 32, 2, 3, 4, 4},
+		{64, 64, 3, 2, 2, 8},
+	} {
+		r1d := Intensity1D(c.bn, c.bm, c.r0, c.a0*c.a1)
+		r2d := Intensity2D(c.bn, c.bm, c.r0, c.r1, c.a0, c.a1)
+		if r1d < r2d {
+			t.Errorf("%+v: 1D intensity %v < 2D %v", c, r1d, r2d)
+		}
+	}
+}
+
+func TestPointsPanicsBeyondSequence(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many points")
+		}
+	}()
+	Points(len(pointSequence) + 1)
+}
+
+func TestGenerateExactInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for F(0,3)")
+		}
+	}()
+	GenerateExact(0, 3)
+}
+
+// Figure 8 symmetry: with the point ordering {0, 1, -1, 2, -2, …}, rows
+// 2k-1 and 2k of the Vandermonde matrices (the ±p pairs) agree in even
+// positions and are opposite in odd positions.
+func TestTransformRowSymmetry(t *testing.T) {
+	tr := Generate(3, 6)
+	for pair := 1; pair+1 < tr.Alpha-1; pair += 2 {
+		for j := 0; j < tr.G.Cols; j++ {
+			a, b := tr.G.At(pair, j), tr.G.At(pair+1, j)
+			if j%2 == 0 && a != b {
+				t.Errorf("G rows %d,%d even col %d: %v vs %v", pair, pair+1, j, a, b)
+			}
+			if j%2 == 1 && a != -b {
+				t.Errorf("G rows %d,%d odd col %d: %v vs %v", pair, pair+1, j, a, b)
+			}
+		}
+	}
+}

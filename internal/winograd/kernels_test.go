@@ -1,0 +1,167 @@
+package winograd
+
+import "testing"
+
+func TestRegistryHas13Kernels(t *testing.T) {
+	if len(Kernels) != 13 {
+		t.Fatalf("registry has %d kernels, want 13 (Figure 6)", len(Kernels))
+	}
+	fp16Count := 0
+	for _, k := range Kernels {
+		if k.Alpha != k.N+k.R-1 {
+			t.Errorf("%v: alpha %d != n+r-1", k, k.Alpha)
+		}
+		switch k.Alpha {
+		case 2, 4, 8, 16:
+		default:
+			t.Errorf("%v: alpha %d outside {2,4,8,16}", k, k.Alpha)
+		}
+		if k.FP16 {
+			fp16Count++
+		}
+		if k.BN32 <= 0 || k.BM32 <= 0 || k.BN16 <= 0 || k.BM16 <= 0 {
+			t.Errorf("%v: missing cache-block sizes", k)
+		}
+		if k.Coeff <= 0 {
+			t.Errorf("%v: non-positive throughput coefficient", k)
+		}
+	}
+	if fp16Count != 6 {
+		t.Errorf("%d FP16 kernels, want 6", fp16Count)
+	}
+}
+
+func TestFP16PortedSet(t *testing.T) {
+	want := map[string]bool{
+		"Omega4(3,2)": true, "Omega8(3,6)": true, "Omega8(5,4)": true,
+		"Omega8(7,2)": true, "Omega16(7,10)": true, "Omega16(9,8)": true,
+	}
+	for _, k := range Kernels {
+		if k.FP16 != want[k.String()] {
+			t.Errorf("%v: FP16 = %v, want %v", k, k.FP16, want[k.String()])
+		}
+	}
+}
+
+func TestSupportedNCoversPaperRange(t *testing.T) {
+	ns := SupportedN()
+	have := map[int]bool{}
+	for _, n := range ns {
+		have[n] = true
+	}
+	// The paper supports F_W as a multiple of 2..9.
+	for n := 2; n <= 9; n++ {
+		if !have[n] {
+			t.Errorf("no kernel with n = %d; paper requires multiples of 2..9", n)
+		}
+	}
+	if !have[1] {
+		t.Error("missing n = 1 direct fallback")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	k, ok := Lookup(3, 6)
+	if !ok || k.Alpha != 8 {
+		t.Errorf("Lookup(3,6) = %v, %v", k, ok)
+	}
+	if _, ok := Lookup(9, 9); ok {
+		t.Error("Lookup(9,9) should not exist")
+	}
+}
+
+func TestKernelsForNSortedByCoeff(t *testing.T) {
+	ks := KernelsForN(3)
+	if len(ks) < 2 {
+		t.Fatalf("expected multiple kernels with n=3, got %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1].Coeff < ks[i].Coeff {
+			t.Errorf("KernelsForN not sorted: %v before %v", ks[i-1], ks[i])
+		}
+	}
+	// Ω8(3,6) reduces complexity 2.25× and should outrank Ω4(3,2) (1.5×).
+	if ks[0].String() != "Omega8(3,6)" {
+		t.Errorf("fastest n=3 kernel = %v, want Omega8(3,6)", ks[0])
+	}
+}
+
+func TestSupportsWidth(t *testing.T) {
+	cases := []struct {
+		fw    int
+		ok    bool
+		bestN int
+	}{
+		{3, true, 3}, {4, true, 4}, {9, true, 9}, {12, true, 6},
+		{14, true, 7}, {63, true, 9}, {11, true, 1}, {1, true, 1},
+		{0, false, 0},
+	}
+	for _, c := range cases {
+		ok, n := SupportsWidth(c.fw)
+		if ok != c.ok || n != c.bestN {
+			t.Errorf("SupportsWidth(%d) = (%v,%d), want (%v,%d)", c.fw, ok, n, c.ok, c.bestN)
+		}
+	}
+}
+
+func TestCacheBlockAndIntensity(t *testing.T) {
+	k, _ := Lookup(3, 6)
+	bn, bm := k.CacheBlock(false)
+	if bn != 64 || bm != 32 {
+		t.Errorf("FP32 cache block = %dx%d, want 64x32", bn, bm)
+	}
+	bn, bm = k.CacheBlock(true)
+	if bn != 128 || bm != 64 {
+		t.Errorf("FP16 cache block = %dx%d, want 128x64", bn, bm)
+	}
+	// FP16 blocks are larger, so intensity must not drop.
+	if k.Intensity(true) < k.Intensity(false) {
+		t.Errorf("FP16 intensity %v < FP32 %v", k.Intensity(true), k.Intensity(false))
+	}
+}
+
+func TestAccelRange(t *testing.T) {
+	// Paper: WinRS reduces time complexity by 1.5× to 4.5×.
+	minA, maxA := 100.0, 0.0
+	for _, k := range Kernels {
+		a := k.Accel()
+		if k.Alpha == 2 {
+			continue // direct fallback, accel 1
+		}
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if minA < 1.5 || maxA > 4.6 {
+		t.Errorf("acceleration range [%v,%v] outside the paper's 1.5x..4.5x", minA, maxA)
+	}
+}
+
+// Footnote 3 validation: every kernel's double-buffered SMEM footprint must
+// fit a 100 KB shared-memory partition (the Ada/Ampere per-SM budget), in
+// both precisions — the constraint that dictates the cache-block table.
+func TestCacheBlocksFitSharedMemory(t *testing.T) {
+	const smemBudget = 100 << 10
+	for _, k := range Kernels {
+		for _, fp16 := range []bool{false, true} {
+			if got := k.SMEMBytes(fp16); got > smemBudget {
+				t.Errorf("%v fp16=%v: SMEM %d bytes exceeds %d", k, fp16, got, smemBudget)
+			}
+		}
+	}
+	// And the constraint is tight somewhere: the largest FP32 footprint
+	// should use more than half the budget, otherwise the paper's blocks
+	// would be needlessly small.
+	maxB := 0
+	for _, k := range Kernels {
+		if b := k.SMEMBytes(false); b > maxB {
+			maxB = b
+		}
+	}
+	if maxB < smemBudget/2 {
+		t.Errorf("largest FP32 SMEM footprint %d suspiciously small", maxB)
+	}
+}

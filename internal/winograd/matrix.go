@@ -1,0 +1,188 @@
+// Package winograd generates and applies Winograd minimal-filtering
+// transforms.
+//
+// WinRS builds on 1-D Winograd convolution F(n,r): n outputs of an r-tap
+// correlation over an α = n+r-1 input tile, computed with only α
+// multiplications as
+//
+//	Y = Aᵀ[(G·W) ⊙ (Dᵀ·X)]
+//
+// where A ∈ R^{α×n}, G ∈ R^{α×r} and D ∈ R^{α×α} are the transform
+// matrices (the paper's eq. 1; D is often called B in the literature). This
+// package constructs those matrices for arbitrary (n, r) using the
+// Cook–Toom method over exact rational arithmetic, exposes the 13 WinRS
+// kernel variants of the paper's Figure 6, and applies the transforms in
+// float64, float32 and emulated FP16 with the paper's scaling matrices.
+package winograd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a small dense row-major float64 matrix, sized for transform
+// matrices (at most 16×16); it is not a general linear-algebra type.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zeroed rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("winograd: invalid matrix size %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i,j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// MulVec computes m·x for a vector x of length m.Cols.
+func (m *Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("winograd: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// TMulVec computes mᵀ·x for a vector x of length m.Rows, without
+// materializing the transpose.
+func (m *Mat) TMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("winograd: TMulVec dimension mismatch")
+	}
+	y := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			y[j] += v * xi
+		}
+	}
+	return y
+}
+
+// MulVec32 computes m·x in float32 arithmetic (each product and each
+// partial sum rounded to float32), modelling an FP32 CUDA-core transform.
+func (m *Mat) MulVec32(x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic("winograd: MulVec32 dimension mismatch")
+	}
+	y := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float32
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += float32(v) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// TMulVec32 computes mᵀ·x in float32 arithmetic.
+func (m *Mat) TMulVec32(x []float32) []float32 {
+	if len(x) != m.Rows {
+		panic("winograd: TMulVec32 dimension mismatch")
+	}
+	y := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			y[j] += float32(v) * xi
+		}
+	}
+	return y
+}
+
+// RowL1Norms returns the L1 norm of every row.
+func (m *Mat) RowL1Norms() []float64 {
+	norms := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for j := 0; j < m.Cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+		norms[i] = s
+	}
+	return norms
+}
+
+// ScaleRows multiplies row i by s[i] in place.
+func (m *Mat) ScaleRows(s []float64) {
+	if len(s) != m.Rows {
+		panic("winograd: ScaleRows dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Set(i, j, m.At(i, j)*s[i])
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute element.
+func (m *Mat) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// MinAbsNonZero returns the smallest non-zero absolute element, or 0 when
+// the matrix is entirely zero.
+func (m *Mat) MinAbsNonZero() float64 {
+	mn := math.Inf(1)
+	for _, v := range m.Data {
+		if v == 0 {
+			continue
+		}
+		if a := math.Abs(v); a < mn {
+			mn = a
+		}
+	}
+	if math.IsInf(mn, 1) {
+		return 0
+	}
+	return mn
+}

@@ -1,0 +1,143 @@
+package winograd
+
+import (
+	"math"
+	"sync"
+)
+
+// ScaledTransform is the paper's eq. (7) reparameterization
+//
+//	Y = (A_s·A)ᵀ[((G_s·G)·W) ⊙ ((D_s·D)ᵀ·X)]
+//
+// where G_s and D_s are diagonal matrices normalizing each row of G and
+// each row of Dᵀ (i.e. each column of D) to unit L1 norm, and A_s rescales
+// the accumulators to correct values in the output transform. Because the
+// EWM result index i picks up the factor g_i·d_i, correctness requires the
+// i-th row of A to be scaled by 1/(g_i·d_i); A_s has the wider FP32 dynamic
+// range, so the huge compensation factors of the Ω16 transforms never touch
+// binary16 storage.
+//
+// The struct stores the already-multiplied matrices G = G_s·G, D with
+// scaled columns, and A = A_s·A, plus the diagonal scale vectors for
+// inspection and tests.
+type ScaledTransform struct {
+	Base    *Transform
+	A, G, D *Mat
+	// GScale[i] and DScale[i] are the diagonal entries of G_s and D_s
+	// (the reciprocal L1 norms); AScale[i] = 1/(GScale[i]·DScale[i]).
+	GScale, DScale, AScale []float64
+}
+
+var (
+	scaledCacheMu sync.Mutex
+	scaledCache   = map[[2]int]*ScaledTransform{}
+
+	balancedCacheMu sync.Mutex
+	balancedCache   = map[[2]int]*Transform{}
+)
+
+// Balanced returns a numerically re-balanced copy of the transform: for
+// every EWM index i the scale freedom (G row i × sᵢ, D column i × tᵢ,
+// A row i ÷ sᵢtᵢ leaves the result invariant) is used to equalize the L1
+// norms of the three rows at (gᵢ·dᵢ·aᵢ)^(1/3). For the large-α transforms,
+// whose raw construction concentrates Vandermonde powers in G and Lagrange
+// denominators in D, balancing removes catastrophic cancellation in FP32:
+// Ω16 kernels improve from ~1e-3 to the paper's ~1e-5 MARE band. The
+// result is cached and read-only.
+func (t *Transform) Balanced() *Transform {
+	key := [2]int{t.N, t.R}
+	balancedCacheMu.Lock()
+	defer balancedCacheMu.Unlock()
+	if b, ok := balancedCache[key]; ok {
+		return b
+	}
+	b := &Transform{
+		N: t.N, R: t.R, Alpha: t.Alpha,
+		A: t.A.Clone(), G: t.G.Clone(), D: t.D.Clone(),
+	}
+	gNorms := t.G.RowL1Norms()
+	aNorms := t.A.RowL1Norms()
+	for i := 0; i < t.Alpha; i++ {
+		var dNorm float64
+		for r := 0; r < t.Alpha; r++ {
+			v := t.D.At(r, i)
+			if v < 0 {
+				v = -v
+			}
+			dNorm += v
+		}
+		g, d, a := gNorms[i], dNorm, aNorms[i]
+		if g == 0 || d == 0 || a == 0 {
+			continue
+		}
+		target := math.Cbrt(g * d * a)
+		s, u := target/g, target/d
+		for j := 0; j < b.G.Cols; j++ {
+			b.G.Set(i, j, b.G.At(i, j)*s)
+		}
+		for r := 0; r < t.Alpha; r++ {
+			b.D.Set(r, i, b.D.At(r, i)*u)
+		}
+		inv := 1 / (s * u)
+		for j := 0; j < b.A.Cols; j++ {
+			b.A.Set(i, j, b.A.At(i, j)*inv)
+		}
+	}
+	balancedCache[key] = b
+	return b
+}
+
+// Scaled returns the scaling-matrix variant of the transform, cached and
+// read-only like Generate results.
+func (t *Transform) Scaled() *ScaledTransform {
+	key := [2]int{t.N, t.R}
+	scaledCacheMu.Lock()
+	defer scaledCacheMu.Unlock()
+	if s, ok := scaledCache[key]; ok {
+		return s
+	}
+
+	s := &ScaledTransform{
+		Base:   t,
+		G:      t.G.Clone(),
+		D:      t.D.Clone(),
+		A:      t.A.Clone(),
+		GScale: make([]float64, t.Alpha),
+		DScale: make([]float64, t.Alpha),
+		AScale: make([]float64, t.Alpha),
+	}
+	gNorms := t.G.RowL1Norms()
+	// Rows of Dᵀ are columns of D: compute per-column L1 norms.
+	dNorms := make([]float64, t.Alpha)
+	for j := 0; j < t.Alpha; j++ {
+		var n float64
+		for i := 0; i < t.Alpha; i++ {
+			v := t.D.At(i, j)
+			if v < 0 {
+				v = -v
+			}
+			n += v
+		}
+		dNorms[j] = n
+	}
+	for i := 0; i < t.Alpha; i++ {
+		gs, ds := 1.0, 1.0
+		if gNorms[i] != 0 {
+			gs = 1 / gNorms[i]
+		}
+		if dNorms[i] != 0 {
+			ds = 1 / dNorms[i]
+		}
+		s.GScale[i], s.DScale[i] = gs, ds
+		s.AScale[i] = 1 / (gs * ds)
+	}
+	s.G.ScaleRows(s.GScale)
+	for j := 0; j < t.Alpha; j++ { // scale column j of D by DScale[j]
+		for i := 0; i < t.Alpha; i++ {
+			s.D.Set(i, j, s.D.At(i, j)*s.DScale[j])
+		}
+	}
+	s.A.ScaleRows(s.AScale)
+	scaledCache[key] = s
+	return s
+}

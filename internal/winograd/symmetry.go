@@ -1,0 +1,249 @@
+package winograd
+
+import (
+	"math"
+	"sync"
+)
+
+// SymPlan is the paper's §5.2 "Transform Simplification": with
+// interpolation points ordered {0, 1, −1, 2, −2, …}, the rows of A, G and
+// Dᵀ generated for a ±p point pair hold equal elements in even column
+// positions and opposite elements in odd positions (Figure 8). For such a
+// pair (u, v) the products u⊙x need computing only once:
+//
+//	yᵤ = Σ even + Σ odd,   y_v = Σ even − Σ odd
+//
+// which nearly halves the transform multiplications (the paper measures a
+// ~6% kernel throughput gain). A SymPlan detects the pairs of a matrix
+// once and applies the shared-product evaluation.
+type SymPlan struct {
+	m       *Mat
+	pairs   [][2]int // row index pairs with even/odd ± symmetry
+	singles []int    // rows without a partner
+}
+
+// NewSymPlan analyses the matrix rows and returns the shared-product
+// evaluation plan. Detection is exact (float equality), so it works on the
+// rationally-generated transforms but degrades gracefully to all-singles
+// for arbitrary matrices.
+func NewSymPlan(m *Mat) *SymPlan {
+	sp := &SymPlan{m: m}
+	used := make([]bool, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		if used[i] {
+			continue
+		}
+		partner := -1
+		for j := i + 1; j < m.Rows && partner < 0; j++ {
+			if used[j] {
+				continue
+			}
+			if rowsSymmetric(m, i, j) {
+				partner = j
+			}
+		}
+		if partner >= 0 {
+			sp.pairs = append(sp.pairs, [2]int{i, partner})
+			used[i], used[partner] = true, true
+		} else {
+			sp.singles = append(sp.singles, i)
+			used[i] = true
+		}
+	}
+	return sp
+}
+
+// rowsSymmetric reports whether rows i and j satisfy the Figure 8 pattern:
+// equal at even columns, opposite at odd columns, with at least one
+// non-zero element (all-zero pairs are pointless).
+func rowsSymmetric(m *Mat, i, j int) bool {
+	nonZero := false
+	for c := 0; c < m.Cols; c++ {
+		a, b := m.At(i, c), m.At(j, c)
+		if c%2 == 0 {
+			if a != b {
+				return false
+			}
+		} else {
+			if a != -b {
+				return false
+			}
+		}
+		if a != 0 {
+			nonZero = true
+		}
+	}
+	return nonZero
+}
+
+// Pairs returns how many row pairs share products.
+func (sp *SymPlan) Pairs() int { return len(sp.pairs) }
+
+// Mults returns the number of scalar multiplications one MulVec32
+// evaluation performs (zero coefficients still count; the comparison
+// target is the plain m.Rows·m.Cols).
+func (sp *SymPlan) Mults() int {
+	return (len(sp.pairs) + len(sp.singles)) * sp.m.Cols
+}
+
+// MulVec32 computes m·x with shared products across symmetric row pairs.
+func (sp *SymPlan) MulVec32(x []float32) []float32 {
+	m := sp.m
+	if len(x) != m.Cols {
+		panic("winograd: SymPlan.MulVec32 dimension mismatch")
+	}
+	y := make([]float32, m.Rows)
+	for _, pr := range sp.pairs {
+		u := pr[0]
+		row := m.Data[u*m.Cols : (u+1)*m.Cols]
+		var even, odd float32
+		for c, v := range row {
+			p := float32(v) * x[c]
+			if c%2 == 0 {
+				even += p
+			} else {
+				odd += p
+			}
+		}
+		y[pr[0]] = even + odd
+		y[pr[1]] = even - odd
+	}
+	for _, i := range sp.singles {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		for c, v := range row {
+			s += float32(v) * x[c]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// SavingsRatio returns multiplications used / plain multiplications — the
+// paper's "nearly halves" metric (→ ~0.5 + 1/(2·pairs) as pairs dominate).
+func (sp *SymPlan) SavingsRatio() float64 {
+	plain := sp.m.Rows * sp.m.Cols
+	return float64(sp.Mults()) / float64(plain)
+}
+
+// The plan cache keys on matrix identity: transforms are cached and
+// read-only, so pointer identity is a safe key.
+var (
+	symPlanCacheMu sync.Mutex
+	symPlanCache   = map[*Mat]*SymPlan{}
+)
+
+// SymG returns the shared-product plan for the transform's G matrix,
+// cached and safe for concurrent use.
+func (t *Transform) SymG() *SymPlan {
+	symPlanCacheMu.Lock()
+	defer symPlanCacheMu.Unlock()
+	if sp, ok := symPlanCache[t.G]; ok {
+		return sp
+	}
+	sp := NewSymPlan(t.G)
+	symPlanCache[t.G] = sp
+	return sp
+}
+
+// MaxPairableRows returns how many of the α rows can pair given the point
+// sequence: with points {0, ±1, ±2, …} plus ∞, α−2 rows pair (all but the
+// 0 row and the ∞ row) when α is even.
+func MaxPairableRows(alpha int) int {
+	if alpha < 4 {
+		return 0
+	}
+	return int(2 * math.Floor(float64(alpha-2)/2))
+}
+
+// MulPanel computes out = m·in for a panel in laid out [m.Cols][width] and
+// out [m.Rows][width], sharing even/odd products across symmetric row
+// pairs — the panel form of the Figure 8 optimization used by the fused
+// kernels' filter and input transforms.
+func (sp *SymPlan) MulPanel(in, out []float32, rows, width int) {
+	m := sp.m
+	if rows != m.Cols {
+		panic("winograd: MulPanel dimension mismatch")
+	}
+	for _, pr := range sp.pairs {
+		u := pr[0]
+		row := m.Data[u*m.Cols : (u+1)*m.Cols]
+		dstU := out[pr[0]*width : (pr[0]+1)*width]
+		dstV := out[pr[1]*width : (pr[1]+1)*width]
+		for x := range dstU {
+			dstU[x] = 0
+			dstV[x] = 0 // reused below as the odd accumulator
+		}
+		for c, v := range row {
+			cv := float32(v)
+			if cv == 0 {
+				continue
+			}
+			src := in[c*width : (c+1)*width]
+			if c%2 == 0 {
+				for x, sv := range src {
+					dstU[x] += cv * sv
+				}
+			} else {
+				for x, sv := range src {
+					dstV[x] += cv * sv
+				}
+			}
+		}
+		// dstU holds Σeven, dstV holds Σodd: combine in place.
+		for x := range dstU {
+			even, odd := dstU[x], dstV[x]
+			dstU[x] = even + odd
+			dstV[x] = even - odd
+		}
+	}
+	for _, i := range sp.singles {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		dst := out[i*width : (i+1)*width]
+		for x := range dst {
+			dst[x] = 0
+		}
+		for c, v := range row {
+			cv := float32(v)
+			if cv == 0 {
+				continue
+			}
+			src := in[c*width : (c+1)*width]
+			for x, sv := range src {
+				dst[x] += cv * sv
+			}
+		}
+	}
+}
+
+// panelPlans caches the (G, Dᵀ) symmetric panel plans per matrix pair.
+type panelPlans struct {
+	G, DT *SymPlan
+}
+
+var (
+	panelPlanCacheMu sync.Mutex
+	panelPlanCache   = map[[2]*Mat]*panelPlans{}
+)
+
+// PanelPlansFor returns cached shared-product plans for a (G, D) matrix
+// pair: the G plan applies the filter transform, the Dᵀ plan (built from
+// the cached transpose) the input transform. The matrices must be the
+// read-only cached instances (plain, balanced or scaled transforms), whose
+// pointer identity keys the cache. Safe for concurrent use.
+func PanelPlansFor(g, d *Mat) (gPlan, dtPlan *SymPlan) {
+	key := [2]*Mat{g, d}
+	panelPlanCacheMu.Lock()
+	defer panelPlanCacheMu.Unlock()
+	if pp, ok := panelPlanCache[key]; ok {
+		return pp.G, pp.DT
+	}
+	pp := &panelPlans{G: NewSymPlan(g), DT: NewSymPlan(d.T())}
+	panelPlanCache[key] = pp
+	return pp.G, pp.DT
+}
+
+// PanelPlans returns the plans for the transform's own G and D matrices.
+func (t *Transform) PanelPlans() (g, dt *SymPlan) {
+	return PanelPlansFor(t.G, t.D)
+}

@@ -1,0 +1,100 @@
+// Package workload generates the paper's evaluation parameter sweeps
+// (§6: BFC parameters drawn from common CNN architectures).
+package workload
+
+import (
+	"fmt"
+
+	"winrs/internal/conv"
+)
+
+// Case is one benchmark point.
+type Case struct {
+	Label string
+	P     conv.Params
+}
+
+// DimLabel renders ∇Y dimensions in the paper's N:O_H:O_W:O_C axis format.
+func DimLabel(p conv.Params) string {
+	return fmt.Sprintf("%d:%d:%d:%d", p.N, p.OH(), p.OW(), p.OC)
+}
+
+// Layer builds a same-padded square layer.
+func Layer(n, hw, f, c int) conv.Params {
+	return conv.Params{N: n, IH: hw, IW: hw, FH: f, FW: f, IC: c, OC: c,
+		PH: f / 2, PW: f / 2}
+}
+
+// ConstantComplexitySeries returns the paper's Figure 10/11 x-axis: a
+// series of ∇Y dimensions with constant time complexity, obtained by
+// doubling channels whenever the feature map halves (§6 rule 5). The
+// series starts at (hw, c) and halves the feature map while doubling
+// channels until the map reaches 14 or channels reach 1024.
+func ConstantComplexitySeries(n, hw, c, f int) []Case {
+	var out []Case
+	for hw >= 14 && c <= 1024 {
+		p := Layer(n, hw, f, c)
+		if p.Validate() == nil {
+			out = append(out, Case{Label: DimLabel(p), P: p})
+		}
+		hw /= 2
+		c *= 2
+	}
+	return out
+}
+
+// PaperSweep returns the full evaluation sweep: filter gradients 2×2..9×9,
+// channel ladders at constant complexity from two base resolutions, batch
+// sizes 32 and 128. It is the population behind Table 2 (workspace) and
+// Table 3 (speedups).
+func PaperSweep() []Case {
+	var out []Case
+	for f := 2; f <= 9; f++ {
+		for _, base := range [][2]int{{224, 64}, {128, 128}} {
+			for _, n := range []int{32, 128} {
+				out = append(out, ConstantComplexitySeries(n, base[0], base[1], f)...)
+			}
+		}
+	}
+	return out
+}
+
+// FP16Filters lists the filter sizes of the paper's FP16 evaluation
+// (Table 3 bottom): 3×3, 5×5, 7×7, 9×9.
+var FP16Filters = []int{3, 5, 7, 9}
+
+// AccuracySweep returns small layers (cheap enough for real numeric
+// execution) spanning the accumulation-length axis of Figure 12.
+func AccuracySweep(f int) []Case {
+	var out []Case
+	for _, cfg := range []struct{ n, hw, c int }{
+		{1, 8, 4}, {1, 16, 4}, {2, 16, 4}, {4, 16, 4}, {4, 32, 4}, {8, 32, 4},
+	} {
+		p := Layer(cfg.n, cfg.hw, f, cfg.c)
+		if p.Validate() == nil {
+			out = append(out, Case{Label: DimLabel(p), P: p})
+		}
+	}
+	return out
+}
+
+// VGG16Layers returns the 13 convolutional layers of VGG-16 at the given
+// batch size — the paper's motivating workload (Figures 1–2 use layer 2).
+func VGG16Layers(n int) []Case {
+	type l struct{ hw, ic, oc int }
+	layers := []l{
+		{224, 3, 64}, {224, 64, 64},
+		{112, 64, 128}, {112, 128, 128},
+		{56, 128, 256}, {56, 256, 256}, {56, 256, 256},
+		{28, 256, 512}, {28, 512, 512}, {28, 512, 512},
+		{14, 512, 512}, {14, 512, 512}, {14, 512, 512},
+	}
+	out := make([]Case, 0, len(layers))
+	for i, v := range layers {
+		p := conv.Params{N: n, IH: v.hw, IW: v.hw, FH: 3, FW: 3,
+			IC: v.ic, OC: v.oc, PH: 1, PW: 1}
+		out = append(out, Case{Label: fmt.Sprintf("conv%d %dx%d %d->%d",
+			i+1, v.hw, v.hw, v.ic, v.oc), P: p})
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLayerGeometry(t *testing.T) {
+	p := Layer(32, 224, 3, 64)
+	if p.OH() != 224 || p.OW() != 224 {
+		t.Errorf("same-padded 3x3 layer should keep spatial size, got %dx%d",
+			p.OH(), p.OW())
+	}
+	if p.PH != 1 || p.PW != 1 {
+		t.Errorf("padding = %d,%d, want 1,1", p.PH, p.PW)
+	}
+	if DimLabel(p) != "32:224:224:64" {
+		t.Errorf("DimLabel = %q", DimLabel(p))
+	}
+}
+
+func TestConstantComplexitySeries(t *testing.T) {
+	series := ConstantComplexitySeries(32, 224, 64, 3)
+	if len(series) != 5 {
+		t.Fatalf("series length %d, want 5 (224..14)", len(series))
+	}
+	base := series[0].P.FLOPs()
+	for i, c := range series {
+		if err := c.P.Validate(); err != nil {
+			t.Fatalf("entry %d invalid: %v", i, err)
+		}
+		// The §6 rule: doubling channels while halving the map keeps
+		// complexity constant to within boundary effects.
+		ratio := float64(c.P.FLOPs()) / float64(base)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("entry %d (%s): FLOPs ratio %v not ~constant", i, c.Label, ratio)
+		}
+		if i > 0 && c.P.OC != 2*series[i-1].P.OC {
+			t.Errorf("entry %d: channels %d, want doubling", i, c.P.OC)
+		}
+	}
+}
+
+func TestPaperSweepPopulation(t *testing.T) {
+	sweep := PaperSweep()
+	if len(sweep) < 100 {
+		t.Fatalf("sweep has only %d cases", len(sweep))
+	}
+	fSeen := map[int]bool{}
+	nSeen := map[int]bool{}
+	for _, c := range sweep {
+		if err := c.P.Validate(); err != nil {
+			t.Fatalf("invalid case %v: %v", c.P, err)
+		}
+		if c.P.FH != c.P.FW {
+			t.Errorf("non-square filter in sweep: %v", c.P)
+		}
+		fSeen[c.P.FH] = true
+		nSeen[c.P.N] = true
+	}
+	for f := 2; f <= 9; f++ {
+		if !fSeen[f] {
+			t.Errorf("filter size %d missing from sweep", f)
+		}
+	}
+	if !nSeen[32] || !nSeen[128] {
+		t.Error("sweep should cover batch sizes 32 and 128")
+	}
+}
+
+func TestAccuracySweepOrderedByAccumulation(t *testing.T) {
+	sweep := AccuracySweep(3)
+	if len(sweep) < 4 {
+		t.Fatalf("accuracy sweep too small: %d", len(sweep))
+	}
+	prev := 0
+	for _, c := range sweep {
+		acc := c.P.N * c.P.OH() * c.P.OW()
+		if acc < prev {
+			t.Errorf("accumulation lengths not non-decreasing: %d after %d", acc, prev)
+		}
+		prev = acc
+	}
+}
+
+func TestVGG16Layers(t *testing.T) {
+	layers := VGG16Layers(32)
+	if len(layers) != 13 {
+		t.Fatalf("VGG16 has 13 conv layers, got %d", len(layers))
+	}
+	if layers[0].P.IC != 3 || layers[0].P.OC != 64 {
+		t.Errorf("conv1_1 channels = %d->%d", layers[0].P.IC, layers[0].P.OC)
+	}
+	if layers[12].P.IH != 14 || layers[12].P.OC != 512 {
+		t.Errorf("conv5_3 geometry wrong: %v", layers[12].P)
+	}
+	for _, l := range layers {
+		if err := l.P.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", l.Label, err)
+		}
+		if !strings.Contains(l.Label, "conv") {
+			t.Errorf("label %q missing layer name", l.Label)
+		}
+	}
+}
+
+func TestFP16FiltersMatchPaper(t *testing.T) {
+	want := []int{3, 5, 7, 9}
+	if len(FP16Filters) != len(want) {
+		t.Fatalf("FP16Filters = %v", FP16Filters)
+	}
+	for i, f := range want {
+		if FP16Filters[i] != f {
+			t.Errorf("FP16Filters[%d] = %d, want %d", i, FP16Filters[i], f)
+		}
+	}
+}
