@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci build test vet race bench serve
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+serve:
+	$(GO) run ./cmd/winrs-serve

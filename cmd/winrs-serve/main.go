@@ -1,0 +1,84 @@
+// Command winrs-serve runs the WinRS gradient-compute daemon: an HTTP
+// service that executes backward-filter (and forward / backward-data)
+// convolutions through a shared plan cache with pooled workspaces and a
+// bounded worker pool.
+//
+// Usage:
+//
+//	winrs-serve -addr :8780 -workers 8 -queue 64 -deadline 30s -cache 256
+//
+// Endpoints: POST /v1/backward_filter, /v1/forward, /v1/backward_data
+// (framed request bodies, see internal/serve's wire format), GET /healthz
+// and GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"winrs/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8780", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent compute workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "max queued requests before 429 rejection")
+		deadline = flag.Duration("deadline", 30*time.Second, "per-request queue+compute deadline")
+		cache    = flag.Int("cache", 256, "plan cache capacity (plans)")
+		maxBody  = flag.Int64("maxbody", 1<<30, "max request body bytes")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Deadline:      *deadline,
+		CacheCapacity: *cache,
+		MaxBodyBytes:  *maxBody,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "winrs-serve: %v\n", err)
+		os.Exit(1)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("winrs-serve listening on %s (workers=%d queue=%d deadline=%s cache=%d)",
+		ln.Addr(), *workers, *queue, *deadline, *cache)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("winrs-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("winrs-serve: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "winrs-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package winrs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A single shared Plan must be safe under concurrent Execute: each call
+// borrows a private workspace arena, and results must be bit-identical to
+// the serial path. Run with -race.
+func TestPlanExecuteConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := Params{N: 2, IH: 24, IW: 24, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1}
+	x := NewTensor(p.XShape())
+	dy := NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+
+	plan, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Execute(x, dy)
+
+	const goroutines = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				got := plan.Execute(x, dy)
+				if got == want {
+					errs <- "Execute returned a shared tensor"
+					return
+				}
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						errs <- "concurrent result diverged from serial"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// Concurrent ExecuteHalf on one shared plan, for the race detector.
+func TestPlanExecuteHalfConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	xf := NewTensor(p.XShape())
+	dyf := NewTensor(p.DYShape())
+	xf.FillUniform(rng, 0, 1)
+	dyf.FillUniform(rng, 0, 0.01)
+	x, dy := xf.ToHalf(), dyf.ToHalf()
+
+	plan, err := NewPlan(p, WithFP16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.ExecuteHalf(x, dy)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := plan.ExecuteHalf(x, dy)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Error("concurrent half result diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WithFP16 on the 3D and strided wrappers used to be silently dropped,
+// computing FP32 while the caller believed otherwise. Pin the explicit
+// "unsupported" error.
+func TestFP16UnsupportedOn3DAndStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p3 := Params3D{N: 1, ID: 4, IH: 8, IW: 8, FD: 3, FH: 3, FW: 3,
+		IC: 2, OC: 2, PD: 1, PH: 1, PW: 1}
+	x3 := NewTensor5(p3.XShape())
+	dy3 := NewTensor5(p3.DYShape())
+	x3.FillUniform(rng, 0, 1)
+	dy3.FillUniform(rng, 0, 1)
+	if _, err := BackwardFilter3D(p3, x3, dy3, WithFP16()); err == nil {
+		t.Error("BackwardFilter3D(WithFP16) should error, not silently compute FP32")
+	} else if !strings.Contains(err.Error(), "FP16") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	// Without the option the same geometry still works.
+	if _, err := BackwardFilter3D(p3, x3, dy3); err != nil {
+		t.Errorf("FP32 3D path broke: %v", err)
+	}
+
+	ps := StridedParams{N: 1, IH: 14, IW: 14, FH: 3, FW: 3, IC: 2, OC: 2,
+		PH: 1, PW: 1, SH: 2, SW: 2}
+	x := NewTensor(ps.XShape())
+	dy := NewTensor(ps.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	if _, err := BackwardFilterStrided(ps, x, dy, WithFP16()); err == nil {
+		t.Error("BackwardFilterStrided(WithFP16) should error, not silently compute FP32")
+	} else if !strings.Contains(err.Error(), "FP16") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	if _, err := BackwardFilterStrided(ps, x, dy); err != nil {
+		t.Errorf("FP32 strided path broke: %v", err)
+	}
+}
+
+// Repeated one-shot calls on one geometry go through the process-wide plan
+// cache: hits must accumulate.
+func TestPlanCacheStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := Params{N: 1, IH: 19, IW: 23, FH: 3, FW: 3, IC: 3, OC: 5, PH: 1, PW: 1}
+	x := NewTensor(p.XShape())
+	dy := NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+
+	h0, _ := PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		if _, err := BackwardFilter(p, x, dy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := PlanCacheStats()
+	if h1-h0 < 2 {
+		t.Errorf("expected ≥2 plan-cache hits from repeated one-shot calls, got %d (misses %d)",
+			h1-h0, m1)
+	}
+}

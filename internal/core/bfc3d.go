@@ -184,11 +184,13 @@ func segmentTile3D(p conv.Params3D, seg Segment, fd, fh, j int,
 	oc, ic := p.OC, p.IC
 	oh := p.OH()
 
-	v := make([]float32, alpha*oc*ic)
-	wRaw := make([]float32, r*oc)
-	wHat := make([]float32, alpha*oc)
-	xRaw := make([]float32, alpha*ic)
-	xHat := make([]float32, alpha*ic)
+	s := getTileScratch()
+	defer putTileScratch(s)
+	v := growF32Zero(&s.v, alpha*oc*ic)
+	wRaw := growF32(&s.wRaw, r*oc)
+	wHat := growF32(&s.wHatF, alpha*oc)
+	xRaw := growF32(&s.xRaw, alpha*ic)
+	xHat := growF32(&s.xHatF, alpha*ic)
 	colBase := j * n
 	dwShape := p.DWShape()
 
@@ -241,7 +243,7 @@ func segmentTile3D(p conv.Params3D, seg Segment, fd, fh, j int,
 	}
 
 	// Output transform into the (oc, fd, fh, colBase+i, ic) bucket slots.
-	acc := make([]float32, alpha)
+	acc := growF32(&s.acc, alpha)
 	for a := 0; a < oc; a++ {
 		for b := 0; b < ic; b++ {
 			for e := 0; e < alpha; e++ {

@@ -380,6 +380,11 @@ type Config struct {
 	SegW     int // Algorithm 2 expected segment width
 	Segments []Segment
 	Hardware Hardware
+
+	// unitOff is the precomputed work-unit schedule (see unitOffsets),
+	// built by Configure so executions need not re-derive it. Hand-built
+	// configs may leave it nil; runSegments then derives it per call.
+	unitOff []int
 }
 
 // Z returns the realized segment count.
@@ -476,6 +481,7 @@ func Configure(p conv.Params, opts ...Option) (*Config, error) {
 		Hardware: o.hw,
 	}
 	cfg.Segments = segs
+	cfg.unitOff = unitOffsets(p.FW, p.FH, segs)
 	return cfg, nil
 }
 

@@ -3,10 +3,10 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"winrs/internal/conv"
 	"winrs/internal/fp16"
-	"winrs/internal/kahan"
 	"winrs/internal/tensor"
 	"winrs/internal/winograd"
 )
@@ -15,17 +15,10 @@ import (
 // fully-fused Ω_α(n,r) kernel into its own ∇W bucket, and the buckets are
 // reduced with Kahan summation. Work units (segment × f_h × width-tile)
 // map to goroutines the way block groups map to SMs; no two units touch
-// the same accumulator, so the execution is lock-free.
+// the same accumulator, so the execution is lock-free. Each call allocates
+// fresh buckets and a fresh result; see ExecuteIn for the reusing variant.
 func Execute(cfg *Config, x, dy *tensor.Float32) *tensor.Float32 {
-	p := cfg.Params
-	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
-		panic("core: Execute operand shape mismatch")
-	}
-	buckets := makeBuckets(cfg)
-	runSegments(cfg, func(si int, seg Segment, fh, j int) {
-		segmentTile32(p, seg, fh, j, x, dy, buckets[si])
-	})
-	return reduceBuckets(cfg, buckets)
+	return ExecuteIn(cfg, nil, x, dy, nil)
 }
 
 // ExecuteHalf runs the FP16 Tensor-Core path: transforms computed in FP32
@@ -34,79 +27,75 @@ func Execute(cfg *Config, x, dy *tensor.Float32) *tensor.Float32 {
 // the eq. (7) scaling matrices for α = 16 kernels. Buckets and the Kahan
 // reduction stay FP32.
 func ExecuteHalf(cfg *Config, x, dy *tensor.Half) *tensor.Float32 {
-	p := cfg.Params
-	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
-		panic("core: ExecuteHalf operand shape mismatch")
-	}
-	buckets := makeBuckets(cfg)
-	runSegments(cfg, func(si int, seg Segment, fh, j int) {
-		segmentTileHalf(p, seg, fh, j, x, dy, buckets[si])
-	})
-	return reduceBuckets(cfg, buckets)
+	return ExecuteHalfIn(cfg, nil, x, dy, nil)
 }
 
-func makeBuckets(cfg *Config) [][]float32 {
-	elems := cfg.Params.DWShape().Elems()
-	buckets := make([][]float32, cfg.Z())
-	for i := range buckets {
-		buckets[i] = make([]float32, elems)
+// unitOffsets builds the prefix table of per-segment work-unit counts:
+// entry i is the first global unit index of segment i, and the final entry
+// is the total unit count. Segment si contributes F_H·(F_W/r_si) units.
+func unitOffsets(fw, fh int, segs []Segment) []int {
+	off := make([]int, len(segs)+1)
+	for i, seg := range segs {
+		off[i+1] = off[i] + fh*(fw/seg.K.N)
 	}
-	return buckets
+	return off
 }
 
 // runSegments schedules every (segment, f_h, width-tile) unit onto a worker
-// pool.
+// pool. Workers pull unit indices from a shared atomic counter (work
+// stealing degenerates to striding), so scheduling allocates no task list —
+// only the fixed goroutine bookkeeping. Results are order-independent:
+// units write disjoint bucket regions and the reduction is sequential.
 func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
-	type task struct {
-		si, fh, j int
+	off := cfg.unitOff
+	if off == nil { // hand-built Config (tests): derive the schedule locally
+		off = unitOffsets(cfg.Params.FW, cfg.Params.FH, cfg.Segments)
 	}
-	var tasks []task
-	for si, seg := range cfg.Segments {
-		jTiles := cfg.Params.FW / seg.K.N
-		for fh := 0; fh < cfg.Params.FH; fh++ {
-			for j := 0; j < jTiles; j++ {
-				tasks = append(tasks, task{si, fh, j})
-			}
-		}
+	total := off[len(off)-1]
+	if total == 0 {
+		return
+	}
+	fw := cfg.Params.FW
+	// run executes global unit i, which belongs to segment si.
+	run := func(i, si int) {
+		seg := cfg.Segments[si]
+		jTiles := fw / seg.K.N
+		local := i - off[si]
+		unit(si, seg, local/jTiles, local%jTiles)
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > total {
+		workers = total
 	}
 	if workers <= 1 {
-		for _, t := range tasks {
-			unit(t.si, cfg.Segments[t.si], t.fh, t.j)
+		for i, si := 0, 0; i < total; i++ {
+			for i >= off[si+1] {
+				si++
+			}
+			run(i, si)
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	ch := make(chan task)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for t := range ch {
-				unit(t.si, cfg.Segments[t.si], t.fh, t.j)
+			si := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				for i >= off[si+1] { // i only grows, so si scans forward
+					si++
+				}
+				run(i, si)
 			}
 		}()
 	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
 	wg.Wait()
-}
-
-// reduceBuckets is phase 3: Kahan-compensated summation of the Z buckets
-// into the final gradient tensor.
-func reduceBuckets(cfg *Config, buckets [][]float32) *tensor.Float32 {
-	dw := tensor.NewFloat32(cfg.Params.DWShape())
-	if len(buckets) == 1 {
-		copy(dw.Data, buckets[0])
-		return dw
-	}
-	kahan.ReduceBuckets(dw.Data, buckets)
-	return dw
 }
 
 // segmentTile32 executes the fused FP32 kernel for one (segment, f_h,
@@ -127,12 +116,14 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
 
+	s := getTileScratch()
+	defer putTileScratch(s)
 	// Accumulators v[α][OC][IC] (the register tile of Algorithm 3).
-	v := make([]float32, alpha*oc*ic)
-	wRaw := make([]float32, r*oc)     // gathered ∇Y unit, [r][OC]
-	wHat := make([]float32, alpha*oc) // G·W, [α][OC]
-	xRaw := make([]float32, alpha*ic) // gathered X tile, [α][IC]
-	xHat := make([]float32, alpha*ic) // Dᵀ·X, [α][IC]
+	v := growF32Zero(&s.v, alpha*oc*ic)
+	wRaw := growF32(&s.wRaw, r*oc)      // gathered ∇Y unit, [r][OC]
+	wHat := growF32(&s.wHatF, alpha*oc) // G·W, [α][OC]
+	xRaw := growF32(&s.xRaw, alpha*ic)  // gathered X tile, [α][IC]
+	xHat := growF32(&s.xHatF, alpha*ic) // Dᵀ·X, [α][IC]
 	colBase := j * n
 
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
@@ -183,33 +174,34 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 	}
 
 	// Output transform: y = Aᵀ·v[:, oc, ic], written into the bucket.
-	writeOutput(p, tr.A, v, bucket, fh, colBase, n, alpha, oc, ic, nil)
+	writeOutput(p, tr.A, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 
 // segmentTileHalf is the FP16 variant of segmentTile32 (see ExecuteHalf).
 func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32) {
 	k := seg.K
 	tr := k.Transform()
-	var sc *winograd.ScaledTransform
 	// Balanced transforms for the small-α kernels; for α ≥ 16 the eq. (7)
 	// scaling matrices (unit-L1 G rows and Dᵀ rows) keep the transformed
 	// binary16 values inside the half-precision dynamic range.
 	bal := tr.Balanced()
 	gMat, dMat, aMat := bal.G, bal.D, bal.A
 	if tr.Alpha >= 16 {
-		sc = tr.Scaled()
+		sc := tr.Scaled()
 		gMat, dMat, aMat = sc.G, sc.D, sc.A
 	}
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
 
-	v := make([]float32, alpha*oc*ic)
-	wRaw := make([]float32, r*oc)
-	wHatF := make([]float32, alpha*oc)
-	wHat := make([]fp16.Bits, alpha*oc)
-	xRaw := make([]float32, alpha*ic)
-	xHatF := make([]float32, alpha*ic)
-	xHat := make([]fp16.Bits, alpha*ic)
+	s := getTileScratch()
+	defer putTileScratch(s)
+	v := growF32Zero(&s.v, alpha*oc*ic)
+	wRaw := growF32(&s.wRaw, r*oc)
+	wHatF := growF32(&s.wHatF, alpha*oc)
+	wHat := growHalf(&s.wHat, alpha*oc)
+	xRaw := growF32(&s.xRaw, alpha*ic)
+	xHatF := growF32(&s.xHatF, alpha*ic)
+	xHat := growHalf(&s.xHat, alpha*ic)
 	colBase := j * n
 
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
@@ -268,15 +260,15 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, 
 			}
 		}
 	}
-	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, sc)
+	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 
 // writeOutput applies the FP32 output transform Aᵀ to the accumulators and
-// adds the n output columns into the bucket at (·, fh, colBase…, ·).
+// adds the n output columns into the bucket at (·, fh, colBase…, ·). acc is
+// α-length scratch for the per-(oc,ic) accumulator column.
 func writeOutput(p conv.Params, aMat *winograd.Mat, v []float32, bucket []float32,
-	fh, colBase, n, alpha, oc, ic int, _ *winograd.ScaledTransform) {
+	fh, colBase, n, alpha, oc, ic int, acc []float32) {
 	dwShape := p.DWShape()
-	acc := make([]float32, alpha)
 	for a := 0; a < oc; a++ {
 		for b := 0; b < ic; b++ {
 			for e := 0; e < alpha; e++ {

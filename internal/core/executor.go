@@ -1,33 +1,27 @@
 package core
 
 import (
-	"winrs/internal/kahan"
 	"winrs/internal/tensor"
 )
 
-// Executor owns a configuration plus reusable scratch (the Z gradient
-// buckets and the output tensor), so steady-state training loops compute
-// gradients without per-step allocations of the workspace. An Executor is
-// NOT safe for concurrent use — create one per goroutine; the underlying
-// Config is read-only and may be shared.
+// Executor owns a configuration plus reusable scratch (a Workspace holding
+// the Z gradient buckets, and the output tensor), so steady-state training
+// loops compute gradients without per-step allocations of the workspace.
+// An Executor is NOT safe for concurrent use — create one per goroutine;
+// the underlying Config is read-only and may be shared.
 type Executor struct {
-	cfg     *Config
-	buckets [][]float32
-	out     *tensor.Float32
+	cfg *Config
+	ws  *Workspace
+	out *tensor.Float32
 }
 
 // NewExecutor allocates the scratch for the configuration once.
 func NewExecutor(cfg *Config) *Executor {
-	elems := cfg.Params.DWShape().Elems()
-	e := &Executor{
-		cfg:     cfg,
-		buckets: make([][]float32, cfg.Z()),
-		out:     tensor.NewFloat32(cfg.Params.DWShape()),
+	return &Executor{
+		cfg: cfg,
+		ws:  NewWorkspace(cfg),
+		out: tensor.NewFloat32(cfg.Params.DWShape()),
 	}
-	for i := range e.buckets {
-		e.buckets[i] = make([]float32, elems)
-	}
-	return e
 }
 
 // Config returns the underlying (read-only) plan.
@@ -37,22 +31,5 @@ func (e *Executor) Config() *Config { return e.cfg }
 // returned tensor is owned by the executor and overwritten by the next
 // call; clone it to retain results across steps.
 func (e *Executor) Execute(x, dy *tensor.Float32) *tensor.Float32 {
-	p := e.cfg.Params
-	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
-		panic("core: Executor.Execute operand shape mismatch")
-	}
-	for _, b := range e.buckets {
-		for i := range b {
-			b[i] = 0
-		}
-	}
-	runSegments(e.cfg, func(si int, seg Segment, fh, j int) {
-		segmentTile32(p, seg, fh, j, x, dy, e.buckets[si])
-	})
-	if len(e.buckets) == 1 {
-		copy(e.out.Data, e.buckets[0])
-		return e.out
-	}
-	kahan.ReduceBuckets(e.out.Data, e.buckets)
-	return e.out
+	return ExecuteIn(e.cfg, e.ws, x, dy, e.out)
 }

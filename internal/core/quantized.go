@@ -73,11 +73,11 @@ func ExecuteQuantized(cfg *Config, x, dy *tensor.Float32, q Quantizer) *tensor.F
 	if q.Round == nil {
 		panic("core: ExecuteQuantized requires a Round function")
 	}
-	buckets := makeBuckets(cfg)
+	ws := NewWorkspace(cfg)
 	runSegments(cfg, func(si int, seg Segment, fh, j int) {
-		segmentTileQuantized(p, seg, fh, j, x, dy, buckets[si], q)
+		segmentTileQuantized(p, seg, fh, j, x, dy, ws.buckets[si], q)
 	})
-	return reduceBuckets(cfg, buckets)
+	return reduceInto(cfg, ws.buckets, nil)
 }
 
 // BackwardFilterQuantized is the one-call quantized path.
@@ -106,11 +106,13 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
 
-	v := make([]float32, alpha*oc*ic)
-	wRaw := make([]float32, r*oc)
-	wHat := make([]float32, alpha*oc)
-	xRaw := make([]float32, alpha*ic)
-	xHat := make([]float32, alpha*ic)
+	s := getTileScratch()
+	defer putTileScratch(s)
+	v := growF32Zero(&s.v, alpha*oc*ic)
+	wRaw := growF32(&s.wRaw, r*oc)
+	wHat := growF32(&s.wHatF, alpha*oc)
+	xRaw := growF32(&s.xRaw, alpha*ic)
+	xHat := growF32(&s.xHatF, alpha*ic)
 	colBase := j * n
 
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
@@ -162,7 +164,7 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 			}
 		}
 	}
-	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, nil)
+	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 
 func quantizeSlice(vs []float32, q Quantizer) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// tests skip under it (instrumentation allocates, and sync.Pool sheds
+// items on purpose).
+const raceEnabled = true

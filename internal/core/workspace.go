@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+
+	"winrs/internal/fp16"
+	"winrs/internal/kahan"
+	"winrs/internal/tensor"
+)
+
+// Workspace is the reusable bucket arena of one plan: the Z ∇W-sized FP32
+// buckets of the paper's partitioning phase. Executions through ExecuteIn
+// reuse it across steps, so a steady-state caller (the serving runtime's
+// workspace pool, the training Executor) pays the (Z−1)·|∇W| allocation
+// once instead of per gradient.
+//
+// A Workspace is NOT safe for concurrent use; the Config it was built for
+// is read-only and may be shared freely.
+type Workspace struct {
+	z, elems int
+	buckets  [][]float32
+}
+
+// NewWorkspace allocates the bucket arena for cfg.
+func NewWorkspace(cfg *Config) *Workspace {
+	elems := cfg.Params.DWShape().Elems()
+	ws := &Workspace{z: cfg.Z(), elems: elems, buckets: make([][]float32, cfg.Z())}
+	for i := range ws.buckets {
+		ws.buckets[i] = make([]float32, elems)
+	}
+	return ws
+}
+
+// Fits reports whether the workspace matches cfg's bucket geometry (same
+// segment count and gradient size).
+func (ws *Workspace) Fits(cfg *Config) bool {
+	return ws != nil && ws.z == cfg.Z() && ws.elems == cfg.Params.DWShape().Elems()
+}
+
+// Bytes returns the arena footprint.
+func (ws *Workspace) Bytes() int64 { return int64(ws.z) * int64(ws.elems) * 4 }
+
+func (ws *Workspace) zero() {
+	for _, b := range ws.buckets {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// ensureWorkspace returns a zeroed workspace for cfg: the caller's if it
+// fits, a fresh one when ws is nil.
+func ensureWorkspace(cfg *Config, ws *Workspace) *Workspace {
+	if ws == nil {
+		return NewWorkspace(cfg) // fresh arenas are already zero
+	}
+	if !ws.Fits(cfg) {
+		panic("core: workspace does not fit configuration")
+	}
+	ws.zero()
+	return ws
+}
+
+// reduceInto is phase 3: Kahan-compensated summation of the Z buckets into
+// dst (allocated when nil).
+func reduceInto(cfg *Config, buckets [][]float32, dst *tensor.Float32) *tensor.Float32 {
+	if dst == nil {
+		dst = tensor.NewFloat32(cfg.Params.DWShape())
+	} else if dst.Shape != cfg.Params.DWShape() {
+		panic("core: reduce destination shape mismatch")
+	}
+	if len(buckets) == 1 {
+		copy(dst.Data, buckets[0])
+		return dst
+	}
+	kahan.ReduceBuckets(dst.Data, buckets)
+	return dst
+}
+
+// ExecuteIn runs the configured FP32 plan with caller-provided scratch: ws
+// supplies the buckets (nil allocates fresh) and dst receives the gradient
+// (nil allocates fresh). With both provided, the steady-state execution
+// allocates nothing beyond per-call goroutine bookkeeping — the serving
+// runtime's zero-allocation hot path.
+func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.Float32 {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: Execute operand shape mismatch")
+	}
+	ws = ensureWorkspace(cfg, ws)
+	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+		segmentTile32(p, seg, fh, j, x, dy, ws.buckets[si])
+	})
+	return reduceInto(cfg, ws.buckets, dst)
+}
+
+// ExecuteHalfIn is ExecuteIn for the emulated FP16 Tensor-Core path.
+// Buckets and the reduction stay FP32 (paper §5.2), so the same Workspace
+// type serves both precisions.
+func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32) *tensor.Float32 {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: ExecuteHalf operand shape mismatch")
+	}
+	ws = ensureWorkspace(cfg, ws)
+	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+		segmentTileHalf(p, seg, fh, j, x, dy, ws.buckets[si])
+	})
+	return reduceInto(cfg, ws.buckets, dst)
+}
+
+// tileScratch holds the per-unit transform scratch of one fused kernel
+// invocation: the register tile v, the gather/transform panels and the
+// output-transform accumulator. Units borrow it from a process-wide pool so
+// steady-state executions allocate no transform scratch at all; the slices
+// grow to the largest geometry seen and are then reused as-is.
+type tileScratch struct {
+	v, wRaw, wHatF, xRaw, xHatF, acc []float32
+	wHat, xHat                       []fp16.Bits
+}
+
+var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}
+
+func getTileScratch() *tileScratch  { return tileScratchPool.Get().(*tileScratch) }
+func putTileScratch(s *tileScratch) { tileScratchPool.Put(s) }
+
+// growF32 resizes *buf to length n, reusing its backing array when large
+// enough. Contents are unspecified; callers overwrite or zero as needed.
+func growF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growF32Zero is growF32 plus zeroing, for accumulators.
+func growF32Zero(buf *[]float32, n int) []float32 {
+	s := growF32(buf, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growHalf(buf *[]fp16.Bits, n int) []fp16.Bits {
+	if cap(*buf) < n {
+		*buf = make([]fp16.Bits, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,183 @@
+// Package serve implements the WinRS serving runtime: a sharded LRU plan
+// cache so configuration adaptation (paper §4) runs once per layer
+// geometry, sync.Pool-backed workspace arenas so steady-state execution is
+// allocation-free, a bounded worker pool with admission control so the
+// service degrades predictably under overload, and an HTTP daemon
+// (cmd/winrs-serve) exposing the three convolution passes plus /metrics
+// and /healthz.
+//
+// The public winrs wrappers route through the same PlanCache type, so
+// library users get plan reuse for free.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/tensor"
+)
+
+// PlanKey identifies one adapted plan: the layer geometry plus every knob
+// that changes the outcome of configuration adaptation.
+type PlanKey struct {
+	Params conv.Params
+	// FP16 selects the emulated Tensor-Core path.
+	FP16 bool
+	// NSM is the target device's SM count; non-positive means the default
+	// hardware model (128 SMs).
+	NSM int
+	// Segments forces the segment count Z; non-positive means adaptive.
+	Segments int
+}
+
+// Options translates the key back into core configuration options.
+func (k PlanKey) Options() []core.Option {
+	var opts []core.Option
+	if k.NSM > 0 {
+		opts = append(opts, core.WithHardware(core.Hardware{NSM: k.NSM}))
+	}
+	if k.FP16 {
+		opts = append(opts, core.WithFP16())
+	}
+	if k.Segments > 0 {
+		opts = append(opts, core.WithSegments(k.Segments))
+	}
+	return opts
+}
+
+// hash is FNV-1a over the key's fields, used only for shard selection.
+func (k PlanKey) hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(v int) {
+		h ^= uint32(v)
+		h *= 16777619
+	}
+	p := k.Params
+	for _, v := range []int{p.N, p.IH, p.IW, p.FH, p.FW, p.IC, p.OC, p.PH, p.PW, k.NSM, k.Segments} {
+		mix(v)
+	}
+	if k.FP16 {
+		mix(1)
+	}
+	return h
+}
+
+// Entry is one cached plan together with its workspace pool: bucket arenas
+// and output tensors sized for the plan, recycled across executions so the
+// steady-state gradient path allocates nothing.
+type Entry struct {
+	Key PlanKey
+	Cfg *core.Config
+
+	ws  sync.Pool // *core.Workspace
+	out sync.Pool // *tensor.Float32, DW-shaped
+}
+
+func newEntry(key PlanKey, cfg *core.Config) *Entry {
+	e := &Entry{Key: key, Cfg: cfg}
+	e.ws.New = func() any { return core.NewWorkspace(cfg) }
+	e.out.New = func() any { return tensor.NewFloat32(cfg.Params.DWShape()) }
+	return e
+}
+
+// AcquireWorkspace borrows a bucket arena sized for the plan. Return it
+// with ReleaseWorkspace when the execution's result has been read out.
+func (e *Entry) AcquireWorkspace() *core.Workspace { return e.ws.Get().(*core.Workspace) }
+
+// ReleaseWorkspace returns a borrowed arena to the pool.
+func (e *Entry) ReleaseWorkspace(ws *core.Workspace) { e.ws.Put(ws) }
+
+func (e *Entry) acquireOut() *tensor.Float32  { return e.out.Get().(*tensor.Float32) }
+func (e *Entry) releaseOut(t *tensor.Float32) { e.out.Put(t) }
+
+const cacheShards = 16
+
+// PlanCache is a sharded LRU cache of adapted plans. Gets on different
+// shards never contend; within a shard a mutex guards the map + LRU list.
+// Capacity is enforced per shard (total capacity / 16, at least one), so a
+// pathological key distribution can at worst halve the effective capacity,
+// never grow it unboundedly.
+type PlanCache struct {
+	shardCap     int
+	shards       [cacheShards]cacheShard
+	hits, misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[PlanKey]*list.Element
+	lru list.List // front = most recently used; element values are *Entry
+}
+
+// NewPlanCache returns a cache holding about capacity plans (minimum 16,
+// one per shard).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < cacheShards {
+		capacity = cacheShards
+	}
+	c := &PlanCache{shardCap: (capacity + cacheShards - 1) / cacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[PlanKey]*list.Element)
+	}
+	return c
+}
+
+// Get returns the cached plan for key, running configuration adaptation on
+// a miss. The boolean reports a cache hit. Concurrent misses on the same
+// key may run adaptation more than once; the first insert wins and the
+// duplicates are dropped (Configure is pure, so all results are
+// equivalent).
+func (c *PlanCache) Get(key PlanKey) (*Entry, bool, error) {
+	s := &c.shards[key.hash()%cacheShards]
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*Entry), true, nil
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// Configuration adaptation runs outside the shard lock: it is CPU-bound
+	// and must not serialize hits behind it.
+	cfg, err := core.Configure(key.Params, key.Options()...)
+	if err != nil {
+		return nil, false, err
+	}
+	e := newEntry(key, cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok { // lost the insert race
+		s.lru.MoveToFront(el)
+		return el.Value.(*Entry), false, nil
+	}
+	s.m[key] = s.lru.PushFront(e)
+	for s.lru.Len() > c.shardCap {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.m, old.Value.(*Entry).Key)
+	}
+	return e, false, nil
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *PlanCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"winrs/internal/conv"
+)
+
+func testKey(iw int) PlanKey {
+	return PlanKey{Params: conv.Params{
+		N: 1, IH: 12, IW: iw, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1,
+	}}
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	c := NewPlanCache(64)
+	k := testKey(12)
+	e1, hit, err := c.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Get should miss")
+	}
+	e2, hit, err := c.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second Get should hit")
+	}
+	if e1 != e2 {
+		t.Error("hit should return the same entry")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestPlanCacheError(t *testing.T) {
+	c := NewPlanCache(64)
+	k := PlanKey{Params: conv.Params{N: 0}} // invalid geometry
+	if _, _, err := c.Get(k); err == nil {
+		t.Error("invalid params should error")
+	}
+	if c.Len() != 0 {
+		t.Error("failed Configure must not be cached")
+	}
+}
+
+// Filling far past capacity must evict rather than grow unboundedly.
+func TestPlanCacheEviction(t *testing.T) {
+	c := NewPlanCache(16) // one plan per shard
+	for iw := 8; iw < 8+64; iw++ {
+		if _, _, err := c.Get(testKey(iw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("cache grew to %d entries, capacity 16", n)
+	}
+}
+
+// Concurrent Gets on a mix of hot and cold keys, for the race detector;
+// duplicate-configure races must all converge on one cached entry.
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := testKey(10 + i%4)
+				e, _, err := c.Get(k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ws := e.AcquireWorkspace()
+				e.ReleaseWorkspace(ws)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n != 4 {
+		t.Errorf("Len = %d, want 4 distinct plans", n)
+	}
+}
+
+// The workspace pool hands out arenas that actually fit the plan.
+func TestEntryWorkspaceFits(t *testing.T) {
+	c := NewPlanCache(16)
+	e, _, err := c.Get(testKey(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := e.AcquireWorkspace()
+	defer e.ReleaseWorkspace(ws)
+	if !ws.Fits(e.Cfg) {
+		t.Error("pooled workspace does not fit its own plan")
+	}
+	out := e.acquireOut()
+	defer e.releaseOut(out)
+	if out.Shape != e.Cfg.Params.DWShape() {
+		t.Errorf("pooled output shape %v, want %v", out.Shape, e.Cfg.Params.DWShape())
+	}
+}

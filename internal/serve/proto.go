@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"winrs/internal/conv"
+	"winrs/internal/fp16"
+	"winrs/internal/tensor"
+)
+
+// Wire format. Every request body is
+//
+//	[4]byte  magic "WRS1"
+//	uint32   little-endian JSON header length
+//	[]byte   JSON header (RequestHeader)
+//	[]byte   the two operand tensors, raw little-endian values,
+//	         concatenated in the order given by the op (see OperandShapes)
+//
+// Payload sizes are fully implied by params + dtype, so the framing needs
+// no per-tensor lengths. Responses are the raw little-endian float32
+// elements of the result tensor; its shape is echoed in X-Winrs-Shape.
+
+// Magic is the 4-byte wire-format marker opening every request body.
+var Magic = [4]byte{'W', 'R', 'S', '1'}
+
+// maxHeaderBytes bounds the JSON header so a corrupt length prefix cannot
+// force a huge allocation.
+const maxHeaderBytes = 1 << 16
+
+// Op is one of the three convolution passes the service computes.
+type Op int
+
+const (
+	OpBackwardFilter Op = iota // ∇W from X, ∇Y — the paper's BFC
+	OpForward                  // Y from X, W
+	OpBackwardData             // ∇X from ∇Y, W
+	numOps
+)
+
+var opNames = [numOps]string{"backward_filter", "forward", "backward_data"}
+
+func (o Op) String() string {
+	if o < 0 || o >= numOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// ParseOp maps a wire name to an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if s == n {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown op %q", s)
+}
+
+// DType is the tensor element encoding on the wire.
+type DType string
+
+const (
+	// F32 is IEEE-754 binary32, little-endian — the default.
+	F32 DType = "f32"
+	// F16 is IEEE-754 binary16, little-endian; valid only for
+	// backward_filter, where it selects the Tensor-Core path.
+	F16 DType = "f16"
+)
+
+// elemBytes returns the per-element wire size, or 0 for an unknown dtype.
+func (d DType) elemBytes() int {
+	switch d {
+	case F32, "":
+		return 4
+	case F16:
+		return 2
+	}
+	return 0
+}
+
+// RequestHeader is the JSON metadata of one request.
+type RequestHeader struct {
+	// Op names the pass; optional when the URL already selects it, but
+	// must agree when both are present.
+	Op string `json:"op,omitempty"`
+	// Params is the layer geometry (stride 1, symmetric padding), with the
+	// paper's field names: N, IH, IW, FH, FW, IC, OC, PH, PW.
+	Params conv.Params `json:"params"`
+	// DType is the payload encoding: "f32" (default) or "f16".
+	DType DType `json:"dtype,omitempty"`
+	// Segments forces the segment count Z (0 = adaptive, Algorithm 1).
+	Segments int `json:"segments,omitempty"`
+	// NSM overrides the hardware model's SM count (0 = default, 128).
+	NSM int `json:"nsm,omitempty"`
+}
+
+// OperandShapes returns the shapes of the two request tensors (in payload
+// order) and of the result for the given op.
+func OperandShapes(op Op, p conv.Params) (a, b, out tensor.Shape) {
+	switch op {
+	case OpBackwardFilter:
+		return p.XShape(), p.DYShape(), p.DWShape()
+	case OpForward:
+		return p.XShape(), p.DWShape(), p.DYShape()
+	case OpBackwardData:
+		return p.DYShape(), p.DWShape(), p.XShape()
+	}
+	panic("serve: OperandShapes on invalid op")
+}
+
+// EncodeRequest frames a header and raw payloads into one request body.
+func EncodeRequest(hdr RequestHeader, payloads ...[]byte) ([]byte, error) {
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(hj) > maxHeaderBytes {
+		return nil, fmt.Errorf("serve: header too large (%d bytes)", len(hj))
+	}
+	n := 8 + len(hj)
+	for _, p := range payloads {
+		n += len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, Magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hj)))
+	buf = append(buf, hj...)
+	for _, p := range payloads {
+		buf = append(buf, p...)
+	}
+	return buf, nil
+}
+
+// DecodeRequest reads a framed request, returning the header and the
+// undivided payload bytes (the caller splits them by OperandShapes).
+func DecodeRequest(r io.Reader) (RequestHeader, []byte, error) {
+	var hdr RequestHeader
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return hdr, nil, fmt.Errorf("serve: short request preamble: %w", err)
+	}
+	if [4]byte(pre[:4]) != Magic {
+		return hdr, nil, fmt.Errorf("serve: bad magic %q (want %q)", pre[:4], Magic[:])
+	}
+	hlen := binary.LittleEndian.Uint32(pre[4:])
+	if hlen == 0 || hlen > maxHeaderBytes {
+		return hdr, nil, fmt.Errorf("serve: implausible header length %d", hlen)
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hj); err != nil {
+		return hdr, nil, fmt.Errorf("serve: short header: %w", err)
+	}
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("serve: header: %w", err)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("serve: payload: %w", err)
+	}
+	return hdr, payload, nil
+}
+
+// AppendF32 appends the little-endian encoding of vals to dst.
+func AppendF32(dst []byte, vals []float32) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// AppendF16 appends the little-endian encoding of binary16 values to dst.
+func AppendF16(dst []byte, vals []fp16.Bits) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(v))
+	}
+	return dst
+}
+
+// DecodeF32 fills dst from src; src must hold exactly 4·len(dst) bytes.
+func DecodeF32(src []byte, dst []float32) error {
+	if len(src) != 4*len(dst) {
+		return fmt.Errorf("serve: f32 payload %d bytes, want %d", len(src), 4*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return nil
+}
+
+// DecodeF16 fills dst from src; src must hold exactly 2·len(dst) bytes.
+func DecodeF16(src []byte, dst []fp16.Bits) error {
+	if len(src) != 2*len(dst) {
+		return fmt.Errorf("serve: f16 payload %d bytes, want %d", len(src), 2*len(dst))
+	}
+	for i := range dst {
+		dst[i] = fp16.Bits(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/fp16"
+)
+
+func TestRequestRoundtrip(t *testing.T) {
+	p := conv.Params{N: 2, IH: 8, IW: 8, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	a := AppendF32(nil, []float32{1, 2.5, -3, float32(math.Inf(1))})
+	b := AppendF32(nil, []float32{0.125})
+	body, err := EncodeRequest(RequestHeader{
+		Op: "backward_filter", Params: p, DType: F32, Segments: 4, NSM: 64,
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, payload, err := DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Op != "backward_filter" || hdr.Params != p || hdr.DType != F32 ||
+		hdr.Segments != 4 || hdr.NSM != 64 {
+		t.Errorf("header roundtrip: %+v", hdr)
+	}
+	if !bytes.Equal(payload, append(append([]byte{}, a...), b...)) {
+		t.Error("payload roundtrip mismatch")
+	}
+}
+
+func TestDecodeRequestBadMagic(t *testing.T) {
+	body, err := EncodeRequest(RequestHeader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[0] = 'X'
+	if _, _, err := DecodeRequest(bytes.NewReader(body)); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	body, err := EncodeRequest(RequestHeader{Op: "forward"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, 7, len(body) - 2} {
+		if _, _, err := DecodeRequest(bytes.NewReader(body[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestF32Codec(t *testing.T) {
+	vals := []float32{0, -0, 1.5, float32(math.NaN()), float32(math.Inf(-1)), 3e38}
+	enc := AppendF32(nil, vals)
+	got := make([]float32, len(vals))
+	if err := DecodeF32(enc, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float32bits(vals[i]) != math.Float32bits(got[i]) {
+			t.Errorf("element %d: bits differ", i)
+		}
+	}
+	if err := DecodeF32(enc[:len(enc)-1], got); err == nil {
+		t.Error("short f32 payload not detected")
+	}
+}
+
+func TestF16Codec(t *testing.T) {
+	vals := []fp16.Bits{0, 0x3C00, 0xFC00, 0x7FFF}
+	enc := AppendF16(nil, vals)
+	got := make([]fp16.Bits, len(vals))
+	if err := DecodeF16(enc, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if vals[i] != got[i] {
+			t.Errorf("element %d: %04x vs %04x", i, vals[i], got[i])
+		}
+	}
+	if err := DecodeF16(enc, got[:2]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}
+
+func TestOperandShapes(t *testing.T) {
+	p := conv.Params{N: 2, IH: 8, IW: 10, FH: 3, FW: 3, IC: 4, OC: 6, PH: 1, PW: 1}
+	for op, want := range map[Op][3]string{
+		OpBackwardFilter: {p.XShape().String(), p.DYShape().String(), p.DWShape().String()},
+		OpForward:        {p.XShape().String(), p.DWShape().String(), p.DYShape().String()},
+		OpBackwardData:   {p.DYShape().String(), p.DWShape().String(), p.XShape().String()},
+	} {
+		a, b, out := OperandShapes(op, p)
+		if a.String() != want[0] || b.String() != want[1] || out.String() != want[2] {
+			t.Errorf("%v: got %v %v %v", op, a, b, out)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for i, name := range opNames {
+		op, err := ParseOp(name)
+		if err != nil || op != Op(i) {
+			t.Errorf("ParseOp(%q) = %v, %v", name, op, err)
+		}
+		if op.String() != name {
+			t.Errorf("String() = %q, want %q", op.String(), name)
+		}
+	}
+	if _, err := ParseOp("gemm"); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

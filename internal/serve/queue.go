@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Dispatcher.Do when the queue is full. The
+// HTTP layer maps it to 429 Too Many Requests with Retry-After, the
+// "graceful rejection" half of admission control: under overload the
+// service sheds load immediately instead of queueing unboundedly.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("serve: dispatcher closed")
+
+// Dispatcher is a bounded worker pool with admission control: at most
+// `workers` jobs run concurrently and at most `queueDepth` jobs wait.
+// Submissions beyond that fail fast with ErrOverloaded, and a job whose
+// context expires while still queued is abandoned without running.
+type Dispatcher struct {
+	jobs     chan *dispatchJob
+	mu       sync.RWMutex // guards closed vs. sends on jobs
+	closed   bool
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+}
+
+type dispatchJob struct {
+	// claimed is set once by whoever decides the job's fate: the worker
+	// that runs it, or the submitter abandoning it on deadline.
+	claimed atomic.Bool
+	run     func()
+	done    chan struct{}
+}
+
+// NewDispatcher starts `workers` workers (minimum 1) consuming a queue of
+// depth `queueDepth` (minimum 0: admission only while a worker is free).
+func NewDispatcher(workers, queueDepth int) *Dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	d := &Dispatcher{jobs: make(chan *dispatchJob, queueDepth)}
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for j := range d.jobs {
+		if j.claimed.CompareAndSwap(false, true) {
+			d.inflight.Add(1)
+			j.run()
+			d.inflight.Add(-1)
+		}
+		close(j.done)
+	}
+}
+
+// Do submits fn and waits for it to finish. It returns ErrOverloaded
+// immediately when the queue is full and ctx.Err() if the deadline expires
+// while the job is still queued (the job then never runs). Once fn has
+// started it always runs to completion, and Do waits for it even past the
+// deadline — callers may therefore touch shared state from fn without
+// synchronizing against an early return.
+func (d *Dispatcher) Do(ctx context.Context, fn func()) error {
+	j := &dispatchJob{run: fn, done: make(chan struct{})}
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return ErrClosed
+	}
+	select {
+	case d.jobs <- j:
+		d.mu.RUnlock()
+	default:
+		d.mu.RUnlock()
+		return ErrOverloaded
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		if j.claimed.CompareAndSwap(false, true) {
+			return ctx.Err() // still queued: abandoned, never runs
+		}
+		<-j.done // a worker claimed it first: it is running, wait it out
+		return nil
+	}
+}
+
+// QueueDepth returns the number of jobs currently waiting for a worker.
+func (d *Dispatcher) QueueDepth() int { return len(d.jobs) }
+
+// InFlight returns the number of jobs currently executing.
+func (d *Dispatcher) InFlight() int64 { return d.inflight.Load() }
+
+// Close rejects further submissions and waits for queued and running jobs
+// to drain.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.jobs)
+	d.mu.Unlock()
+	d.wg.Wait()
+}

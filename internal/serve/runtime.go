@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"winrs/internal/core"
+	"winrs/internal/tensor"
+)
+
+// Runtime executes convolution passes through the plan cache with pooled
+// workspaces. It is safe for concurrent use: plans are read-only, and each
+// execution borrows a private arena from the entry's pool.
+type Runtime struct {
+	cache *PlanCache
+}
+
+// NewRuntime returns a runtime whose plan cache holds about cacheCapacity
+// plans.
+func NewRuntime(cacheCapacity int) *Runtime {
+	return &Runtime{cache: NewPlanCache(cacheCapacity)}
+}
+
+// Cache exposes the runtime's plan cache (stats, direct Gets).
+func (rt *Runtime) Cache() *PlanCache { return rt.cache }
+
+// BackwardFilter computes ∇W via the cached plan for key. The result is
+// freshly allocated and owned by the caller; only the bucket workspace is
+// pooled. The boolean reports a plan-cache hit.
+func (rt *Runtime) BackwardFilter(key PlanKey, x, dy *tensor.Float32) (*tensor.Float32, bool, error) {
+	e, hit, err := rt.cache.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	ws := e.AcquireWorkspace()
+	defer e.ReleaseWorkspace(ws)
+	return core.ExecuteIn(e.Cfg, ws, x, dy, nil), hit, nil
+}
+
+// BackwardFilterPooled executes with workspace AND output pooled: use
+// receives the pooled gradient together with the plan entry and the
+// cache-hit flag, and the tensor is recycled as soon as use returns — so
+// use must serialize or copy it, not retain it. This is the daemon's
+// allocation-free hot path.
+func (rt *Runtime) BackwardFilterPooled(key PlanKey, x, dy *tensor.Float32,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	e, hit, err := rt.cache.Get(key)
+	if err != nil {
+		return err
+	}
+	ws := e.AcquireWorkspace()
+	out := e.acquireOut()
+	defer func() {
+		e.ReleaseWorkspace(ws)
+		e.releaseOut(out)
+	}()
+	core.ExecuteIn(e.Cfg, ws, x, dy, out)
+	return use(out, e, hit)
+}
+
+// BackwardFilterHalfPooled is BackwardFilterPooled for binary16 operands
+// (the Tensor-Core path). key.FP16 must be set so the plan restricts
+// kernel selection accordingly; the pooled result stays FP32.
+func (rt *Runtime) BackwardFilterHalfPooled(key PlanKey, x, dy *tensor.Half,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	e, hit, err := rt.cache.Get(key)
+	if err != nil {
+		return err
+	}
+	ws := e.AcquireWorkspace()
+	out := e.acquireOut()
+	defer func() {
+		e.ReleaseWorkspace(ws)
+		e.releaseOut(out)
+	}()
+	core.ExecuteHalfIn(e.Cfg, ws, x, dy, out)
+	return use(out, e, hit)
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"winrs/internal/core"
+	"winrs/internal/tensor"
+)
+
+// Config sizes the server. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of requests computed concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// before further requests are rejected with 429 (default 64;
+	// negative means 0 — admit only onto a free worker).
+	QueueDepth int
+	// Deadline bounds one request's queue + compute time (default 30s).
+	Deadline time.Duration
+	// CacheCapacity is the plan-cache size in plans (default 256).
+	CacheCapacity int
+	// MaxBodyBytes caps the request body (default 1 GiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+}
+
+// Server is the winrs-serve HTTP service: the runtime (plan cache +
+// workspace pools) behind a bounded dispatcher, plus the stats surface.
+type Server struct {
+	cfg   Config
+	rt    *Runtime
+	disp  *Dispatcher
+	stats Stats
+	start time.Time
+}
+
+// NewServer builds a server; call Close to drain its workers.
+func NewServer(cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		cfg:   cfg,
+		rt:    NewRuntime(cfg.CacheCapacity),
+		disp:  NewDispatcher(cfg.Workers, cfg.QueueDepth),
+		start: time.Now(),
+	}
+}
+
+// Runtime exposes the server's runtime (tests, embedding).
+func (s *Server) Runtime() *Runtime { return s.rt }
+
+// Close drains the worker pool. In-flight requests finish; new ones get
+// 503.
+func (s *Server) Close() { s.disp.Close() }
+
+// Handler returns the HTTP mux:
+//
+//	POST /v1/backward_filter   ∇W from X, ∇Y (f32 or f16 payloads)
+//	POST /v1/forward           Y from X, W
+//	POST /v1/backward_data     ∇X from ∇Y, W
+//	GET  /healthz              liveness JSON
+//	GET  /metrics              Prometheus-style text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/backward_filter", s.opHandler(OpBackwardFilter))
+	mux.HandleFunc("POST /v1/forward", s.opHandler(OpForward))
+	mux.HandleFunc("POST /v1/backward_data", s.opHandler(OpBackwardData))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) opHandler(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { s.serveOp(op, w, r) }
+}
+
+// clientError replies with status and counts the request as malformed.
+func (s *Server) clientError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.stats.ClientErr.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+func (s *Server) serveOp(op Op, w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	hdr, payload, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if hdr.Op != "" {
+		if declared, err := ParseOp(hdr.Op); err != nil || declared != op {
+			s.clientError(w, http.StatusBadRequest, "header op %q does not match endpoint %q", hdr.Op, op)
+			return
+		}
+	}
+	p := hdr.Params
+	if err := p.Validate(); err != nil {
+		s.clientError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	esz := hdr.DType.elemBytes()
+	if esz == 0 {
+		s.clientError(w, http.StatusBadRequest, "unknown dtype %q", hdr.DType)
+		return
+	}
+	if hdr.DType == F16 && op != OpBackwardFilter {
+		s.clientError(w, http.StatusBadRequest, "dtype f16 is only supported for backward_filter")
+		return
+	}
+	aShape, bShape, _ := OperandShapes(op, p)
+	if want := (aShape.Elems() + bShape.Elems()) * esz; len(payload) != want {
+		s.clientError(w, http.StatusBadRequest,
+			"payload %d bytes, want %d (%v + %v × %d-byte elements)",
+			len(payload), want, aShape, bShape, esz)
+		return
+	}
+	aBytes := payload[:aShape.Elems()*esz]
+	bBytes := payload[aShape.Elems()*esz:]
+	key := PlanKey{Params: p, FP16: hdr.DType == F16, NSM: hdr.NSM, Segments: hdr.Segments}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+	defer cancel()
+
+	// The job runs on a dispatcher worker; Do blocks until it finishes (or
+	// it is abandoned while still queued, in which case it never runs), so
+	// writing the response from the job is race-free.
+	var jobErr error
+	err = s.disp.Do(ctx, func() {
+		jobErr = s.compute(op, key, hdr.DType, aBytes, bBytes, w)
+	})
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.stats.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.stats.Deadline.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "deadline expired while queued", http.StatusServiceUnavailable)
+	case err != nil: // ErrClosed
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case jobErr != nil:
+		// Plan construction / compute rejected the geometry. The response
+		// was not started (compute writes only on success).
+		s.stats.ComputeErr.Add(1)
+		http.Error(w, jobErr.Error(), http.StatusUnprocessableEntity)
+	default:
+		s.stats.Observe(op, time.Since(t0))
+	}
+}
+
+// compute decodes the operands, executes the pass and, on success, writes
+// the response. It never writes on error so serveOp can still set an error
+// status.
+func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w http.ResponseWriter) error {
+	p := key.Params
+	switch op {
+	case OpBackwardFilter:
+		if dt == F16 {
+			x, dy := tensor.NewHalf(p.XShape()), tensor.NewHalf(p.DYShape())
+			if err := DecodeF16(aBytes, x.Data); err != nil {
+				return err
+			}
+			if err := DecodeF16(bBytes, dy.Data); err != nil {
+				return err
+			}
+			return s.rt.BackwardFilterHalfPooled(key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+				return writeResult(w, dw, e.Cfg, hit)
+			})
+		}
+		x, dy := tensor.NewFloat32(p.XShape()), tensor.NewFloat32(p.DYShape())
+		if err := DecodeF32(aBytes, x.Data); err != nil {
+			return err
+		}
+		if err := DecodeF32(bBytes, dy.Data); err != nil {
+			return err
+		}
+		return s.rt.BackwardFilterPooled(key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+			return writeResult(w, dw, e.Cfg, hit)
+		})
+	case OpForward:
+		x, wt := tensor.NewFloat32(p.XShape()), tensor.NewFloat32(p.DWShape())
+		if err := DecodeF32(aBytes, x.Data); err != nil {
+			return err
+		}
+		if err := DecodeF32(bBytes, wt.Data); err != nil {
+			return err
+		}
+		y, err := core.Forward(p, x, wt)
+		if err != nil {
+			return err
+		}
+		return writeResult(w, y, nil, false)
+	case OpBackwardData:
+		dy, wt := tensor.NewFloat32(p.DYShape()), tensor.NewFloat32(p.DWShape())
+		if err := DecodeF32(aBytes, dy.Data); err != nil {
+			return err
+		}
+		if err := DecodeF32(bBytes, wt.Data); err != nil {
+			return err
+		}
+		dx, err := core.BackwardData(p, dy, wt)
+		if err != nil {
+			return err
+		}
+		return writeResult(w, dx, nil, false)
+	}
+	return fmt.Errorf("serve: invalid op %v", op)
+}
+
+// writeResult sends t as raw little-endian float32 with metadata headers.
+// The cache-hit header is only meaningful for the plan-cached ops, which
+// pass their cfg; forward/backward_data pass nil.
+func writeResult(w http.ResponseWriter, t *tensor.Float32, cfg *core.Config, hit bool) error {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Winrs-Shape", t.Shape.String())
+	h.Set("Content-Length", fmt.Sprint(4*len(t.Data)))
+	if cfg != nil {
+		h.Set("X-Winrs-Kernel-Pair", cfg.Pair.String())
+		h.Set("X-Winrs-Segments", fmt.Sprint(cfg.Z()))
+		if hit {
+			h.Set("X-Winrs-Cache", "hit")
+		} else {
+			h.Set("X-Winrs-Cache", "miss")
+		}
+	}
+	_, err := w.Write(AppendF32(make([]byte, 0, 4*len(t.Data)), t.Data))
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.rt.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"plans_cached":   s.rt.cache.Len(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"queue_depth":    s.disp.QueueDepth(),
+		"in_flight":      s.disp.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.rt.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "winrs_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "winrs_plan_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "winrs_plan_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "winrs_plan_cache_entries %d\n", s.rt.cache.Len())
+	fmt.Fprintf(w, "winrs_queue_depth %d\n", s.disp.QueueDepth())
+	fmt.Fprintf(w, "winrs_requests_in_flight %d\n", s.disp.InFlight())
+	for op := Op(0); op < numOps; op++ {
+		fmt.Fprintf(w, "winrs_requests_total{op=%q} %d\n", op.String(), s.stats.OK[op].Load())
+	}
+	fmt.Fprintf(w, "winrs_rejected_total %d\n", s.stats.Rejected.Load())
+	fmt.Fprintf(w, "winrs_deadline_total %d\n", s.stats.Deadline.Load())
+	fmt.Fprintf(w, "winrs_client_errors_total %d\n", s.stats.ClientErr.Load())
+	fmt.Fprintf(w, "winrs_compute_errors_total %d\n", s.stats.ComputeErr.Load())
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		sec, n := s.stats.Latency(q)
+		if n > 0 {
+			fmt.Fprintf(w, "winrs_request_latency_seconds{quantile=\"%g\"} %g\n", q, sec)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"winrs/internal/conv"
+)
+
+// With the lone worker pinned and a zero-depth queue, any request must be
+// rejected with 429 and a Retry-After hint — the deterministic admission-
+// control path (no timing assumptions: the worker is provably busy).
+func TestServerOverloadRejects429(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: -1, Deadline: time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		for errors.Is(s.disp.Do(context.Background(), func() {
+			close(started)
+			<-release
+		}), ErrOverloaded) {
+		}
+	}()
+	<-started
+
+	p := conv.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}
+	a := make([]byte, p.XShape().Elems()*4)
+	b := make([]byte, p.DYShape().Elems()*4)
+	body, err := EncodeRequest(RequestHeader{Params: p}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/backward_filter", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if s.stats.Rejected.Load() != 1 {
+		t.Errorf("Rejected counter = %d, want 1", s.stats.Rejected.Load())
+	}
+
+	// The rejection surfaces on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "winrs_rejected_total 1") {
+		t.Errorf("metrics missing rejection:\n%s", metrics)
+	}
+}

@@ -1,0 +1,371 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"winrs"
+	"winrs/internal/serve"
+)
+
+func newTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.NewServer(serve.Config{Workers: 4, QueueDepth: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func randLayer(t *testing.T, seed int64, p winrs.Params) (*winrs.Tensor, *winrs.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := winrs.NewTensor(p.XShape())
+	dy := winrs.NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	return x, dy
+}
+
+func postBackwardFilter(t *testing.T, url string, p winrs.Params, x, dy *winrs.Tensor) (*http.Response, []byte) {
+	t.Helper()
+	body, err := serve.EncodeRequest(serve.RequestHeader{Op: "backward_filter", Params: p},
+		serve.AppendF32(nil, x.Data), serve.AppendF32(nil, dy.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/backward_filter", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// The served gradient must be bit-for-bit identical to the library path,
+// and a repeated shape must hit the plan cache.
+func TestServeBackwardFilterMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 2, IH: 20, IW: 20, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	x, dy := randLayer(t, 21, p)
+	want, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round, wantCache := range []string{"miss", "hit", "hit"} {
+		resp, out := postBackwardFilter(t, ts.URL, p, x, dy)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, out)
+		}
+		if got := resp.Header.Get("X-Winrs-Cache"); got != wantCache {
+			t.Errorf("round %d: cache header %q, want %q", round, got, wantCache)
+		}
+		if got := resp.Header.Get("X-Winrs-Shape"); got != p.DWShape().String() {
+			t.Errorf("round %d: shape header %q", round, got)
+		}
+		if resp.Header.Get("X-Winrs-Kernel-Pair") == "" {
+			t.Errorf("round %d: missing kernel-pair header", round)
+		}
+		got := make([]float32, p.DWShape().Elems())
+		if err := serve.DecodeF32(out, got); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range want.Data {
+			if got[i] != want.Data[i] {
+				t.Fatalf("round %d: served gradient differs from library at %d: %v vs %v",
+					round, i, got[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestServeBackwardFilterHalf(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(22))
+	xf := winrs.NewTensor(p.XShape())
+	dyf := winrs.NewTensor(p.DYShape())
+	xf.FillUniform(rng, 0, 1)
+	dyf.FillUniform(rng, 0, 0.01)
+	x, dy := xf.ToHalf(), dyf.ToHalf()
+	want, err := winrs.BackwardFilterHalf(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := serve.EncodeRequest(
+		serve.RequestHeader{Op: "backward_filter", Params: p, DType: serve.F16},
+		serve.AppendF16(nil, x.Data), serve.AppendF16(nil, dy.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/backward_filter", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	got := make([]float32, p.DWShape().Elems())
+	if err := serve.DecodeF32(out, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got[i] != want.Data[i] {
+			t.Fatalf("served f16 gradient differs from library at %d", i)
+		}
+	}
+}
+
+func TestServeForwardAndBackwardData(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(23))
+	x := winrs.NewTensor(p.XShape())
+	w := winrs.NewTensor(p.DWShape())
+	dy := winrs.NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	w.FillUniform(rng, -1, 1)
+	dy.FillUniform(rng, 0, 1)
+
+	wantY, err := winrs.Forward(p, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDX, err := winrs.BackwardData(p, dy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		path string
+		a, b *winrs.Tensor
+		want *winrs.Tensor
+	}{
+		{"/v1/forward", x, w, wantY},
+		{"/v1/backward_data", dy, w, wantDX},
+	} {
+		body, err := serve.EncodeRequest(serve.RequestHeader{Params: p},
+			serve.AppendF32(nil, tc.a.Data), serve.AppendF32(nil, tc.b.Data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+tc.path, "application/octet-stream",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.path, resp.StatusCode, out)
+		}
+		got := make([]float32, tc.want.Shape.Elems())
+		if err := serve.DecodeF32(out, got); err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		for i := range tc.want.Data {
+			if got[i] != tc.want.Data[i] {
+				t.Fatalf("%s: served result differs at %d", tc.path, i)
+			}
+		}
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 1, OC: 1, PH: 1, PW: 1}
+	okA := make([]byte, p.XShape().Elems()*4)
+	okB := make([]byte, p.DYShape().Elems()*4)
+
+	post := func(path string, body []byte) int {
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Garbage framing.
+	if code := post("/v1/backward_filter", []byte("not a request")); code != http.StatusBadRequest {
+		t.Errorf("bad magic: status %d", code)
+	}
+	// Header op disagrees with the endpoint.
+	body, _ := serve.EncodeRequest(serve.RequestHeader{Op: "forward", Params: p}, okA, okB)
+	if code := post("/v1/backward_filter", body); code != http.StatusBadRequest {
+		t.Errorf("op mismatch: status %d", code)
+	}
+	// Wrong payload size.
+	body, _ = serve.EncodeRequest(serve.RequestHeader{Params: p}, okA, okB[:len(okB)-4])
+	if code := post("/v1/backward_filter", body); code != http.StatusBadRequest {
+		t.Errorf("short payload: status %d", code)
+	}
+	// Invalid geometry.
+	bad := p
+	bad.FH = 0
+	body, _ = serve.EncodeRequest(serve.RequestHeader{Params: bad}, okA, okB)
+	if code := post("/v1/backward_filter", body); code != http.StatusBadRequest {
+		t.Errorf("invalid params: status %d", code)
+	}
+	// f16 is only a backward_filter dtype.
+	body, _ = serve.EncodeRequest(serve.RequestHeader{Params: p, DType: serve.F16},
+		okA[:p.XShape().Elems()*2], make([]byte, p.DWShape().Elems()*2))
+	if code := post("/v1/forward", body); code != http.StatusBadRequest {
+		t.Errorf("f16 forward: status %d", code)
+	}
+	// Unknown dtype.
+	body, _ = serve.EncodeRequest(serve.RequestHeader{Params: p, DType: "f64"}, okA, okB)
+	if code := post("/v1/backward_filter", body); code != http.StatusBadRequest {
+		t.Errorf("unknown dtype: status %d", code)
+	}
+}
+
+func TestServeHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 10, IW: 10, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x, dy := randLayer(t, 24, p)
+	for i := 0; i < 3; i++ {
+		if resp, out := postBackwardFilter(t, ts.URL, p, x, dy); resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, out)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status      string `json:"status"`
+		PlansCached int    `json:"plans_cached"`
+		CacheHits   uint64 `json:"cache_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.PlansCached != 1 || health.CacheHits < 2 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"winrs_plan_cache_hits_total 2",
+		"winrs_plan_cache_misses_total 1",
+		`winrs_requests_total{op="backward_filter"} 3`,
+		`winrs_request_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// Load-style test: 8 concurrent clients over two shapes. Every response is
+// either a correct 200 (bit-for-bit against the library) or a retryable
+// rejection. Run with -race.
+func TestServeConcurrentClients(t *testing.T) {
+	s, ts := newTestServer(t)
+	shapes := []winrs.Params{
+		{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1},
+		{N: 2, IH: 12, IW: 14, FH: 5, FW: 5, IC: 2, OC: 3, PH: 2, PW: 2},
+	}
+	type layer struct {
+		x, dy *winrs.Tensor
+		want  *winrs.Tensor
+	}
+	layers := make([]layer, len(shapes))
+	for i, p := range shapes {
+		x, dy := randLayer(t, int64(30+i), p)
+		want, err := winrs.BackwardFilter(p, x, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers[i] = layer{x, dy, want}
+	}
+
+	const clients = 8
+	const perClient = 6
+	var ok, rejected int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				p := shapes[(c+i)%len(shapes)]
+				l := layers[(c+i)%len(shapes)]
+				resp, out := postBackwardFilter(t, ts.URL, p, l.x, l.dy)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					got := make([]float32, p.DWShape().Elems())
+					if err := serve.DecodeF32(out, got); err != nil {
+						t.Error(err)
+						return
+					}
+					for j := range l.want.Data {
+						if got[j] != l.want.Data[j] {
+							t.Errorf("client %d: payload differs at %d", c, j)
+							return
+						}
+					}
+					mu.Lock()
+					ok++
+					mu.Unlock()
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("client %d: rejection without Retry-After", c)
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					t.Errorf("client %d: unexpected status %d: %s", c, resp.StatusCode, out)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Fatalf("no request succeeded (%d rejected)", rejected)
+	}
+	// The plan cache must be doing its job under concurrency: 48 requests
+	// over 2 shapes leave at most a handful of misses.
+	hits, misses := s.Runtime().Cache().Stats()
+	if hits == 0 {
+		t.Errorf("plan cache never hit (%d misses) across %d served requests", misses, ok)
+	}
+}

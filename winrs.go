@@ -27,8 +27,11 @@
 package winrs
 
 import (
+	"fmt"
+
 	"winrs/internal/conv"
 	"winrs/internal/core"
+	"winrs/internal/serve"
 	"winrs/internal/tensor"
 )
 
@@ -59,10 +62,23 @@ type Hardware = core.Hardware
 
 // Plan is an adapted, reusable WinRS execution plan for one layer
 // geometry: the fastest kernel pair, the segment partition and the bucket
-// workspace size are all fixed at construction.
+// workspace size are all fixed at construction. A Plan is immutable and
+// safe for concurrent Execute calls from multiple goroutines; each call
+// borrows a private bucket arena from the plan's workspace pool.
 type Plan struct {
-	cfg *core.Config
+	cfg   *core.Config
+	entry *serve.Entry // plan-cache entry carrying the workspace pool
 }
+
+// defaultPlans is the process-wide plan cache behind NewPlan and the
+// one-shot wrappers: configuration adaptation (§4) runs once per layer
+// geometry and the bucket workspace is pooled per plan, so repeated
+// one-shot calls behave like a hand-managed Plan.
+var defaultPlans = serve.NewPlanCache(256)
+
+// PlanCacheStats reports the process-wide plan cache's cumulative hits and
+// misses (a hit means configuration adaptation was skipped).
+func PlanCacheStats() (hits, misses uint64) { return defaultPlans.Stats() }
 
 // PlanOption customizes NewPlan.
 type PlanOption func(*planOpts)
@@ -89,27 +105,23 @@ func WithSegments(z int) PlanOption { return func(o *planOpts) { o.segments = z 
 
 // NewPlan runs WinRS configuration adaptation (§4 of the paper: kernel-pair
 // selection, segment-count estimation, segment-shape calculation) and
-// returns a reusable plan.
+// returns a reusable plan. Plans are cached process-wide by (geometry,
+// precision, hardware, forced segments): a repeated NewPlan for the same
+// layer returns the already-adapted plan without re-running §4.
 func NewPlan(p Params, opts ...PlanOption) (*Plan, error) {
 	var o planOpts
 	for _, f := range opts {
 		f(&o)
 	}
-	var coreOpts []core.Option
+	key := serve.PlanKey{Params: p, FP16: o.fp16, Segments: o.segments}
 	if o.hw != nil {
-		coreOpts = append(coreOpts, core.WithHardware(*o.hw))
+		key.NSM = o.hw.NSM
 	}
-	if o.fp16 {
-		coreOpts = append(coreOpts, core.WithFP16())
-	}
-	if o.segments > 0 {
-		coreOpts = append(coreOpts, core.WithSegments(o.segments))
-	}
-	cfg, err := core.Configure(p, coreOpts...)
+	e, _, err := defaultPlans.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{cfg: cfg}, nil
+	return &Plan{cfg: e.Cfg, entry: e}, nil
 }
 
 // Segments returns the segment count Z the plan realized.
@@ -123,22 +135,39 @@ func (pl *Plan) WorkspaceBytes() int64 { return pl.cfg.WorkspaceBytes() }
 func (pl *Plan) KernelPair() string { return pl.cfg.Pair.String() }
 
 // Execute computes ∇W in FP32. x must have shape N×I_H×I_W×I_C and dy
-// N×O_H×O_W×O_C; the result is O_C×F_H×F_W×I_C.
+// N×O_H×O_W×O_C; the result is a freshly-allocated O_C×F_H×F_W×I_C tensor
+// owned by the caller. The bucket workspace comes from the plan's pool, so
+// steady-state calls do not re-allocate it; concurrent calls are safe and
+// each borrow their own arena.
 func (pl *Plan) Execute(x, dy *Tensor) *Tensor {
-	return core.Execute(pl.cfg, x, dy)
+	if pl.entry == nil {
+		return core.Execute(pl.cfg, x, dy)
+	}
+	ws := pl.entry.AcquireWorkspace()
+	defer pl.entry.ReleaseWorkspace(ws)
+	return core.ExecuteIn(pl.cfg, ws, x, dy, nil)
 }
 
 // ExecuteHalf computes ∇W on the emulated FP16 Tensor-Core path. The
 // result is FP32 (accumulators and bucket reduction stay FP32, per the
-// paper's accuracy design).
+// paper's accuracy design). Like Execute, it reuses the plan's pooled
+// workspace and is safe for concurrent use.
 func (pl *Plan) ExecuteHalf(x, dy *HalfTensor) *Tensor {
-	return core.ExecuteHalf(pl.cfg, x, dy)
+	if pl.entry == nil {
+		return core.ExecuteHalf(pl.cfg, x, dy)
+	}
+	ws := pl.entry.AcquireWorkspace()
+	defer pl.entry.ReleaseWorkspace(ws)
+	return core.ExecuteHalfIn(pl.cfg, ws, x, dy, nil)
 }
 
-// BackwardFilter is the one-shot convenience wrapper: configure and run in
-// FP32. Falls back to direct convolution when the geometry is degenerate
-// (e.g. O_W below every kernel width never happens with the registry's
-// direct fallback, but invalid parameters still error).
+// BackwardFilter is the one-shot convenience wrapper: it configures a plan
+// for p (cached process-wide, so repeated calls on the same geometry skip
+// configuration adaptation) and computes ∇W in FP32. When O_W is too small
+// for any registered Winograd kernel, the plan transparently uses a direct-
+// convolution unit for the residual columns, so small outputs still work;
+// an error is returned only for invalid parameters or geometries no
+// execution path covers.
 func BackwardFilter(p Params, x, dy *Tensor, opts ...PlanOption) (*Tensor, error) {
 	plan, err := NewPlan(p, opts...)
 	if err != nil {
@@ -222,11 +251,15 @@ func NewTensor5(s tensor.Shape5) *Tensor5 { return tensor.NewFloat325(s) }
 // BackwardFilter3D computes volumetric filter gradients with the N-D
 // reduce-split pipeline: depth and height flatten into 1-D filters, the
 // width axis carries the F(n,r) kernels, and both spatial padding axes are
-// clipped.
+// clipped. The FP16 path is not implemented for volumetric layers:
+// passing WithFP16 returns an error rather than silently computing FP32.
 func BackwardFilter3D(p Params3D, x, dy *Tensor5, opts ...PlanOption) (*Tensor5, error) {
 	var o planOpts
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.fp16 {
+		return nil, fmt.Errorf("winrs: WithFP16 is not supported for BackwardFilter3D (FP32 only)")
 	}
 	var coreOpts []core.Option
 	if o.hw != nil {
@@ -256,11 +289,16 @@ func BackwardDataStrided(p StridedParams, dy, w *Tensor) (*Tensor, error) {
 
 // BackwardFilterStrided computes filter gradients for strided convolutions
 // by phase decimation: each (stride-phase) sub-problem runs the full
-// stride-1 WinRS pipeline and the results interleave into ∇W.
+// stride-1 WinRS pipeline and the results interleave into ∇W. The FP16
+// path is not implemented for strided layers: passing WithFP16 returns an
+// error rather than silently computing FP32.
 func BackwardFilterStrided(p StridedParams, x, dy *Tensor, opts ...PlanOption) (*Tensor, error) {
 	var o planOpts
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.fp16 {
+		return nil, fmt.Errorf("winrs: WithFP16 is not supported for BackwardFilterStrided (FP32 only)")
 	}
 	var coreOpts []core.Option
 	if o.hw != nil {
