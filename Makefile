@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test vet race bench serve
+# Latest committed benchmark baseline (BENCH_<date>.json, lexicographic =
+# chronological). Override: make bench-gate BENCH_BASELINE=BENCH_x.json
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_THRESHOLD ?= 0.15
+FUZZTIME ?= 30s
+
+.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke
 
 ci: vet build race
 
@@ -21,3 +27,22 @@ bench:
 
 serve:
 	$(GO) run ./cmd/winrs-serve
+
+# bench-json measures the fixed regression grid into a fresh dated report.
+bench-json:
+	$(GO) run ./cmd/winrs-bench -json BENCH_$$(date -u +%F).json
+
+# bench-gate re-measures the grid and fails on any hot-path result more
+# than BENCH_THRESHOLD slower than the committed baseline (calibration-
+# normalized, so a different machine speed cancels out).
+bench-gate:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
+	$(GO) run ./cmd/winrs-bench -json /tmp/bench_current.json
+	$(GO) run ./cmd/winrs-bench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) /tmp/bench_current.json
+
+# fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME each.
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzConfigurePartition$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzExecuteMatchesDirect$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzConversion$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzOrdering$$' -fuzztime $(FUZZTIME)

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/gemm"
+	"winrs/internal/obs"
+	"winrs/internal/tensor"
+)
+
+// benchSchemaVersion identifies the BENCH_*.json layout. Bump it on any
+// field change so the compare mode can refuse to diff incompatible files.
+const benchSchemaVersion = 1
+
+// benchReport is one machine-readable benchmark run: CI archives these as
+// BENCH_<date>.json and `winrs-bench -compare old new` diffs two of them.
+type benchReport struct {
+	SchemaVersion int     `json:"schema_version"`
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CalibrationNs float64 `json:"calibration_ns_per_op"`
+
+	Results []benchResult `json:"results"`
+}
+
+// benchResult measures one (shape, algorithm) cell.
+type benchResult struct {
+	Name           string             `json:"name"` // "<algo>/<shape>", the compare key
+	Algo           string             `json:"algo"`
+	Shape          string             `json:"shape"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	AllocsPerOp    float64            `json:"allocs_per_op"`
+	WorkspaceBytes int64              `json:"workspace_bytes"`
+	HotPath        bool               `json:"hot_path"` // gated by -compare
+	StageShares    map[string]float64 `json:"stage_shares,omitempty"`
+}
+
+// benchShapes is the fixed grid the gate tracks: a padded 3×3 production
+// shape, a batched 5×5, and a channel-heavy 3×3. Small enough that the
+// direct baseline stays in CI budget, large enough that WinRS's fused path
+// dominates timer noise.
+var benchShapes = []conv.Params{
+	{N: 1, IH: 32, IW: 32, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1},
+	{N: 2, IH: 16, IW: 16, FH: 5, FW: 5, IC: 4, OC: 4},
+	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1},
+}
+
+func shapeTag(p conv.Params) string {
+	return fmt.Sprintf("N%d_I%dx%d_F%dx%d_C%dx%d_P%d%d",
+		p.N, p.IH, p.IW, p.FH, p.FW, p.IC, p.OC, p.PH, p.PW)
+}
+
+// measureNs times fn as min-of-batches: reps are sized so one batch runs
+// ≳20ms, and the fastest of 3 batches is reported — the standard defense
+// against scheduler noise without a benchmarking dependency.
+func measureNs(fn func()) float64 {
+	fn() // warm pools, page in operands
+	reps := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		if d := time.Since(t0); d >= 20*time.Millisecond {
+			best := float64(d.Nanoseconds()) / float64(reps)
+			for b := 1; b < 3; b++ {
+				t0 = time.Now()
+				for i := 0; i < reps; i++ {
+					fn()
+				}
+				if v := float64(time.Since(t0).Nanoseconds()) / float64(reps); v < best {
+					best = v
+				}
+			}
+			return best
+		}
+		reps *= 2
+	}
+}
+
+// calibrationNs measures a fixed FP32 GEMM microbenchmark. Compare mode
+// divides ns/op by this so a baseline from a faster or slower machine
+// still gates relative regressions.
+func calibrationNs() float64 {
+	const k, m, n = 64, 48, 48
+	a := make([]float32, k*m)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range a {
+		a[i] = rng.Float32()
+	}
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	return measureNs(func() { gemm.Gemm(a, b, c, k, m, n) })
+}
+
+// benchStageShares runs the plan a few times under tracing and returns the
+// per-stage time shares (transform/EWM/reduce as fractions of wall time).
+func benchStageShares(run func()) map[string]float64 {
+	obs.ResetTrace()
+	obs.EnableTrace(true)
+	defer obs.EnableTrace(false)
+	defer obs.ResetTrace()
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	return obs.StageShares()
+}
+
+// runBenchJSON measures the grid and writes the report to path ("-" for
+// stdout).
+func runBenchJSON(path string) error {
+	rep := benchReport{
+		SchemaVersion: benchSchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CalibrationNs: calibrationNs(),
+	}
+
+	for _, p := range benchShapes {
+		rng := rand.New(rand.NewSource(11))
+		x := tensor.NewFloat32(p.XShape())
+		dy := tensor.NewFloat32(p.DYShape())
+		x.FillUniform(rng, 0, 1)
+		dy.FillUniform(rng, 0, 1)
+		tag := shapeTag(p)
+
+		cfg32, err := core.Configure(p)
+		if err != nil {
+			return fmt.Errorf("configure %s: %w", tag, err)
+		}
+		ws32 := core.NewWorkspace(cfg32)
+		dst := tensor.NewFloat32(p.DWShape())
+		run32 := func() { core.ExecuteIn(cfg32, ws32, x, dy, dst) }
+		rep.Results = append(rep.Results, benchResult{
+			Name: "winrs_fp32/" + tag, Algo: "winrs_fp32", Shape: tag,
+			NsPerOp:        measureNs(run32),
+			AllocsPerOp:    testing.AllocsPerRun(10, run32),
+			WorkspaceBytes: cfg32.WorkspaceBytes(),
+			HotPath:        true,
+			StageShares:    benchStageShares(run32),
+		})
+
+		cfg16, err := core.Configure(p, core.WithFP16())
+		if err != nil {
+			return fmt.Errorf("configure fp16 %s: %w", tag, err)
+		}
+		ws16 := core.NewWorkspace(cfg16)
+		xh, dyh := x.ToHalf(), dy.ToHalf()
+		run16 := func() { core.ExecuteHalfIn(cfg16, ws16, xh, dyh, dst) }
+		rep.Results = append(rep.Results, benchResult{
+			Name: "winrs_fp16/" + tag, Algo: "winrs_fp16", Shape: tag,
+			NsPerOp:        measureNs(run16),
+			AllocsPerOp:    testing.AllocsPerRun(10, run16),
+			WorkspaceBytes: cfg16.WorkspaceBytes(),
+			HotPath:        true,
+			StageShares:    benchStageShares(run16),
+		})
+
+		rep.Results = append(rep.Results, benchResult{
+			Name: "im2col_gemm/" + tag, Algo: "im2col_gemm", Shape: tag,
+			NsPerOp:        measureNs(func() { gemm.Algo1(p, x, dy) }),
+			AllocsPerOp:    testing.AllocsPerRun(5, func() { gemm.Algo1(p, x, dy) }),
+			WorkspaceBytes: gemm.Algo1Workspace(p),
+		})
+		rep.Results = append(rep.Results, benchResult{
+			Name: "direct/" + tag, Algo: "direct", Shape: tag,
+			NsPerOp:     measureNs(func() { gemm.Algo0(p, x, dy) }),
+			AllocsPerOp: testing.AllocsPerRun(5, func() { gemm.Algo0(p, x, dy) }),
+		})
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.SchemaVersion != benchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this binary speaks %d",
+			path, rep.SchemaVersion, benchSchemaVersion)
+	}
+	if rep.CalibrationNs <= 0 {
+		return nil, fmt.Errorf("%s: missing calibration benchmark", path)
+	}
+	return &rep, nil
+}
+
+// runBenchCompare diffs two reports and fails (non-nil error) when any
+// hot-path result regressed by more than threshold after calibration
+// normalization. New results without a baseline entry are reported but
+// never fail the gate; vanished baselines do fail it — a silently dropped
+// hot path is a regression too.
+func runBenchCompare(oldPath, newPath string, threshold float64) error {
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]benchResult{}
+	for _, r := range oldRep.Results {
+		oldByName[r.Name] = r
+	}
+
+	fmt.Printf("bench-gate: %s -> %s (threshold %+.0f%%, calibration %0.1f -> %0.1f ns)\n",
+		oldPath, newPath, threshold*100, oldRep.CalibrationNs, newRep.CalibrationNs)
+	var regressions []string
+	seen := map[string]bool{}
+	for _, nr := range newRep.Results {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Printf("  NEW   %-40s %12.0f ns/op (no baseline, not gated)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		// Calibration-normalized ratio: machine speed cancels out.
+		ratio := (nr.NsPerOp / newRep.CalibrationNs) / (or.NsPerOp / oldRep.CalibrationNs)
+		verdict := "ok"
+		if nr.HotPath && ratio > 1+threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %+.1f%% (normalized)", nr.Name, (ratio-1)*100))
+		}
+		fmt.Printf("  %-5s %-40s %12.0f -> %.0f ns/op  (%+.1f%% normalized)\n",
+			verdict, nr.Name, or.NsPerOp, nr.NsPerOp, (ratio-1)*100)
+		if nr.HotPath && or.AllocsPerOp == 0 && nr.AllocsPerOp > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op 0 -> %g", nr.Name, nr.AllocsPerOp))
+		}
+	}
+	var missing []string
+	for name, or := range oldByName {
+		if !seen[name] && or.HotPath {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		regressions = append(regressions, name+": hot-path result missing from new run")
+	}
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		return fmt.Errorf("bench-gate: %d regression(s) beyond %.0f%%:\n  %s",
+			len(regressions), threshold*100, joinLines(regressions))
+	}
+	fmt.Println("bench-gate: no hot-path regressions")
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

@@ -9,9 +9,15 @@
 //	winrs-bench -exp all
 //	winrs-bench -exp table3
 //	winrs-bench -list
+//	winrs-bench -json BENCH_2026-08-05.json
+//	winrs-bench -compare -threshold 0.15 BENCH_old.json BENCH_new.json
 //
 // Each experiment prints paper-style rows; EXPERIMENTS.md records the
-// paper-vs-measured comparison.
+// paper-vs-measured comparison. -json measures the fixed regression grid
+// (WinRS FP32/FP16 vs im2col+GEMM and direct) into a schema-versioned
+// report, and -compare diffs two reports, exiting 1 when a hot-path
+// result regressed beyond -threshold after calibration normalization —
+// the CI bench gate.
 package main
 
 import (
@@ -51,7 +57,29 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
+	jsonOut := flag.String("json", "", "write the regression-grid benchmark report to this file ('-' for stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark reports: -compare OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0.15, "relative regression tolerance for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: winrs-bench -compare [-threshold 0.15] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runBenchCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "winrs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments {

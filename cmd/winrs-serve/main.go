@@ -9,7 +9,9 @@
 //
 // Endpoints: POST /v1/backward_filter, /v1/forward, /v1/backward_data
 // (framed request bodies, see internal/serve's wire format), GET /healthz
-// and GET /metrics.
+// and GET /metrics. With -pprof the Go profiling handlers are mounted
+// under /debug/pprof/, and -trace enables per-stage execution tracing
+// (segment-tile / transform / EWM / reduce histograms on /metrics).
 package main
 
 import (
@@ -20,11 +22,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"winrs/internal/obs"
 	"winrs/internal/serve"
 )
 
@@ -36,8 +40,11 @@ func main() {
 		deadline = flag.Duration("deadline", 30*time.Second, "per-request queue+compute deadline")
 		cache    = flag.Int("cache", 256, "plan cache capacity (plans)")
 		maxBody  = flag.Int64("maxbody", 1<<30, "max request body bytes")
+		enPprof  = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
+		enTrace  = flag.Bool("trace", false, "record per-stage execution timings (exported on /metrics)")
 	)
 	flag.Parse()
+	obs.EnableTrace(*enTrace)
 
 	srv := serve.NewServer(serve.Config{
 		Workers:       *workers,
@@ -48,9 +55,23 @@ func main() {
 	})
 	defer srv.Close()
 
+	handler := srv.Handler()
+	if *enPprof {
+		// Wrap the service mux rather than registering into it: the pprof
+		// handlers live on their own mux so the service routes stay closed.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

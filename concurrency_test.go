@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"winrs/internal/obs"
 )
 
 // A single shared Plan must be safe under concurrent Execute: each call
@@ -144,5 +146,66 @@ func TestPlanCacheStats(t *testing.T) {
 	if h1-h0 < 2 {
 		t.Errorf("expected ≥2 plan-cache hits from repeated one-shot calls, got %d (misses %d)",
 			h1-h0, m1)
+	}
+}
+
+// Concurrent traced executions against concurrent trace scrapes: the obs
+// recorder's striped counters must tolerate Execute traffic from many
+// goroutines while /metrics-style readers snapshot and render. Run with
+// -race; complements the obs- and serve-level scrape tests.
+func TestPlanExecuteWithTraceScrapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	x := NewTensor(p.XShape())
+	dy := NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+
+	plan, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Execute(x, dy)
+
+	obs.ResetTrace()
+	obs.EnableTrace(true)
+	defer obs.EnableTrace(false)
+	defer obs.ResetTrace()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				got := plan.Execute(x, dy)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Error("traced concurrent result diverged")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 12; it++ {
+				var b strings.Builder
+				if err := obs.WriteTraceTo(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				obs.TraceSnapshot()
+				obs.StageShares()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if snap := obs.TraceSnapshot(); snap[obs.StageSegmentTile].Count == 0 {
+		t.Error("no units recorded under concurrent tracing")
 	}
 }

@@ -1,0 +1,204 @@
+package winrs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/gemm"
+	"winrs/internal/tensor"
+)
+
+// Differential sweep: WinRS (FP32 and FP16, across segmentations) against
+// the two classical baselines — im2col+GEMM (cuDNN algo1's shape) and
+// direct convolution — over a grid of filter sizes, paddings, channel
+// counts and non-power-of-two geometries, including the r=1 and tiny-O_W
+// edge shapes that exercise the fallback kernel pairs.
+//
+// Tolerances derive from the paper's eq. (7) error model: one gradient
+// element accumulates L = N·O_H·O_W products, so with inputs in [0,1) the
+// worst-case absolute error of a rounded path is about κ·L·ε, where ε is
+// the unit roundoff (2⁻²⁴ FP32, 2⁻¹¹ FP16) and κ absorbs the Winograd
+// transform amplification and the bucket reduction. The width axis is the
+// Winograd-transformed one, and the transform's conditioning degrades
+// roughly geometrically in F_W, so κ doubles per filter-width step beyond
+// 3 (floor 16). Calibrated against measured errors with 2–8× headroom —
+// tight enough that a broken transform, which is orders of magnitude out,
+// still trips it.
+const (
+	diffEps32 = 5.96e-8 // 2^-24
+	diffEps16 = 4.88e-4 // 2^-11
+)
+
+func diffKappa(p Params) float64 {
+	k := 16.0
+	for r := p.FW; r > 3; r-- {
+		k *= 2
+	}
+	return k
+}
+
+type diffCase struct {
+	name string
+	p    Params
+	segs []int // forced segment counts; 0 = adaptive
+}
+
+var diffCases = []diffCase{
+	{"3x3_pad1", Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 5, PH: 1, PW: 1}, []int{0, 1, 2, 4}},
+	{"3x3_batched", Params{N: 3, IH: 10, IW: 10, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}, []int{0, 2}},
+	{"5x5_pad2", Params{N: 2, IH: 14, IW: 16, FH: 5, FW: 5, IC: 2, OC: 3, PH: 2, PW: 2}, []int{0, 2}},
+	{"7x7", Params{N: 1, IH: 16, IW: 18, FH: 7, FW: 7, IC: 2, OC: 2}, []int{0}},
+	{"1x3_row_filter", Params{N: 1, IH: 6, IW: 14, FH: 1, FW: 3, IC: 4, OC: 4}, []int{0, 1}},
+	{"3x1_col_filter", Params{N: 1, IH: 14, IW: 9, FH: 3, FW: 1, IC: 3, OC: 2}, []int{0}},
+	{"1x1_pointwise", Params{N: 2, IH: 8, IW: 11, FH: 1, FW: 1, IC: 3, OC: 4}, []int{0}},
+	{"nonpow2_channels", Params{N: 1, IH: 13, IW: 17, FH: 3, FW: 3, IC: 5, OC: 7, PH: 1, PW: 1}, []int{0, 3}},
+	{"tiny_ow", Params{N: 2, IH: 7, IW: 5, FH: 3, FW: 3, IC: 2, OC: 2}, []int{0}},
+	{"wide_row", Params{N: 1, IH: 4, IW: 50, FH: 3, FW: 3, IC: 2, OC: 2, PW: 1}, []int{0, 2}},
+}
+
+func diffLayer(t *testing.T, seed int64, p Params) (*Tensor, *Tensor, *tensor.Float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := NewTensor(p.XShape())
+	dy := NewTensor(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	return x, dy, conv.BackwardFilterDirect64(p, x.ToFloat64(), dy.ToFloat64())
+}
+
+// maxAbsErr64 returns max |got - want| against the FP64 reference.
+func maxAbsErr64(got *Tensor, want *tensor.Float64) float64 {
+	m := 0.0
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i]) - want.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// maxAbsDiff32 returns max |a - b| between two FP32 results.
+func maxAbsDiff32(a, b *Tensor) float64 {
+	m := 0.0
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i] - b.Data[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func accLen(p Params) float64 { return float64(p.N * p.OH() * p.OW()) }
+
+func TestDifferentialFP32(t *testing.T) {
+	for i, tc := range diffCases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, dy, ref := diffLayer(t, int64(100+i), tc.p)
+			bound := diffKappa(tc.p) * accLen(tc.p) * diffEps32
+
+			// Both classical baselines must sit inside the same bound —
+			// this anchors the bound itself before WinRS is judged by it.
+			direct := gemm.Algo0(tc.p, x, dy)
+			if e := maxAbsErr64(direct, ref); e > bound {
+				t.Fatalf("direct baseline err %.3g exceeds bound %.3g", e, bound)
+			}
+			im2col := gemm.Algo1(tc.p, x, dy)
+			if e := maxAbsErr64(im2col, ref); e > bound {
+				t.Fatalf("im2col+GEMM baseline err %.3g exceeds bound %.3g", e, bound)
+			}
+
+			for _, z := range tc.segs {
+				z := z
+				t.Run(fmt.Sprintf("Z%d", z), func(t *testing.T) {
+					opts := []PlanOption{}
+					if z > 0 {
+						opts = append(opts, WithSegments(z))
+					}
+					got, err := BackwardFilter(tc.p, x, dy, opts...)
+					if err != nil {
+						t.Fatalf("BackwardFilter: %v", err)
+					}
+					if e := maxAbsErr64(got, ref); e > bound {
+						t.Errorf("WinRS vs FP64 reference: err %.3g exceeds eq.(7) bound %.3g", e, bound)
+					}
+					// Cross-check against both FP32 baselines: two rounded
+					// paths can each deviate by `bound` in opposite directions.
+					if e := maxAbsDiff32(got, im2col); e > 2*bound {
+						t.Errorf("WinRS vs im2col+GEMM: diff %.3g exceeds %.3g", e, 2*bound)
+					}
+					if e := maxAbsDiff32(got, direct); e > 2*bound {
+						t.Errorf("WinRS vs direct: diff %.3g exceeds %.3g", e, 2*bound)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestDifferentialFP16(t *testing.T) {
+	for i, tc := range diffCases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, dy, _ := diffLayer(t, int64(200+i), tc.p)
+			// Quantize the operands and recompute the FP64 reference from the
+			// quantized values, so the bound measures algorithm error rather
+			// than input quantization.
+			xh, dyh := x.ToHalf(), dy.ToHalf()
+			ref := conv.BackwardFilterDirect64(tc.p,
+				xh.ToFloat32().ToFloat64(), dyh.ToFloat32().ToFloat64())
+			bound := diffKappa(tc.p) * accLen(tc.p) * diffEps16
+
+			for _, z := range tc.segs {
+				z := z
+				t.Run(fmt.Sprintf("Z%d", z), func(t *testing.T) {
+					opts := []PlanOption{}
+					if z > 0 {
+						opts = append(opts, WithSegments(z))
+					}
+					got, err := BackwardFilterHalf(tc.p, xh, dyh, opts...)
+					if err != nil {
+						t.Fatalf("BackwardFilterHalf: %v", err)
+					}
+					if e := maxAbsErr64(got, ref); e > bound {
+						t.Errorf("WinRS FP16 vs quantized FP64 reference: err %.3g exceeds bound %.3g", e, bound)
+					}
+				})
+			}
+		})
+	}
+}
+
+// Strided shapes run through the decomposition path (FP32 only on the
+// serving and library surface), against the strided FP64 direct reference.
+func TestDifferentialStrided(t *testing.T) {
+	cases := []struct {
+		name string
+		p    StridedParams
+	}{
+		{"3x3_s2", StridedParams{N: 1, IH: 13, IW: 13, FH: 3, FW: 3, IC: 2, OC: 3, SH: 2, SW: 2}},
+		{"3x3_s2_pad1", StridedParams{N: 2, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1, SH: 2, SW: 2}},
+		{"5x5_s3", StridedParams{N: 1, IH: 17, IW: 19, FH: 5, FW: 5, IC: 2, OC: 2, SH: 3, SW: 3}},
+		{"3x3_s2x1", StridedParams{N: 1, IH: 11, IW: 14, FH: 3, FW: 3, IC: 3, OC: 2, SH: 2, SW: 1}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(300 + i)))
+			x := NewTensor(tc.p.XShape())
+			dy := NewTensor(tc.p.DYShape())
+			x.FillUniform(rng, 0, 1)
+			dy.FillUniform(rng, 0, 1)
+			ref := conv.BackwardFilterStridedDirect64(tc.p, x.ToFloat64(), dy.ToFloat64())
+
+			got, err := BackwardFilterStrided(tc.p, x, dy)
+			if err != nil {
+				t.Fatalf("BackwardFilterStrided: %v", err)
+			}
+			bound := diffKappa(Params{FW: tc.p.FW}) * float64(tc.p.N*tc.p.OH()*tc.p.OW()) * diffEps32
+			if e := maxAbsErr64(got, ref); e > bound {
+				t.Errorf("strided WinRS vs FP64 reference: err %.3g exceeds bound %.3g", e, bound)
+			}
+		})
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"winrs/internal/conv"
 	"winrs/internal/fp16"
+	"winrs/internal/obs"
 	"winrs/internal/tensor"
 	"winrs/internal/winograd"
 )
@@ -41,17 +43,49 @@ func unitOffsets(fw, fh int, segs []Segment) []int {
 	return off
 }
 
+// schedule returns the unit prefix table and total unit count for cfg,
+// deriving them locally for hand-built configs (tests).
+func schedule(cfg *Config) ([]int, int) {
+	off := cfg.unitOff
+	if off == nil {
+		off = unitOffsets(cfg.Params.FW, cfg.Params.FH, cfg.Segments)
+	}
+	return off, off[len(off)-1]
+}
+
+// runsSerial reports whether executions of cfg run every work unit on the
+// calling goroutine (a single unit, or a single-CPU process). Callers use
+// it to pick runSegmentsInline, whose unit closure never escapes.
+func runsSerial(cfg *Config) bool {
+	_, total := schedule(cfg)
+	return total <= 1 || runtime.GOMAXPROCS(0) <= 1
+}
+
+// runSegmentsInline is the single-worker unit loop as its own function:
+// with no goroutine literal in the call graph the unit closure does not
+// escape, so the serial steady-state execution allocates nothing at all
+// (the property TestObservabilityAllocsPinned pins).
+func runSegmentsInline(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
+	off, total := schedule(cfg)
+	fw := cfg.Params.FW
+	for i, si := 0, 0; i < total; i++ {
+		for i >= off[si+1] {
+			si++
+		}
+		seg := cfg.Segments[si]
+		jTiles := fw / seg.K.N
+		local := i - off[si]
+		unit(si, seg, local/jTiles, local%jTiles)
+	}
+}
+
 // runSegments schedules every (segment, f_h, width-tile) unit onto a worker
 // pool. Workers pull unit indices from a shared atomic counter (work
 // stealing degenerates to striding), so scheduling allocates no task list —
 // only the fixed goroutine bookkeeping. Results are order-independent:
 // units write disjoint bucket regions and the reduction is sequential.
 func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
-	off := cfg.unitOff
-	if off == nil { // hand-built Config (tests): derive the schedule locally
-		off = unitOffsets(cfg.Params.FW, cfg.Params.FH, cfg.Segments)
-	}
-	total := off[len(off)-1]
+	off, total := schedule(cfg)
 	if total == 0 {
 		return
 	}
@@ -98,6 +132,32 @@ func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
 	wg.Wait()
 }
 
+// tile32Unit runs one FP32 fused unit, recording its stage durations when
+// traceOn. A top-level function (not a closure) so the trace scratch stays
+// on the stack and the disabled path is branch-only.
+func tile32Unit(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32, traceOn bool) {
+	if !traceOn {
+		segmentTile32(p, seg, fh, j, x, dy, bucket, nil)
+		return
+	}
+	var ut obs.UnitTimes
+	t0 := time.Now()
+	segmentTile32(p, seg, fh, j, x, dy, bucket, &ut)
+	obs.RecordUnit(time.Since(t0), ut)
+}
+
+// tileHalfUnit is tile32Unit for the FP16 path.
+func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32, traceOn bool) {
+	if !traceOn {
+		segmentTileHalf(p, seg, fh, j, x, dy, bucket, nil)
+		return
+	}
+	var ut obs.UnitTimes
+	t0 := time.Now()
+	segmentTileHalf(p, seg, fh, j, x, dy, bucket, &ut)
+	obs.RecordUnit(time.Since(t0), ut)
+}
+
 // segmentTile32 executes the fused FP32 kernel for one (segment, f_h,
 // width-tile) unit: it produces the ∇W rows [j·n, (j+1)·n) at height f_h
 // for all (oc, ic), accumulating the EWM over the segment's rows, units and
@@ -106,7 +166,11 @@ func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
 // Per inner unit the four fused stages appear in order: dimension reduction
 // (the row loop), filter split (the ow0 loop), Winograd transforms + the
 // α-batched outer-product "GEMM", and the final output transform.
-func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32) {
+//
+// ut, when non-nil, accumulates the intra-unit transform and EWM durations
+// for the observability layer; the nil path adds only predictable
+// never-taken branches.
+func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32, ut *obs.UnitTimes) {
 	k := seg.K
 	// Balanced transforms keep FP32 cancellation in the paper's accuracy
 	// band for the α = 16 kernels; the symmetric panel plans implement the
@@ -133,6 +197,10 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 		}
 		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
 			for nb := 0; nb < p.N; nb++ {
+				var t0 time.Time
+				if ut != nil {
+					t0 = time.Now()
+				}
 				// Gather + filter transform: Ŵ = G·W.
 				for u := 0; u < r; u++ {
 					base := dy.Shape.Index(nb, oh, ow0+u, 0)
@@ -154,6 +222,11 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 					copy(dst, x.Data[base:base+ic])
 				}
 				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
+				if ut != nil {
+					now := time.Now()
+					ut.Transform += now.Sub(t0)
+					t0 = now
+				}
 				// α-batched outer products: v[e] += Ŵ[e] ⊗ X̂[e].
 				for e := 0; e < alpha; e++ {
 					we := wHat[e*oc : (e+1)*oc]
@@ -169,6 +242,9 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 						}
 					}
 				}
+				if ut != nil {
+					ut.EWM += time.Since(t0)
+				}
 			}
 		}
 	}
@@ -178,7 +254,7 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 }
 
 // segmentTileHalf is the FP16 variant of segmentTile32 (see ExecuteHalf).
-func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32) {
+func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32, ut *obs.UnitTimes) {
 	k := seg.K
 	tr := k.Transform()
 	// Balanced transforms for the small-α kernels; for α ≥ 16 the eq. (7)
@@ -211,6 +287,10 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, 
 		}
 		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
 			for nb := 0; nb < p.N; nb++ {
+				var t0 time.Time
+				if ut != nil {
+					t0 = time.Now()
+				}
 				for u := 0; u < r; u++ {
 					base := dy.Shape.Index(nb, oh, ow0+u, 0)
 					dst := wRaw[u*oc : (u+1)*oc]
@@ -241,6 +321,11 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, 
 				for i, vv := range xHatF {
 					xHat[i] = fp16.FromFloat32(vv)
 				}
+				if ut != nil {
+					now := time.Now()
+					ut.Transform += now.Sub(t0)
+					t0 = now
+				}
 				// Tensor-Core EWM: binary16 operands, FP32 accumulate.
 				for e := 0; e < alpha; e++ {
 					we := wHat[e*oc : (e+1)*oc]
@@ -256,6 +341,9 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, 
 							row[b] += wv * fp16.ToFloat32(xb)
 						}
 					}
+				}
+				if ut != nil {
+					ut.EWM += time.Since(t0)
 				}
 			}
 		}

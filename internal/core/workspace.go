@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"winrs/internal/fp16"
 	"winrs/internal/kahan"
+	"winrs/internal/obs"
 	"winrs/internal/tensor"
 )
 
@@ -82,16 +84,29 @@ func reduceInto(cfg *Config, buckets [][]float32, dst *tensor.Float32) *tensor.F
 // (nil allocates fresh). With both provided, the steady-state execution
 // allocates nothing beyond per-call goroutine bookkeeping — the serving
 // runtime's zero-allocation hot path.
+//
+// When obs.TraceEnabled, every fused unit records segment-tile, transform
+// and EWM durations and the reduction records the reduce stage; the
+// disabled path costs one atomic load per call.
 func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.Float32 {
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
 		panic("core: Execute operand shape mismatch")
 	}
 	ws = ensureWorkspace(cfg, ws)
-	runSegments(cfg, func(si int, seg Segment, fh, j int) {
-		segmentTile32(p, seg, fh, j, x, dy, ws.buckets[si])
-	})
-	return reduceInto(cfg, ws.buckets, dst)
+	traceOn := obs.TraceEnabled()
+	if runsSerial(cfg) {
+		// Distinct closure literal on purpose: runSegmentsInline never leaks
+		// it, so this path stays allocation-free.
+		runSegmentsInline(cfg, func(si int, seg Segment, fh, j int) {
+			tile32Unit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
+		})
+	} else {
+		runSegments(cfg, func(si int, seg Segment, fh, j int) {
+			tile32Unit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
+		})
+	}
+	return reduceTraced(cfg, ws.buckets, dst, traceOn)
 }
 
 // ExecuteHalfIn is ExecuteIn for the emulated FP16 Tensor-Core path.
@@ -103,10 +118,29 @@ func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.F
 		panic("core: ExecuteHalf operand shape mismatch")
 	}
 	ws = ensureWorkspace(cfg, ws)
-	runSegments(cfg, func(si int, seg Segment, fh, j int) {
-		segmentTileHalf(p, seg, fh, j, x, dy, ws.buckets[si])
-	})
-	return reduceInto(cfg, ws.buckets, dst)
+	traceOn := obs.TraceEnabled()
+	if runsSerial(cfg) {
+		runSegmentsInline(cfg, func(si int, seg Segment, fh, j int) {
+			tileHalfUnit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
+		})
+	} else {
+		runSegments(cfg, func(si int, seg Segment, fh, j int) {
+			tileHalfUnit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
+		})
+	}
+	return reduceTraced(cfg, ws.buckets, dst, traceOn)
+}
+
+// reduceTraced runs the Kahan reduction, recording the reduce stage when
+// tracing is on.
+func reduceTraced(cfg *Config, buckets [][]float32, dst *tensor.Float32, traceOn bool) *tensor.Float32 {
+	if !traceOn {
+		return reduceInto(cfg, buckets, dst)
+	}
+	t0 := time.Now()
+	out := reduceInto(cfg, buckets, dst)
+	obs.RecordStage(obs.StageReduce, time.Since(t0))
+	return out
 }
 
 // tileScratch holds the per-unit transform scratch of one fused kernel

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "Requests.", Label{"op", "bf"})
+	c.Add(3)
+	r.Counter("t_requests_total", "Requests.", Label{"op", "fwd"}) // zero series
+	g := r.Gauge("t_depth", "Queue depth.")
+	g.Set(2.5)
+	r.GaugeFunc("t_uptime_seconds", "Uptime.", func() float64 { return 42 })
+	r.CounterFunc("t_hits_total", "Hits.", func() uint64 { return 7 })
+	h := r.Histogram("t_latency_seconds", "Latency.", []float64{0.5, 0.99})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		`t_requests_total{op="bf"} 3`,
+		`t_requests_total{op="fwd"} 0`,
+		"t_depth 2.5",
+		"t_uptime_seconds 42",
+		"t_hits_total 7",
+		"# TYPE t_latency_seconds histogram",
+		"t_latency_seconds_count 2",
+		`t_latency_seconds{quantile="0.99"}`,
+		`t_latency_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per series.
+	if n := strings.Count(out, "# TYPE t_requests_total"); n != 1 {
+		t.Errorf("expected 1 TYPE header for the counter family, got %d", n)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_c", "h", Label{"k", "v"})
+	b := r.Counter("t_c", "h", Label{"k", "v"})
+	if a != b {
+		t.Error("re-registering the same series must return the same handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering under a different type must panic")
+		}
+	}()
+	r.Gauge("t_c", "h", Label{"k", "v"})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_h", "h", nil)
+	for i := 0; i < 900; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	p50, n := h.Quantile(0.5)
+	if n != 1000 {
+		t.Fatalf("count = %d", n)
+	}
+	// Upper-bound quantiles at ~25% bucket resolution.
+	if p50 < 1e-3 || p50 > 1.3e-3 {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	p99, _ := h.Quantile(0.99)
+	if p99 < 0.1 || p99 > 0.13 {
+		t.Errorf("p99 = %v, want ~100ms", p99)
+	}
+}
+
+func TestStageTraceRecording(t *testing.T) {
+	ResetTrace()
+	EnableTrace(true)
+	defer EnableTrace(false)
+	RecordUnit(10*time.Microsecond, UnitTimes{Transform: 4 * time.Microsecond, EWM: 5 * time.Microsecond})
+	RecordUnit(10*time.Microsecond, UnitTimes{Transform: 4 * time.Microsecond, EWM: 5 * time.Microsecond})
+	RecordStage(StageReduce, 20*time.Microsecond)
+
+	snap := TraceSnapshot()
+	if snap[StageSegmentTile].Count != 2 || snap[StageReduce].Count != 1 {
+		t.Fatalf("snapshot counts wrong: %+v", snap)
+	}
+	if snap[StageTransform].Total != 8*time.Microsecond {
+		t.Errorf("transform total = %v", snap[StageTransform].Total)
+	}
+	shares := StageShares()
+	// Denominator is tile+reduce = 40µs.
+	if got := shares["reduce"]; got < 0.49 || got > 0.51 {
+		t.Errorf("reduce share = %v, want 0.5", got)
+	}
+	if got := shares["transform"]; got < 0.19 || got > 0.21 {
+		t.Errorf("transform share = %v, want 0.2", got)
+	}
+
+	var b strings.Builder
+	if err := WriteTraceTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE winrs_stage_duration_seconds histogram",
+		`winrs_stage_duration_seconds_count{stage="segment_tile"} 2`,
+		`winrs_stage_duration_seconds{stage="reduce",quantile="0.5"}`,
+		`winrs_stage_units_total{stage="ewm"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	ResetTrace()
+	if snap := TraceSnapshot(); snap[StageSegmentTile].Count != 0 {
+		t.Error("ResetTrace did not clear counts")
+	}
+}
+
+// Concurrent updates and scrapes on every metric kind plus the trace
+// recorder. Run with -race: this is the satellite race test for the
+// registry and trace recorder at the obs level (the end-to-end
+// Execute-vs-scrape variant lives in the repo root and internal/serve).
+func TestRegistryAndTraceConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_cc", "h")
+	g := r.Gauge("t_gg", "h")
+	h := r.Histogram("t_hh", "h", []float64{0.5})
+	ResetTrace()
+	EnableTrace(true)
+	defer EnableTrace(false)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add(1)
+				g.Set(float64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+				RecordUnit(time.Microsecond, UnitTimes{Transform: 300 * time.Nanosecond, EWM: 500 * time.Nanosecond})
+				if i%100 == 0 {
+					if err := r.WriteText(io.Discard); err != nil {
+						t.Error(err)
+					}
+					if err := WriteTraceTo(io.Discard); err != nil {
+						t.Error(err)
+					}
+					TraceSnapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Load())
+	}
+	if _, n := h.Quantile(0.5); n != 4000 {
+		t.Errorf("histogram count = %d, want 4000", n)
+	}
+	if snap := TraceSnapshot(); snap[StageSegmentTile].Count != 4000 {
+		t.Errorf("trace count = %d, want 4000", snap[StageSegmentTile].Count)
+	}
+}

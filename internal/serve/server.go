@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"winrs/internal/core"
+	"winrs/internal/obs"
 	"winrs/internal/tensor"
 )
 
@@ -57,20 +58,39 @@ type Server struct {
 	cfg   Config
 	rt    *Runtime
 	disp  *Dispatcher
-	stats Stats
+	reg   *obs.Registry
+	stats *Stats
 	start time.Time
 }
 
 // NewServer builds a server; call Close to drain its workers.
 func NewServer(cfg Config) *Server {
 	cfg.fillDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		rt:    NewRuntime(cfg.CacheCapacity),
 		disp:  NewDispatcher(cfg.Workers, cfg.QueueDepth),
+		reg:   obs.NewRegistry(),
 		start: time.Now(),
 	}
+	s.stats = newStats(s.reg)
+	s.reg.GaugeFunc("winrs_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.CounterFunc("winrs_plan_cache_hits_total", "Plan-cache hits.",
+		func() uint64 { h, _ := s.rt.cache.Stats(); return h })
+	s.reg.CounterFunc("winrs_plan_cache_misses_total", "Plan-cache misses.",
+		func() uint64 { _, m := s.rt.cache.Stats(); return m })
+	s.reg.GaugeFunc("winrs_plan_cache_entries", "Plans currently cached.",
+		func() float64 { return float64(s.rt.cache.Len()) })
+	s.reg.GaugeFunc("winrs_queue_depth", "Admitted requests waiting for a worker.",
+		func() float64 { return float64(s.disp.QueueDepth()) })
+	s.reg.GaugeFunc("winrs_requests_in_flight", "Requests currently computing.",
+		func() float64 { return float64(s.disp.InFlight()) })
+	return s
 }
+
+// Registry exposes the server's metric registry (embedding, extra series).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Runtime exposes the server's runtime (tests, embedding).
 func (s *Server) Runtime() *Runtime { return s.rt }
@@ -269,26 +289,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics renders the server registry, the process-wide default
+// registry (runtime gauges plus anything components registered globally),
+// and the per-stage execution trace when obs tracing is enabled.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.rt.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "winrs_uptime_seconds %g\n", time.Since(s.start).Seconds())
-	fmt.Fprintf(w, "winrs_plan_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "winrs_plan_cache_misses_total %d\n", misses)
-	fmt.Fprintf(w, "winrs_plan_cache_entries %d\n", s.rt.cache.Len())
-	fmt.Fprintf(w, "winrs_queue_depth %d\n", s.disp.QueueDepth())
-	fmt.Fprintf(w, "winrs_requests_in_flight %d\n", s.disp.InFlight())
-	for op := Op(0); op < numOps; op++ {
-		fmt.Fprintf(w, "winrs_requests_total{op=%q} %d\n", op.String(), s.stats.OK[op].Load())
+	if err := s.reg.WriteText(w); err != nil {
+		return
 	}
-	fmt.Fprintf(w, "winrs_rejected_total %d\n", s.stats.Rejected.Load())
-	fmt.Fprintf(w, "winrs_deadline_total %d\n", s.stats.Deadline.Load())
-	fmt.Fprintf(w, "winrs_client_errors_total %d\n", s.stats.ClientErr.Load())
-	fmt.Fprintf(w, "winrs_compute_errors_total %d\n", s.stats.ComputeErr.Load())
-	for _, q := range []float64{0.5, 0.9, 0.99} {
-		sec, n := s.stats.Latency(q)
-		if n > 0 {
-			fmt.Fprintf(w, "winrs_request_latency_seconds{quantile=\"%g\"} %g\n", q, sec)
-		}
+	if err := obs.Default.WriteText(w); err != nil {
+		return
 	}
+	obs.WriteTraceTo(w)
 }

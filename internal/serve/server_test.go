@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"winrs"
+	"winrs/internal/obs"
 	"winrs/internal/serve"
 )
 
@@ -367,5 +368,81 @@ func TestServeConcurrentClients(t *testing.T) {
 	hits, misses := s.Runtime().Cache().Stats()
 	if hits == 0 {
 		t.Errorf("plan cache never hit (%d misses) across %d served requests", misses, ok)
+	}
+}
+
+// Metrics scrapes must be safe against concurrent request traffic with
+// per-stage tracing on: clients hammer backward_filter while scrapers read
+// /metrics (registry + default registry + trace recorder). Run with -race;
+// this is the serve-level half of the observability race satellite.
+func TestServeMetricsScrapeUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	obs.ResetTrace()
+	obs.EnableTrace(true)
+	t.Cleanup(func() {
+		obs.EnableTrace(false)
+		obs.ResetTrace()
+	})
+
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1}
+	x, dy := randLayer(t, 77, p)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, out := postBackwardFilter(t, ts.URL, p, x, dy)
+				if resp.StatusCode != http.StatusOK &&
+					resp.StatusCode != http.StatusTooManyRequests {
+					t.Errorf("status %d: %s", resp.StatusCode, out)
+				}
+			}
+		}()
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !strings.Contains(string(body), "winrs_plan_cache_misses_total") {
+					t.Error("scrape missing plan-cache series")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// With tracing on and traffic served, the stage histograms must be live.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE winrs_stage_duration_seconds histogram",
+		`winrs_stage_units_total{stage="segment_tile"}`,
+		"winrs_process_goroutines",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

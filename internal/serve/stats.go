@@ -1,93 +1,53 @@
 package serve
 
 import (
-	"math"
-	"sync/atomic"
 	"time"
+
+	"winrs/internal/obs"
 )
 
-// Stats aggregates the serving counters exposed on /metrics. All fields
-// are updated with atomics; reads are approximate snapshots, which is all
-// a metrics endpoint needs.
+// Stats aggregates the serving counters exposed on /metrics. The series
+// live in the server's obs.Registry, so /metrics rendering, quantiles and
+// idempotent registration are the registry's job; this struct only keeps
+// the typed handles the hot path updates. All updates are lock-free
+// atomics; reads are approximate snapshots, which is all a metrics
+// endpoint needs.
 type Stats struct {
-	OK         [numOps]atomic.Uint64 // completed requests per op
-	ClientErr  atomic.Uint64         // malformed requests (4xx)
-	ComputeErr atomic.Uint64         // plan/compute failures (422)
-	Rejected   atomic.Uint64         // admission-control rejections (429)
-	Deadline   atomic.Uint64         // expired while queued (503)
+	OK         [numOps]*obs.Counter // completed requests per op
+	ClientErr  *obs.Counter         // malformed requests (4xx)
+	ComputeErr *obs.Counter         // plan/compute failures (422)
+	Rejected   *obs.Counter         // admission-control rejections (429)
+	Deadline   *obs.Counter         // expired while queued (503)
 
-	hist latencyHist
+	hist *obs.Histogram
+}
+
+// newStats registers the serving series into reg and returns the handles.
+func newStats(reg *obs.Registry) *Stats {
+	s := &Stats{
+		ClientErr:  reg.Counter("winrs_client_errors_total", "Malformed requests (4xx)."),
+		ComputeErr: reg.Counter("winrs_compute_errors_total", "Plan or compute failures (422)."),
+		Rejected:   reg.Counter("winrs_rejected_total", "Admission-control rejections (429)."),
+		Deadline:   reg.Counter("winrs_deadline_total", "Requests expired while queued (503)."),
+		hist: reg.Histogram("winrs_request_latency_seconds",
+			"Completed request latency (queue + compute).",
+			[]float64{0.5, 0.9, 0.99}),
+	}
+	for op := Op(0); op < numOps; op++ {
+		s.OK[op] = reg.Counter("winrs_requests_total",
+			"Completed requests per operation.", obs.Label{Key: "op", Value: op.String()})
+	}
+	return s
 }
 
 // Observe records one successful request.
 func (s *Stats) Observe(op Op, d time.Duration) {
 	s.OK[op].Add(1)
-	s.hist.record(d)
+	s.hist.Observe(d)
 }
 
 // Latency returns the approximate q-quantile (0 < q < 1) of completed
 // request latency, in seconds, and the number of observations.
 func (s *Stats) Latency(q float64) (seconds float64, count uint64) {
-	return s.hist.quantile(q)
-}
-
-// latencyHist is a fixed-bucket geometric histogram: 96 buckets with
-// bounds 1µs·1.25ⁱ (≈25% relative resolution, covering 1µs…1800s). Lock-
-// free record, approximate upper-bound quantiles — exactly what a p50/p99
-// stats surface needs and nothing more.
-type latencyHist struct {
-	counts [histBuckets]atomic.Uint64
-}
-
-const (
-	histBuckets = 96
-	histBase    = 1e3  // bucket 0 upper bound: 1µs in nanoseconds
-	histRatio   = 1.25 // geometric growth per bucket
-)
-
-var histLogRatio = math.Log(histRatio)
-
-func histBucket(d time.Duration) int {
-	ns := float64(d.Nanoseconds())
-	if ns <= histBase {
-		return 0
-	}
-	i := int(math.Ceil(math.Log(ns/histBase) / histLogRatio))
-	if i >= histBuckets {
-		return histBuckets - 1
-	}
-	return i
-}
-
-// histBound returns bucket i's upper bound in seconds.
-func histBound(i int) float64 {
-	return histBase * math.Pow(histRatio, float64(i)) / 1e9
-}
-
-func (h *latencyHist) record(d time.Duration) {
-	h.counts[histBucket(d)].Add(1)
-}
-
-func (h *latencyHist) quantile(q float64) (seconds float64, count uint64) {
-	var total uint64
-	var snap [histBuckets]uint64
-	for i := range snap {
-		snap[i] = h.counts[i].Load()
-		total += snap[i]
-	}
-	if total == 0 {
-		return 0, 0
-	}
-	target := uint64(q * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var cum uint64
-	for i, c := range snap {
-		cum += c
-		if cum > target {
-			return histBound(i), total
-		}
-	}
-	return histBound(histBuckets - 1), total
+	return s.hist.Quantile(q)
 }
