@@ -34,10 +34,13 @@ bench-json:
 
 # bench-gate re-measures the grid and fails on any hot-path result more
 # than BENCH_THRESHOLD slower than the committed baseline (calibration-
-# normalized, so a different machine speed cancels out).
+# normalized, so a different machine speed cancels out). -match-procs pins
+# the measurement's GOMAXPROCS to the baseline's recorded value, so the
+# gate works from any CI matrix leg; -compare refuses mismatched
+# environments outright.
 bench-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
-	$(GO) run ./cmd/winrs-bench -json /tmp/bench_current.json
+	$(GO) run ./cmd/winrs-bench -match-procs $(BENCH_BASELINE) -json /tmp/bench_current.json
 	$(GO) run ./cmd/winrs-bench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) /tmp/bench_current.json
 
 # fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME each.

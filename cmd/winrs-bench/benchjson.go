@@ -28,6 +28,7 @@ type benchReport struct {
 	Date          string  `json:"date"`
 	GoVersion     string  `json:"go_version"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu,omitempty"`
 	CalibrationNs float64 `json:"calibration_ns_per_op"`
 
 	Results []benchResult `json:"results"`
@@ -41,6 +42,7 @@ type benchResult struct {
 	NsPerOp        float64            `json:"ns_per_op"`
 	AllocsPerOp    float64            `json:"allocs_per_op"`
 	WorkspaceBytes int64              `json:"workspace_bytes"`
+	WHatCacheBytes int64              `json:"what_cache_bytes,omitempty"`
 	HotPath        bool               `json:"hot_path"` // gated by -compare
 	StageShares    map[string]float64 `json:"stage_shares,omitempty"`
 }
@@ -127,6 +129,7 @@ func runBenchJSON(path string) error {
 		Date:          time.Now().UTC().Format("2006-01-02"),
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		CalibrationNs: calibrationNs(),
 	}
 
@@ -150,6 +153,7 @@ func runBenchJSON(path string) error {
 			NsPerOp:        measureNs(run32),
 			AllocsPerOp:    testing.AllocsPerRun(10, run32),
 			WorkspaceBytes: cfg32.WorkspaceBytes(),
+			WHatCacheBytes: cfg32.WHatCacheBytes(),
 			HotPath:        true,
 			StageShares:    benchStageShares(run32),
 		})
@@ -166,6 +170,7 @@ func runBenchJSON(path string) error {
 			NsPerOp:        measureNs(run16),
 			AllocsPerOp:    testing.AllocsPerRun(10, run16),
 			WorkspaceBytes: cfg16.WorkspaceBytes(),
+			WHatCacheBytes: cfg16.WHatCacheBytes(),
 			HotPath:        true,
 			StageShares:    benchStageShares(run16),
 		})
@@ -195,6 +200,25 @@ func runBenchJSON(path string) error {
 	return os.WriteFile(path, out, 0o644)
 }
 
+// pinProcsToBaseline sets runtime GOMAXPROCS to the value recorded in the
+// given baseline report, so a fresh -json measurement stays comparable to
+// it even when CI runs the build under a different GOMAXPROCS (the
+// {1,4} matrix legs both gate against the committed baseline this way).
+func pinProcsToBaseline(path string) error {
+	rep, err := readBenchReport(path)
+	if err != nil {
+		return err
+	}
+	if rep.GOMAXPROCS < 1 {
+		return fmt.Errorf("%s: no gomaxprocs recorded; cannot -match-procs against it", path)
+	}
+	if cur := runtime.GOMAXPROCS(0); cur != rep.GOMAXPROCS {
+		fmt.Printf("bench: pinning GOMAXPROCS %d -> %d to match %s\n", cur, rep.GOMAXPROCS, path)
+		runtime.GOMAXPROCS(rep.GOMAXPROCS)
+	}
+	return nil
+}
+
 func readBenchReport(path string) (*benchReport, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -214,11 +238,39 @@ func readBenchReport(path string) (*benchReport, error) {
 	return &rep, nil
 }
 
+// checkEnvMatch refuses to diff reports from mismatched environments:
+// GOMAXPROCS changes what the scheduler parallelizes and a Go version
+// changes codegen, so a ratio across either is meaningless — calibration
+// only cancels clock speed. Fields absent from older schema-1 reports
+// (NumCPU) or a CPU-count difference (which calibration does absorb for
+// the serial grid) only warn.
+func checkEnvMatch(oldRep, newRep *benchReport, oldPath, newPath string) error {
+	if oldRep.GOMAXPROCS > 0 && newRep.GOMAXPROCS > 0 && oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		return fmt.Errorf("bench-gate: environment mismatch: %s ran with GOMAXPROCS=%d, %s with GOMAXPROCS=%d; "+
+			"re-measure with -match-procs %s (or set GOMAXPROCS) instead of comparing across widths",
+			oldPath, oldRep.GOMAXPROCS, newPath, newRep.GOMAXPROCS, oldPath)
+	}
+	if oldRep.GoVersion != "" && newRep.GoVersion != "" && oldRep.GoVersion != newRep.GoVersion {
+		return fmt.Errorf("bench-gate: environment mismatch: %s built with %s, %s with %s; "+
+			"refresh the baseline with the current toolchain before gating",
+			oldPath, oldRep.GoVersion, newPath, newRep.GoVersion)
+	}
+	switch {
+	case oldRep.NumCPU == 0 || newRep.NumCPU == 0:
+		fmt.Printf("bench-gate: note: CPU count missing from one report (pre-num_cpu baseline); not checked\n")
+	case oldRep.NumCPU != newRep.NumCPU:
+		fmt.Printf("bench-gate: warning: CPU count differs (%d vs %d); calibration normalizes machine speed, not topology\n",
+			oldRep.NumCPU, newRep.NumCPU)
+	}
+	return nil
+}
+
 // runBenchCompare diffs two reports and fails (non-nil error) when any
 // hot-path result regressed by more than threshold after calibration
-// normalization. New results without a baseline entry are reported but
-// never fail the gate; vanished baselines do fail it — a silently dropped
-// hot path is a regression too.
+// normalization. Reports from mismatched environments (GOMAXPROCS, Go
+// version) are refused outright. New results without a baseline entry are
+// reported but never fail the gate; vanished baselines do fail it — a
+// silently dropped hot path is a regression too.
 func runBenchCompare(oldPath, newPath string, threshold float64) error {
 	oldRep, err := readBenchReport(oldPath)
 	if err != nil {
@@ -226,6 +278,9 @@ func runBenchCompare(oldPath, newPath string, threshold float64) error {
 	}
 	newRep, err := readBenchReport(newPath)
 	if err != nil {
+		return err
+	}
+	if err := checkEnvMatch(oldRep, newRep, oldPath, newPath); err != nil {
 		return err
 	}
 	oldByName := map[string]benchResult{}

@@ -60,7 +60,15 @@ func main() {
 	jsonOut := flag.String("json", "", "write the regression-grid benchmark report to this file ('-' for stdout)")
 	compare := flag.Bool("compare", false, "compare two benchmark reports: -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 0.15, "relative regression tolerance for -compare")
+	matchProcs := flag.String("match-procs", "", "pin GOMAXPROCS to the value recorded in this baseline report before measuring (-json)")
 	flag.Parse()
+
+	if *matchProcs != "" {
+		if err := pinProcsToBaseline(*matchProcs); err != nil {
+			fmt.Fprintf(os.Stderr, "winrs-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -96,6 +96,8 @@ func main() {
 	fmt.Printf("segments realized  %d\n", cfg.Z())
 	fmt.Printf("workspace          %.2f MB ((Z-1) x dW)\n",
 		float64(cfg.WorkspaceBytes())/(1<<20))
+	fmt.Printf("what cache         %.2f MB (transformed-dY reuse, <= (max a/r) x dY)\n",
+		float64(cfg.WHatCacheBytes())/(1<<20))
 	blocks := 0
 	for _, s := range cfg.Segments {
 		blocks += core.BlocksPerSegment(s.K, p, *fp16)

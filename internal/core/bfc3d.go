@@ -138,21 +138,25 @@ func Execute3D(cfg *Config3D, x, dy *tensor.Float325) *tensor.Float325 {
 	for i := range buckets {
 		buckets[i] = make([]float32, elems)
 	}
-	type task struct{ si, fd, fh, j int }
-	var tasks []task
+	// Per-segment unit counts as a prefix table; global indices decode
+	// arithmetically, so no task slice is materialized.
+	off := make([]int, len(cfg.Segments)+1)
 	for si, seg := range cfg.Segments {
-		jTiles := p.FW / seg.K.N
-		for fd := 0; fd < p.FD; fd++ {
-			for fh := 0; fh < p.FH; fh++ {
-				for j := 0; j < jTiles; j++ {
-					tasks = append(tasks, task{si, fd, fh, j})
-				}
-			}
-		}
+		off[si+1] = off[si] + p.FD*p.FH*(p.FW/seg.K.N)
 	}
-	runTasks(len(tasks), func(ti int) {
-		t := tasks[ti]
-		segmentTile3D(p, cfg.Segments[t.si], t.fd, t.fh, t.j, x, dy, buckets[t.si])
+	execPool().RunFunc(off[len(off)-1], 0, func(lo, hi int) {
+		si := 0
+		for i := lo; i < hi; i++ {
+			for i >= off[si+1] {
+				si++ // i only grows, so si scans forward
+			}
+			seg := cfg.Segments[si]
+			jTiles := p.FW / seg.K.N
+			local := i - off[si]
+			fd := local / (p.FH * jTiles)
+			fh := local / jTiles % p.FH
+			segmentTile3D(p, seg, fd, fh, local%jTiles, x, dy, buckets[si])
+		}
 	})
 
 	dw := tensor.NewFloat325(p.DWShape())
@@ -224,20 +228,7 @@ func segmentTile3D(p conv.Params3D, seg Segment, fd, fh, j int,
 					copy(dst, x.Data[base:base+ic])
 				}
 				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
-				for e := 0; e < alpha; e++ {
-					we := wHat[e*oc : (e+1)*oc]
-					xe := xHat[e*ic : (e+1)*ic]
-					ve := v[e*oc*ic : (e+1)*oc*ic]
-					for a, wv := range we {
-						if wv == 0 {
-							continue
-						}
-						rowv := ve[a*ic : (a+1)*ic]
-						for b, xv := range xe {
-							rowv[b] += wv * xv
-						}
-					}
-				}
+				ewmPanels(v, wHat, xHat, alpha, oc, ic)
 			}
 		}
 	}
@@ -258,9 +249,4 @@ func segmentTile3D(p conv.Params3D, seg Segment, fd, fh, j int,
 			}
 		}
 	}
-}
-
-// runTasks runs f(i) for i in [0,n) on a worker pool.
-func runTasks(n int, f func(i int)) {
-	parallelRows(n, f)
 }

@@ -383,7 +383,7 @@ type Config struct {
 
 	// unitOff is the precomputed work-unit schedule (see unitOffsets),
 	// built by Configure so executions need not re-derive it. Hand-built
-	// configs may leave it nil; runSegments then derives it per call.
+	// configs may leave it nil; schedule then derives it per call.
 	unitOff []int
 }
 
@@ -396,6 +396,31 @@ func (c *Config) Z() int { return len(c.Segments) }
 // FP32 (paper §5.2).
 func (c *Config) WorkspaceBytes() int64 {
 	return int64(c.Z()-1) * int64(c.Params.DWShape().Elems()) * 4
+}
+
+// WHatCacheBytes returns the exact footprint of the Ŵ cache — the
+// gathered, filter-transformed ∇Y panels the execution computes once per
+// (segment row, width tile, batch image) and reuses across all
+// F_H·(F_W/n) units of a segment:
+//
+//	Σ_seg Rows(seg) · (Cols(seg)/r_seg) · N · α_seg · O_C  elements,
+//
+// at 4 bytes per element in FP32 and 2 in FP16. Because α/r ≤ max_s(α_s/r_s)
+// and Σ_seg Rows·Cols·N·O_C = |∇Y|, the cache is bounded by
+// (max_s α_s/r_s)·sizeof(∇Y) regardless of Z — it rides the "tiny
+// workspace" axis (≈3× |∇Y| for Ω₁₆(2,14), ≈2× for Ω₆(4,3)) and is not
+// counted against WithWorkspaceLimit, which budgets the Z-dependent
+// buckets.
+func (c *Config) WHatCacheBytes() int64 {
+	var elems int64
+	for _, seg := range c.Segments {
+		elems += int64(seg.Rows()) * int64(seg.Cols()/seg.K.R) *
+			int64(c.Params.N) * int64(seg.K.Alpha) * int64(c.Params.OC)
+	}
+	if c.FP16 {
+		return elems * 2
+	}
+	return elems * 4
 }
 
 // Option customizes Configure.

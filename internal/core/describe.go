@@ -28,6 +28,8 @@ type Description struct {
 	Segments        int     `json:"segments"`
 	WorkspaceBytes  int64   `json:"workspaceBytes"`
 	WorkspaceRatio  float64 `json:"workspaceRatio"`
+	WHatCacheBytes  int64   `json:"wHatCacheBytes"`
+	WHatCacheRatio  float64 `json:"wHatCacheRatio"`
 	TotalBlocks     int     `json:"totalBlocks"`
 }
 
@@ -52,8 +54,10 @@ func (c *Config) Describe() Description {
 	d.SegmentHeight, d.SegmentWidth = c.SegH, c.SegW
 	d.Segments = c.Z()
 	d.WorkspaceBytes = c.WorkspaceBytes()
+	d.WHatCacheBytes = c.WHatCacheBytes()
 	if data := p.DataBytes32(); data > 0 {
 		d.WorkspaceRatio = float64(c.WorkspaceBytes()) / float64(data)
+		d.WHatCacheRatio = float64(c.WHatCacheBytes()) / float64(data)
 	}
 	for _, s := range c.Segments {
 		d.TotalBlocks += BlocksPerSegment(s.K, p, c.FP16)

@@ -1,24 +1,24 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"winrs/internal/conv"
 	"winrs/internal/fp16"
 	"winrs/internal/obs"
+	"winrs/internal/sched"
 	"winrs/internal/tensor"
 	"winrs/internal/winograd"
 )
 
-// Execute runs the configured FP32 WinRS plan: every segment executes the
-// fully-fused Ω_α(n,r) kernel into its own ∇W bucket, and the buckets are
-// reduced with Kahan summation. Work units (segment × f_h × width-tile)
-// map to goroutines the way block groups map to SMs; no two units touch
-// the same accumulator, so the execution is lock-free. Each call allocates
-// fresh buckets and a fresh result; see ExecuteIn for the reusing variant.
+// Execute runs the configured FP32 WinRS plan: a pre-pass gathers and
+// transforms every ∇Y unit once into the workspace's Ŵ cache, every
+// segment then executes the fused Ω_α(n,r) kernel into its own ∇W bucket,
+// and the buckets are reduced with Kahan summation. Work units
+// (segment × f_h × width-tile) schedule onto the persistent sched pool
+// the way block groups map to SMs; no two units touch the same
+// accumulator, so the execution is lock-free. Each call allocates fresh
+// buckets and a fresh result; see ExecuteIn for the reusing variant.
 func Execute(cfg *Config, x, dy *tensor.Float32) *tensor.Float32 {
 	return ExecuteIn(cfg, nil, x, dy, nil)
 }
@@ -53,109 +53,271 @@ func schedule(cfg *Config) ([]int, int) {
 	return off, off[len(off)-1]
 }
 
-// runsSerial reports whether executions of cfg run every work unit on the
-// calling goroutine (a single unit, or a single-CPU process). Callers use
-// it to pick runSegmentsInline, whose unit closure never escapes.
-func runsSerial(cfg *Config) bool {
-	_, total := schedule(cfg)
-	return total <= 1 || runtime.GOMAXPROCS(0) <= 1
+// testPool, when non-nil, overrides the shared scheduling pool; the
+// pool-vs-inline determinism tests inject widths the host machine does
+// not have. Production always runs on sched.Default().
+var testPool *sched.Pool
+
+// execPool returns the worker pool every execution path schedules onto.
+// One process-wide pool means concurrent callers (the serving runtime's
+// request workers, parallel trainers) co-schedule on GOMAXPROCS workers
+// instead of oversubscribing the machine with per-call goroutine sets.
+func execPool() *sched.Pool {
+	if testPool != nil {
+		return testPool
+	}
+	return sched.Default()
 }
 
-// runSegmentsInline is the single-worker unit loop as its own function:
-// with no goroutine literal in the call graph the unit closure does not
-// escape, so the serial steady-state execution allocates nothing at all
-// (the property TestObservabilityAllocsPinned pins).
-func runSegmentsInline(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
+// runUnitsFunc schedules every (segment, f_h, width-tile) unit of cfg onto
+// the shared pool via a closure — the convenience form used by the
+// quantized path (the FP32/FP16 hot paths use the Workspace's pooled
+// execJob instead, which boxes nothing).
+func runUnitsFunc(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
 	off, total := schedule(cfg)
 	fw := cfg.Params.FW
-	for i, si := 0, 0; i < total; i++ {
+	execPool().RunFunc(total, 0, func(lo, hi int) {
+		si := 0
+		for i := lo; i < hi; i++ {
+			for i >= off[si+1] {
+				si++ // i only grows, so si scans forward
+			}
+			seg := cfg.Segments[si]
+			jTiles := fw / seg.K.N
+			local := i - off[si]
+			unit(si, seg, local/jTiles, local%jTiles)
+		}
+	})
+}
+
+// execJob is the pooled unit-grid task of one ExecuteIn/ExecuteHalfIn
+// call. It lives inside the Workspace so the steady-state dispatch
+// allocates nothing: the fields are rewritten per call and the same
+// *execJob is handed to the sched pool as a Task.
+type execJob struct {
+	cfg       *Config
+	ws        *Workspace
+	x32, dy32 *tensor.Float32
+	x16, dy16 *tensor.Half
+	half      bool
+	traceOn   bool
+}
+
+// Run executes global units [lo, hi) — the sched.Task contract.
+func (j *execJob) Run(lo, hi int) {
+	cfg, ws := j.cfg, j.ws
+	off := ws.unitOff
+	fw := cfg.Params.FW
+	si := 0
+	for i := lo; i < hi; i++ {
 		for i >= off[si+1] {
 			si++
 		}
 		seg := cfg.Segments[si]
 		jTiles := fw / seg.K.N
 		local := i - off[si]
-		unit(si, seg, local/jTiles, local%jTiles)
+		fh, jt := local/jTiles, local%jTiles
+		if j.half {
+			what := ws.what16[ws.whatOff[si]:ws.whatOff[si+1]]
+			tileHalfUnit(cfg.Params, seg, fh, jt, j.x16, what, ws.buckets[si], j.traceOn)
+		} else {
+			what := ws.what32[ws.whatOff[si]:ws.whatOff[si+1]]
+			tile32Unit(cfg.Params, seg, fh, jt, j.x32, what, ws.buckets[si], j.traceOn)
+		}
 	}
 }
 
-// runSegments schedules every (segment, f_h, width-tile) unit onto a worker
-// pool. Workers pull unit indices from a shared atomic counter (work
-// stealing degenerates to striding), so scheduling allocates no task list —
-// only the fixed goroutine bookkeeping. Results are order-independent:
-// units write disjoint bucket regions and the reduction is sequential.
-func runSegments(cfg *Config, unit func(si int, seg Segment, fh, j int)) {
-	off, total := schedule(cfg)
-	if total == 0 {
-		return
-	}
-	fw := cfg.Params.FW
-	// run executes global unit i, which belongs to segment si.
-	run := func(i, si int) {
-		seg := cfg.Segments[si]
-		jTiles := fw / seg.K.N
-		local := i - off[si]
-		unit(si, seg, local/jTiles, local%jTiles)
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > total {
-		workers = total
-	}
-	if workers <= 1 {
-		for i, si := 0, 0; i < total; i++ {
-			for i >= off[si+1] {
-				si++
-			}
-			run(i, si)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			si := 0
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= total {
-					return
-				}
-				for i >= off[si+1] { // i only grows, so si scans forward
-					si++
-				}
-				run(i, si)
-			}
-		}()
-	}
-	wg.Wait()
+// fillJob is the pooled Ŵ-cache pre-pass task: items are global segment
+// rows (prefix table ws.rowOff), and each item gathers + filter-transforms
+// every (width-tile, batch) ∇Y unit of that row into the cache. Like
+// execJob it is embedded in the Workspace and reused across calls.
+type fillJob struct {
+	cfg  *Config
+	ws   *Workspace
+	dy32 *tensor.Float32
+	dy16 *tensor.Half
+	half bool
 }
+
+// Run fills global segment rows [lo, hi).
+func (f *fillJob) Run(lo, hi int) {
+	cfg, ws := f.cfg, f.ws
+	p := cfg.Params
+	s := getTileScratch()
+	defer putTileScratch(s)
+
+	si := 0
+	for i := lo; i < hi; i++ {
+		for i >= ws.rowOff[si+1] {
+			si++
+		}
+		seg := cfg.Segments[si]
+		oh := seg.Row0 + (i - ws.rowOff[si])
+		if f.half {
+			fillRowHalf(p, seg, oh, f.dy16, s,
+				ws.what16[ws.whatOff[si]:ws.whatOff[si+1]])
+		} else {
+			fillRow32(p, seg, oh, f.dy32, s,
+				ws.what32[ws.whatOff[si]:ws.whatOff[si+1]])
+		}
+	}
+}
+
+// fillRow32 computes the FP32 Ŵ panels of one segment row: for every
+// width tile and batch image, gather the r-wide ∇Y unit and apply the
+// filter transform Ŵ = G·W directly into the cache slot. These values are
+// what the pre-restructuring kernel recomputed F_H·(F_W/n) times per
+// (oh, ow0, nb); computing them exactly once here keeps the execution
+// bit-identical while amortizing the transform.
+func fillRow32(p conv.Params, seg Segment, oh int, dy *tensor.Float32,
+	s *tileScratch, what []float32) {
+	tr := seg.K.Transform().Balanced()
+	gPlan, _ := tr.PanelPlans()
+	r, alpha, oc := tr.R, tr.Alpha, p.OC
+	wRaw := growF32(&s.wRaw, r*oc)
+	entry := alpha * oc
+	tiles := seg.Cols() / r
+	rowBase := (oh - seg.Row0) * tiles
+
+	for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
+		for nb := 0; nb < p.N; nb++ {
+			for u := 0; u < r; u++ {
+				base := dy.Shape.Index(nb, oh, ow0+u, 0)
+				copy(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
+			}
+			dst := what[((rowBase+t)*p.N+nb)*entry:]
+			gPlan.MulPanel(wRaw, dst[:entry], r, oc)
+		}
+	}
+}
+
+// halfMats returns the transform matrices of the FP16 path: balanced for
+// the small-α kernels, the eq. (7) scaling matrices for α ≥ 16 (unit-L1 G
+// and Dᵀ rows keep transformed binary16 values in dynamic range).
+func halfMats(tr *winograd.Transform) (g, d, a *winograd.Mat) {
+	bal := tr.Balanced()
+	g, d, a = bal.G, bal.D, bal.A
+	if tr.Alpha >= 16 {
+		sc := tr.Scaled()
+		g, d, a = sc.G, sc.D, sc.A
+	}
+	return g, d, a
+}
+
+// fillRowHalf is fillRow32 for the FP16 path: mixed-precision filter
+// transform (FP32 arithmetic, binary16 storage) into the half-width cache.
+func fillRowHalf(p conv.Params, seg Segment, oh int, dy *tensor.Half,
+	s *tileScratch, what []fp16.Bits) {
+	tr := seg.K.Transform()
+	gMat, _, _ := halfMats(tr)
+	r, alpha, oc := tr.R, tr.Alpha, p.OC
+	wRaw := growF32(&s.wRaw, r*oc)
+	wHatF := growF32(&s.wHatF, alpha*oc)
+	entry := alpha * oc
+	tiles := seg.Cols() / r
+	rowBase := (oh - seg.Row0) * tiles
+
+	for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
+		for nb := 0; nb < p.N; nb++ {
+			for u := 0; u < r; u++ {
+				base := dy.Shape.Index(nb, oh, ow0+u, 0)
+				dst := wRaw[u*oc : (u+1)*oc]
+				for c := 0; c < oc; c++ {
+					dst[c] = fp16.ToFloat32(dy.Data[base+c])
+				}
+			}
+			matMulF32(gMat, wRaw, wHatF, r, oc)
+			dst := what[((rowBase+t)*p.N+nb)*entry:]
+			for i, vv := range wHatF {
+				dst[i] = fp16.FromFloat32(vv)
+			}
+		}
+	}
+}
+
+// traceSampleEvery is the 1-in-N sampling stride of the intra-unit stage
+// timers: with tracing on, only every N-th (oh, ow0, nb) iteration is
+// timed and the sampled durations are scaled by the realized iteration/
+// sample ratio, so -trace no longer pays two time.Now() calls per inner
+// iteration — the overhead that used to perturb the very stage shares it
+// reports. Power of two so the sample test is a mask.
+const traceSampleEvery = 8
 
 // tile32Unit runs one FP32 fused unit, recording its stage durations when
 // traceOn. A top-level function (not a closure) so the trace scratch stays
 // on the stack and the disabled path is branch-only.
-func tile32Unit(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32, traceOn bool) {
+func tile32Unit(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
+	what []float32, bucket []float32, traceOn bool) {
 	if !traceOn {
-		segmentTile32(p, seg, fh, j, x, dy, bucket, nil)
+		segmentTile32(p, seg, fh, j, x, what, bucket, nil)
 		return
 	}
 	var ut obs.UnitTimes
 	t0 := time.Now()
-	segmentTile32(p, seg, fh, j, x, dy, bucket, &ut)
+	segmentTile32(p, seg, fh, j, x, what, bucket, &ut)
 	obs.RecordUnit(time.Since(t0), ut)
 }
 
 // tileHalfUnit is tile32Unit for the FP16 path.
-func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32, traceOn bool) {
+func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
+	what []fp16.Bits, bucket []float32, traceOn bool) {
 	if !traceOn {
-		segmentTileHalf(p, seg, fh, j, x, dy, bucket, nil)
+		segmentTileHalf(p, seg, fh, j, x, what, bucket, nil)
 		return
 	}
 	var ut obs.UnitTimes
 	t0 := time.Now()
-	segmentTileHalf(p, seg, fh, j, x, dy, bucket, &ut)
+	segmentTileHalf(p, seg, fh, j, x, what, bucket, &ut)
 	obs.RecordUnit(time.Since(t0), ut)
+}
+
+// unitSampler implements the scaled 1-in-N stage timing of one fused
+// unit (see traceSampleEvery). The zero value is ready to use; all state
+// stays on the caller's stack.
+type unitSampler struct {
+	iters, samples int
+	transform, ewm time.Duration
+	t0             time.Time
+	sampling       bool
+}
+
+// begin starts one inner iteration, arming the timers on sampled ones.
+func (u *unitSampler) begin(ut *obs.UnitTimes) {
+	u.sampling = ut != nil && u.iters&(traceSampleEvery-1) == 0
+	u.iters++
+	if u.sampling {
+		u.t0 = time.Now()
+	}
+}
+
+// mark records the transform span of a sampled iteration and re-arms for
+// the EWM span.
+func (u *unitSampler) mark() {
+	if u.sampling {
+		now := time.Now()
+		u.transform += now.Sub(u.t0)
+		u.t0 = now
+	}
+}
+
+// end closes a sampled iteration's EWM span.
+func (u *unitSampler) end() {
+	if u.sampling {
+		u.ewm += time.Since(u.t0)
+		u.samples++
+	}
+}
+
+// flush scales the sampled spans to the full iteration count and adds
+// them to ut.
+func (u *unitSampler) flush(ut *obs.UnitTimes) {
+	if ut == nil || u.samples == 0 {
+		return
+	}
+	scale := int64(u.iters) / int64(u.samples)
+	rem := int64(u.iters) % int64(u.samples)
+	ut.Transform += time.Duration(int64(u.transform)*scale + int64(u.transform)*rem/int64(u.samples))
+	ut.EWM += time.Duration(int64(u.ewm)*scale + int64(u.ewm)*rem/int64(u.samples))
 }
 
 // segmentTile32 executes the fused FP32 kernel for one (segment, f_h,
@@ -163,20 +325,25 @@ func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, buc
 // for all (oc, ic), accumulating the EWM over the segment's rows, units and
 // the batch.
 //
-// Per inner unit the four fused stages appear in order: dimension reduction
-// (the row loop), filter split (the ow0 loop), Winograd transforms + the
-// α-batched outer-product "GEMM", and the final output transform.
+// The gathered + filter-transformed ∇Y panels (Ŵ, α·O_C each) come from
+// the workspace cache filled by the pre-pass — they depend only on
+// (oh, ow0, nb), so one fill amortizes across all F_H·(F_W/n) units of the
+// segment instead of being recomputed per unit. Per inner iteration the
+// remaining fused stages appear in order: X gather + input transform
+// X̂ = Dᵀ·X, the register-blocked α-batched outer-product "GEMM", and (per
+// unit) the final output transform.
 //
-// ut, when non-nil, accumulates the intra-unit transform and EWM durations
-// for the observability layer; the nil path adds only predictable
-// never-taken branches.
-func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32, bucket []float32, ut *obs.UnitTimes) {
+// ut, when non-nil, accumulates sampled, scaled intra-unit transform and
+// EWM durations for the observability layer; the nil path adds only
+// predictable never-taken branches.
+func segmentTile32(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
+	what []float32, bucket []float32, ut *obs.UnitTimes) {
 	k := seg.K
 	// Balanced transforms keep FP32 cancellation in the paper's accuracy
 	// band for the α = 16 kernels; the symmetric panel plans implement the
 	// Figure 8 transform simplification (shared ± products).
 	tr := k.Transform().Balanced()
-	gPlan, dtPlan := tr.PanelPlans()
+	_, dtPlan := tr.PanelPlans()
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
 
@@ -184,29 +351,25 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 	defer putTileScratch(s)
 	// Accumulators v[α][OC][IC] (the register tile of Algorithm 3).
 	v := growF32Zero(&s.v, alpha*oc*ic)
-	wRaw := growF32(&s.wRaw, r*oc)      // gathered ∇Y unit, [r][OC]
-	wHat := growF32(&s.wHatF, alpha*oc) // G·W, [α][OC]
 	xRaw := growF32(&s.xRaw, alpha*ic)  // gathered X tile, [α][IC]
 	xHat := growF32(&s.xHatF, alpha*ic) // Dᵀ·X, [α][IC]
 	colBase := j * n
+	entry := alpha * oc
+	tiles := seg.Cols() / r
 
+	var smp unitSampler
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
 		ih := oh + fh - p.PH
 		if ih < 0 || ih >= p.IH {
 			continue // height-axis clipping (Figure 7)
 		}
-		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
+		rowBase := (oh - seg.Row0) * tiles
+		for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
 			for nb := 0; nb < p.N; nb++ {
-				var t0 time.Time
-				if ut != nil {
-					t0 = time.Now()
-				}
-				// Gather + filter transform: Ŵ = G·W.
-				for u := 0; u < r; u++ {
-					base := dy.Shape.Index(nb, oh, ow0+u, 0)
-					copy(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
-				}
-				gPlan.MulPanel(wRaw, wHat, r, oc)
+				smp.begin(ut)
+				// Cached Ŵ panel (filled once per (oh, ow0, nb)).
+				wHat := what[((rowBase+t)*p.N+nb)*entry:]
+				wHat = wHat[:entry]
 				// Gather (with implicit width zero padding) + input
 				// transform: X̂ = Dᵀ·X.
 				for u := 0; u < alpha; u++ {
@@ -222,86 +385,55 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Float32,
 					copy(dst, x.Data[base:base+ic])
 				}
 				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
-				if ut != nil {
-					now := time.Now()
-					ut.Transform += now.Sub(t0)
-					t0 = now
-				}
-				// α-batched outer products: v[e] += Ŵ[e] ⊗ X̂[e].
-				for e := 0; e < alpha; e++ {
-					we := wHat[e*oc : (e+1)*oc]
-					xe := xHat[e*ic : (e+1)*ic]
-					ve := v[e*oc*ic : (e+1)*oc*ic]
-					for a, wv := range we {
-						if wv == 0 {
-							continue
-						}
-						row := ve[a*ic : (a+1)*ic]
-						for b, xv := range xe {
-							row[b] += wv * xv
-						}
-					}
-				}
-				if ut != nil {
-					ut.EWM += time.Since(t0)
-				}
+				smp.mark()
+				ewmPanels(v, wHat, xHat, alpha, oc, ic)
+				smp.end()
 			}
 		}
 	}
+	smp.flush(ut)
 
 	// Output transform: y = Aᵀ·v[:, oc, ic], written into the bucket.
 	writeOutput(p, tr.A, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 
-// segmentTileHalf is the FP16 variant of segmentTile32 (see ExecuteHalf).
-func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, bucket []float32, ut *obs.UnitTimes) {
+// segmentTileHalf is the FP16 variant of segmentTile32 (see ExecuteHalf):
+// the cached Ŵ panels are binary16 and decoded to FP32 per use (binary16
+// → FP32 is exact, so products match the pre-restructuring path bit for
+// bit), X̂ is transformed in FP32, rounded to binary16 and decoded back —
+// the "SMEM storage" rounding — and the EWM accumulates in FP32.
+func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
+	what []fp16.Bits, bucket []float32, ut *obs.UnitTimes) {
 	k := seg.K
 	tr := k.Transform()
-	// Balanced transforms for the small-α kernels; for α ≥ 16 the eq. (7)
-	// scaling matrices (unit-L1 G rows and Dᵀ rows) keep the transformed
-	// binary16 values inside the half-precision dynamic range.
-	bal := tr.Balanced()
-	gMat, dMat, aMat := bal.G, bal.D, bal.A
-	if tr.Alpha >= 16 {
-		sc := tr.Scaled()
-		gMat, dMat, aMat = sc.G, sc.D, sc.A
-	}
+	_, dMat, aMat := halfMats(tr)
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
 
 	s := getTileScratch()
 	defer putTileScratch(s)
 	v := growF32Zero(&s.v, alpha*oc*ic)
-	wRaw := growF32(&s.wRaw, r*oc)
-	wHatF := growF32(&s.wHatF, alpha*oc)
-	wHat := growHalf(&s.wHat, alpha*oc)
+	wDec := growF32(&s.wHatF, alpha*oc) // decoded cached Ŵ panel
 	xRaw := growF32(&s.xRaw, alpha*ic)
-	xHatF := growF32(&s.xHatF, alpha*ic)
-	xHat := growHalf(&s.xHat, alpha*ic)
+	xHat := growF32(&s.xHatF, alpha*ic)
 	colBase := j * n
+	entry := alpha * oc
+	tiles := seg.Cols() / r
 
+	var smp unitSampler
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
 		ih := oh + fh - p.PH
 		if ih < 0 || ih >= p.IH {
 			continue
 		}
-		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
+		rowBase := (oh - seg.Row0) * tiles
+		for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
 			for nb := 0; nb < p.N; nb++ {
-				var t0 time.Time
-				if ut != nil {
-					t0 = time.Now()
-				}
-				for u := 0; u < r; u++ {
-					base := dy.Shape.Index(nb, oh, ow0+u, 0)
-					dst := wRaw[u*oc : (u+1)*oc]
-					for c := 0; c < oc; c++ {
-						dst[c] = fp16.ToFloat32(dy.Data[base+c])
-					}
-				}
-				// Mixed-precision FT: FP32 transform, binary16 storage.
-				matMulF32(gMat, wRaw, wHatF, r, oc)
-				for i, vv := range wHatF {
-					wHat[i] = fp16.FromFloat32(vv)
+				smp.begin(ut)
+				hw := what[((rowBase+t)*p.N+nb)*entry:]
+				hw = hw[:entry]
+				for i, hb := range hw {
+					wDec[i] = fp16.ToFloat32(hb)
 				}
 				for u := 0; u < alpha; u++ {
 					iw := ow0 + colBase + u - p.PW
@@ -317,37 +449,21 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x, dy *tensor.Half, 
 						dst[c] = fp16.ToFloat32(x.Data[base+c])
 					}
 				}
-				matTMulF32(dMat, xRaw, xHatF, alpha, ic)
-				for i, vv := range xHatF {
-					xHat[i] = fp16.FromFloat32(vv)
+				matTMulF32(dMat, xRaw, xHat, alpha, ic)
+				// Round to binary16 storage and decode in place: the
+				// decoded values are exactly the binary16 operands, so the
+				// FP32-accumulated EWM below is the Tensor-Core contract
+				// without a per-product conversion.
+				for i, vv := range xHat {
+					xHat[i] = fp16.ToFloat32(fp16.FromFloat32(vv))
 				}
-				if ut != nil {
-					now := time.Now()
-					ut.Transform += now.Sub(t0)
-					t0 = now
-				}
-				// Tensor-Core EWM: binary16 operands, FP32 accumulate.
-				for e := 0; e < alpha; e++ {
-					we := wHat[e*oc : (e+1)*oc]
-					xe := xHat[e*ic : (e+1)*ic]
-					ve := v[e*oc*ic : (e+1)*oc*ic]
-					for a, wb := range we {
-						wv := fp16.ToFloat32(wb)
-						if wv == 0 {
-							continue
-						}
-						row := ve[a*ic : (a+1)*ic]
-						for b, xb := range xe {
-							row[b] += wv * fp16.ToFloat32(xb)
-						}
-					}
-				}
-				if ut != nil {
-					ut.EWM += time.Since(t0)
-				}
+				smp.mark()
+				ewmPanels(v, wDec, xHat, alpha, oc, ic)
+				smp.end()
 			}
 		}
 	}
+	smp.flush(ut)
 	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 

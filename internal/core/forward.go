@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"winrs/internal/conv"
 	"winrs/internal/tensor"
@@ -85,70 +83,80 @@ func Forward(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
 
 	y := tensor.NewFloat32(p.DYShape())
 	tiles := (ow + n - 1) / n
-	// One task per (batch, output row); the grid is large for FC (the
-	// opposite of BFC), so no segmentation is required.
-	parallelRows(p.N*oh, func(idx int) {
-		nb, oy := idx/oh, idx%oh
+	// One unit per (batch, output row), scheduled in chunks on the shared
+	// persistent pool; the grid is large for FC (the opposite of BFC), so
+	// no segmentation is required. Scratch is per chunk, not per row.
+	execPool().RunFunc(p.N*oh, 0, func(lo, hi int) {
 		xRaw := make([]float32, alpha*ic)
 		xHat := make([]float32, alpha*ic)
 		v := make([]float32, alpha*oc)
-		for j := 0; j < tiles; j++ {
-			for i := range v {
-				v[i] = 0
-			}
-			for fh := 0; fh < p.FH; fh++ {
-				ih := oy + fh - p.PH
-				if ih < 0 || ih >= p.IH {
-					continue // height clipping, as in the BFC kernels
-				}
-				// Gather the α-wide input tile with implicit width padding.
-				for e := 0; e < alpha; e++ {
-					iw := j*n + e - p.PW
-					dst := xRaw[e*ic : (e+1)*ic]
-					if iw < 0 || iw >= p.IW {
-						for i := range dst {
-							dst[i] = 0
-						}
-						continue
-					}
-					base := x.Shape.Index(nb, ih, iw, 0)
-					copy(dst, x.Data[base:base+ic])
-				}
-				matTMulF32(tr.D, xRaw, xHat, alpha, ic)
-				// EWM: v[e][oc] += Σ_ic U[fh][e][oc][ic]·X̂[e][ic].
-				for e := 0; e < alpha; e++ {
-					xe := xHat[e*ic : (e+1)*ic]
-					ue := u[(fh*alpha+e)*oc*ic : (fh*alpha+e+1)*oc*ic]
-					ve := v[e*oc : (e+1)*oc]
-					for a := 0; a < oc; a++ {
-						var s float32
-						row := ue[a*ic : (a+1)*ic]
-						for b, xv := range xe {
-							s += row[b] * xv
-						}
-						ve[a] += s
-					}
-				}
-			}
-			// Output transform: y[jn+i][oc] = Σ_e A[e][i]·v[e][oc], with
-			// ragged final tiles clipped.
-			for i := 0; i < n; i++ {
-				oxw := j*n + i
-				if oxw >= ow {
-					break
-				}
-				base := y.Shape.Index(nb, oy, oxw, 0)
-				for a := 0; a < oc; a++ {
-					var s float32
-					for e := 0; e < alpha; e++ {
-						s += float32(tr.A.At(e, i)) * v[e*oc+a]
-					}
-					y.Data[base+a] = s
-				}
-			}
+		for idx := lo; idx < hi; idx++ {
+			nb, oy := idx/oh, idx%oh
+			runForwardRow(p, tr, y, x, u, xRaw, xHat, v, nb, oy, tiles, n, alpha, oc, ic, ow)
 		}
 	})
 	return y, nil
+}
+
+// runForwardRow computes one (batch, output row) of the forward pass using
+// the caller's scratch.
+func runForwardRow(p conv.Params, tr *winograd.Transform, y, x *tensor.Float32,
+	u, xRaw, xHat, v []float32, nb, oy, tiles, n, alpha, oc, ic, ow int) {
+	for j := 0; j < tiles; j++ {
+		for i := range v {
+			v[i] = 0
+		}
+		for fh := 0; fh < p.FH; fh++ {
+			ih := oy + fh - p.PH
+			if ih < 0 || ih >= p.IH {
+				continue // height clipping, as in the BFC kernels
+			}
+			// Gather the α-wide input tile with implicit width padding.
+			for e := 0; e < alpha; e++ {
+				iw := j*n + e - p.PW
+				dst := xRaw[e*ic : (e+1)*ic]
+				if iw < 0 || iw >= p.IW {
+					for i := range dst {
+						dst[i] = 0
+					}
+					continue
+				}
+				base := x.Shape.Index(nb, ih, iw, 0)
+				copy(dst, x.Data[base:base+ic])
+			}
+			matTMulF32(tr.D, xRaw, xHat, alpha, ic)
+			// EWM: v[e][oc] += Σ_ic U[fh][e][oc][ic]·X̂[e][ic].
+			for e := 0; e < alpha; e++ {
+				xe := xHat[e*ic : (e+1)*ic]
+				ue := u[(fh*alpha+e)*oc*ic : (fh*alpha+e+1)*oc*ic]
+				ve := v[e*oc : (e+1)*oc]
+				for a := 0; a < oc; a++ {
+					var s float32
+					row := ue[a*ic : (a+1)*ic]
+					for b, xv := range xe {
+						s += row[b] * xv
+					}
+					ve[a] += s
+				}
+			}
+		}
+		// Output transform: y[jn+i][oc] = Σ_e A[e][i]·v[e][oc], with
+		// ragged final tiles clipped.
+		for i := 0; i < n; i++ {
+			oxw := j*n + i
+			if oxw >= ow {
+				break
+			}
+			base := y.Shape.Index(nb, oy, oxw, 0)
+			for a := 0; a < oc; a++ {
+				var s float32
+				for e := 0; e < alpha; e++ {
+					s += float32(tr.A.At(e, i)) * v[e*oc+a]
+				}
+				y.Data[base+a] = s
+			}
+		}
+	}
 }
 
 // BackwardData computes ∇X from ∇Y and W via the forward kernel: BDC is a
@@ -189,33 +197,4 @@ func BackwardData(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error)
 		}
 	}
 	return Forward(pb, dy, flipped)
-}
-
-func parallelRows(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 }

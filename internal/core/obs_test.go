@@ -11,9 +11,9 @@ import (
 )
 
 // obsTestLayer is a single-unit, single-segment geometry (F_H=1, F_W=3,
-// one width tile, Z forced to 1), so runSegments takes the serial inline
-// path and the steady-state execution has no goroutine bookkeeping at all —
-// the strictest surface to pin allocation behavior on.
+// one width tile, Z forced to 1), so the sched dispatch degenerates to the
+// inline path and the steady-state execution has no goroutine bookkeeping
+// at all — the strictest surface to pin allocation behavior on.
 func obsTestLayer(t testing.TB) (*Config, *tensor.Float32, *tensor.Float32, *tensor.Half, *tensor.Half) {
 	t.Helper()
 	p := conv.Params{N: 1, IH: 6, IW: 14, FH: 1, FW: 3, IC: 4, OC: 4}
@@ -99,13 +99,18 @@ func TestExecuteRecordsStages(t *testing.T) {
 	if snap[obs.StageReduce].Count != 2*calls {
 		t.Errorf("reduce count = %d, want %d", snap[obs.StageReduce].Count, 2*calls)
 	}
+	if snap[obs.StageWHat].Count != 2*calls { // one Ŵ pre-pass per execution
+		t.Errorf("what_transform count = %d, want %d", snap[obs.StageWHat].Count, 2*calls)
+	}
 	if snap[obs.StageTransform].Count != 2*calls || snap[obs.StageEWM].Count != 2*calls {
 		t.Errorf("transform/ewm counts = %d/%d, want %d",
 			snap[obs.StageTransform].Count, snap[obs.StageEWM].Count, 2*calls)
 	}
-	// Nesting invariant: intra-unit stages cannot exceed the unit total.
-	if nested := snap[obs.StageTransform].Total + snap[obs.StageEWM].Total; nested > units.Total {
-		t.Errorf("transform+ewm %v exceeds segment_tile total %v", nested, units.Total)
+	// Nesting invariant: the intra-unit stages are sampled 1-in-N and
+	// scaled, so the estimate carries noise; allow 25% estimator slack over
+	// the measured unit total.
+	if nested := snap[obs.StageTransform].Total + snap[obs.StageEWM].Total; float64(nested) > 1.25*float64(units.Total) {
+		t.Errorf("transform+ewm %v exceeds segment_tile total %v by more than 25%%", nested, units.Total)
 	}
 	if units.Total <= 0 {
 		t.Error("segment_tile total duration not recorded")

@@ -74,7 +74,7 @@ func ExecuteQuantized(cfg *Config, x, dy *tensor.Float32, q Quantizer) *tensor.F
 		panic("core: ExecuteQuantized requires a Round function")
 	}
 	ws := NewWorkspace(cfg)
-	runSegments(cfg, func(si int, seg Segment, fh, j int) {
+	runUnitsFunc(cfg, func(si int, seg Segment, fh, j int) {
 		segmentTileQuantized(p, seg, fh, j, x, dy, ws.buckets[si], q)
 	})
 	return reduceInto(cfg, ws.buckets, nil)
@@ -147,20 +147,7 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 				}
 				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
 				quantizeSlice(xHat, q)
-				for e := 0; e < alpha; e++ {
-					we := wHat[e*oc : (e+1)*oc]
-					xe := xHat[e*ic : (e+1)*ic]
-					ve := v[e*oc*ic : (e+1)*oc*ic]
-					for a, wv := range we {
-						if wv == 0 {
-							continue
-						}
-						row := ve[a*ic : (a+1)*ic]
-						for b, xv := range xe {
-							row[b] += wv * xv
-						}
-					}
-				}
+				ewmPanels(v, wHat, xHat, alpha, oc, ic)
 			}
 		}
 	}

@@ -10,37 +10,89 @@ import (
 	"winrs/internal/tensor"
 )
 
-// Workspace is the reusable bucket arena of one plan: the Z ∇W-sized FP32
-// buckets of the paper's partitioning phase. Executions through ExecuteIn
-// reuse it across steps, so a steady-state caller (the serving runtime's
-// workspace pool, the training Executor) pays the (Z−1)·|∇W| allocation
-// once instead of per gradient.
+// Workspace is the reusable scratch arena of one plan: the Z ∇W-sized FP32
+// buckets of the paper's partitioning phase plus the Ŵ cache — the
+// gathered, filter-transformed ∇Y panels that every fused unit reads (one
+// α·O_C panel per (segment row, width tile, batch image), filled once per
+// execution and reused across all F_H·(F_W/n) units of a segment).
+// Executions through ExecuteIn reuse it across steps, so a steady-state
+// caller (the serving runtime's workspace pool, the training Executor)
+// pays the allocations once instead of per gradient.
 //
 // A Workspace is NOT safe for concurrent use; the Config it was built for
 // is read-only and may be shared freely.
 type Workspace struct {
 	z, elems int
 	buckets  [][]float32
+
+	// Schedule tables of the bound config: global unit, Ŵ-cache element
+	// and global segment-row prefixes per segment. Rebuilt only when the
+	// workspace is used with a different *Config (rebind).
+	cfg     *Config
+	unitOff []int
+	whatOff []int
+	rowOff  []int
+
+	// Ŵ cache arenas, grown lazily per executed precision (one workspace
+	// may serve both ExecuteIn and ExecuteHalfIn).
+	what32 []float32
+	what16 []fp16.Bits
+
+	// Reusable pool tasks: rewritten per call so the steady-state dispatch
+	// passes a pointer-to-field as sched.Task without boxing allocations.
+	job  execJob
+	fill fillJob
 }
 
-// NewWorkspace allocates the bucket arena for cfg.
+// NewWorkspace allocates the bucket arena for cfg and binds its schedule
+// tables.
 func NewWorkspace(cfg *Config) *Workspace {
 	elems := cfg.Params.DWShape().Elems()
 	ws := &Workspace{z: cfg.Z(), elems: elems, buckets: make([][]float32, cfg.Z())}
 	for i := range ws.buckets {
 		ws.buckets[i] = make([]float32, elems)
 	}
+	ws.rebind(cfg)
 	return ws
 }
 
+// rebind (re)derives the schedule tables for cfg. A no-op when the
+// workspace already serves this exact config — the steady-state path.
+func (ws *Workspace) rebind(cfg *Config) {
+	if ws.cfg == cfg {
+		return
+	}
+	ws.cfg = cfg
+	off, _ := schedule(cfg)
+	ws.unitOff = off
+	nseg := len(cfg.Segments)
+	if cap(ws.whatOff) < nseg+1 {
+		ws.whatOff = make([]int, nseg+1)
+		ws.rowOff = make([]int, nseg+1)
+	}
+	ws.whatOff = ws.whatOff[:nseg+1]
+	ws.rowOff = ws.rowOff[:nseg+1]
+	for i, seg := range cfg.Segments {
+		tiles := seg.Cols() / seg.K.R
+		ws.whatOff[i+1] = ws.whatOff[i] +
+			seg.Rows()*tiles*cfg.Params.N*seg.K.Alpha*cfg.Params.OC
+		ws.rowOff[i+1] = ws.rowOff[i] + seg.Rows()
+	}
+}
+
 // Fits reports whether the workspace matches cfg's bucket geometry (same
-// segment count and gradient size).
+// segment count and gradient size). Schedule tables rebind automatically.
 func (ws *Workspace) Fits(cfg *Config) bool {
 	return ws != nil && ws.z == cfg.Z() && ws.elems == cfg.Params.DWShape().Elems()
 }
 
-// Bytes returns the arena footprint.
-func (ws *Workspace) Bytes() int64 { return int64(ws.z) * int64(ws.elems) * 4 }
+// Bytes returns the arena footprint: buckets plus whatever Ŵ-cache arenas
+// the executed precisions have materialized. The cache stays within the
+// analytic bound documented on Config.WHatCacheBytes.
+func (ws *Workspace) Bytes() int64 {
+	return int64(ws.z)*int64(ws.elems)*4 +
+		int64(cap(ws.what32))*4 + int64(cap(ws.what16))*2
+}
 
 func (ws *Workspace) zero() {
 	for _, b := range ws.buckets {
@@ -51,7 +103,8 @@ func (ws *Workspace) zero() {
 }
 
 // ensureWorkspace returns a zeroed workspace for cfg: the caller's if it
-// fits, a fresh one when ws is nil.
+// fits (rebinding its schedule tables when cfg changed), a fresh one when
+// ws is nil.
 func ensureWorkspace(cfg *Config, ws *Workspace) *Workspace {
 	if ws == nil {
 		return NewWorkspace(cfg) // fresh arenas are already zero
@@ -59,6 +112,7 @@ func ensureWorkspace(cfg *Config, ws *Workspace) *Workspace {
 	if !ws.Fits(cfg) {
 		panic("core: workspace does not fit configuration")
 	}
+	ws.rebind(cfg)
 	ws.zero()
 	return ws
 }
@@ -79,15 +133,30 @@ func reduceInto(cfg *Config, buckets [][]float32, dst *tensor.Float32) *tensor.F
 	return dst
 }
 
+// fillWHat runs the Ŵ-cache pre-pass over all global segment rows on the
+// shared pool, recording it as the what_transform stage when tracing.
+func fillWHat(ws *Workspace, traceOn bool) {
+	total := ws.rowOff[len(ws.rowOff)-1]
+	if !traceOn {
+		execPool().Run(total, 0, &ws.fill)
+		return
+	}
+	t0 := time.Now()
+	execPool().Run(total, 0, &ws.fill)
+	obs.RecordStage(obs.StageWHat, time.Since(t0))
+}
+
 // ExecuteIn runs the configured FP32 plan with caller-provided scratch: ws
-// supplies the buckets (nil allocates fresh) and dst receives the gradient
-// (nil allocates fresh). With both provided, the steady-state execution
-// allocates nothing beyond per-call goroutine bookkeeping — the serving
-// runtime's zero-allocation hot path.
+// supplies the buckets and Ŵ cache (nil allocates fresh) and dst receives
+// the gradient (nil allocates fresh). With both provided, the steady-state
+// execution allocates nothing — the serving runtime's zero-allocation hot
+// path: the pre-pass and the unit grid both schedule onto the persistent
+// sched pool through tasks embedded in the workspace.
 //
-// When obs.TraceEnabled, every fused unit records segment-tile, transform
-// and EWM durations and the reduction records the reduce stage; the
-// disabled path costs one atomic load per call.
+// When obs.TraceEnabled, the pre-pass records the what_transform stage,
+// every fused unit records segment-tile plus sampled transform and EWM
+// durations, and the reduction records the reduce stage; the disabled path
+// costs one atomic load per call.
 func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.Float32 {
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
@@ -95,23 +164,21 @@ func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.F
 	}
 	ws = ensureWorkspace(cfg, ws)
 	traceOn := obs.TraceEnabled()
-	if runsSerial(cfg) {
-		// Distinct closure literal on purpose: runSegmentsInline never leaks
-		// it, so this path stays allocation-free.
-		runSegmentsInline(cfg, func(si int, seg Segment, fh, j int) {
-			tile32Unit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
-		})
-	} else {
-		runSegments(cfg, func(si int, seg Segment, fh, j int) {
-			tile32Unit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
-		})
-	}
+
+	growF32(&ws.what32, ws.whatOff[len(ws.whatOff)-1])
+	ws.fill = fillJob{cfg: cfg, ws: ws, dy32: dy}
+	fillWHat(ws, traceOn)
+
+	ws.job = execJob{cfg: cfg, ws: ws, x32: x, traceOn: traceOn}
+	execPool().Run(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job)
+	ws.job = execJob{}
+	ws.fill = fillJob{}
 	return reduceTraced(cfg, ws.buckets, dst, traceOn)
 }
 
 // ExecuteHalfIn is ExecuteIn for the emulated FP16 Tensor-Core path.
 // Buckets and the reduction stay FP32 (paper §5.2), so the same Workspace
-// type serves both precisions.
+// type serves both precisions; the Ŵ cache is binary16 here.
 func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32) *tensor.Float32 {
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
@@ -119,15 +186,15 @@ func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.F
 	}
 	ws = ensureWorkspace(cfg, ws)
 	traceOn := obs.TraceEnabled()
-	if runsSerial(cfg) {
-		runSegmentsInline(cfg, func(si int, seg Segment, fh, j int) {
-			tileHalfUnit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
-		})
-	} else {
-		runSegments(cfg, func(si int, seg Segment, fh, j int) {
-			tileHalfUnit(p, seg, fh, j, x, dy, ws.buckets[si], traceOn)
-		})
-	}
+
+	growHalf(&ws.what16, ws.whatOff[len(ws.whatOff)-1])
+	ws.fill = fillJob{cfg: cfg, ws: ws, dy16: dy, half: true}
+	fillWHat(ws, traceOn)
+
+	ws.job = execJob{cfg: cfg, ws: ws, x16: x, half: true, traceOn: traceOn}
+	execPool().Run(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job)
+	ws.job = execJob{}
+	ws.fill = fillJob{}
 	return reduceTraced(cfg, ws.buckets, dst, traceOn)
 }
 
@@ -150,7 +217,6 @@ func reduceTraced(cfg *Config, buckets [][]float32, dst *tensor.Float32, traceOn
 // grow to the largest geometry seen and are then reused as-is.
 type tileScratch struct {
 	v, wRaw, wHatF, xRaw, xHatF, acc []float32
-	wHat, xHat                       []fp16.Bits
 }
 
 var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}

@@ -24,13 +24,17 @@ const (
 	// StageEWM covers the α-batched element-wise outer products (the
 	// emulated Tensor-Core MMA).
 	StageEWM
+	// StageWHat is the Ŵ-cache pre-pass of one execution: gathering and
+	// filter-transforming every ∇Y unit once before the fused units run.
+	// Recorded once per execution, like StageReduce.
+	StageWHat
 	// StageReduce is the Kahan bucket reduction of one execution.
 	StageReduce
 	// NumStages bounds the enum.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"segment_tile", "transform", "ewm", "reduce"}
+var stageNames = [NumStages]string{"segment_tile", "transform", "ewm", "what_transform", "reduce"}
 
 func (s Stage) String() string {
 	if int(s) < len(stageNames) {
@@ -122,11 +126,12 @@ func TraceSnapshot() [NumStages]StageStats {
 }
 
 // StageShares returns each stage's fraction of the total traced time,
-// where the denominator is segment-tile + reduce (the two stages that
-// partition one execution; transform and EWM are nested inside the tile).
+// where the denominator is what-transform + segment-tile + reduce (the
+// three stages that partition one execution; transform and EWM are nested
+// inside the tile).
 func StageShares() map[string]float64 {
 	snap := TraceSnapshot()
-	denom := float64(snap[StageSegmentTile].Total + snap[StageReduce].Total)
+	denom := float64(snap[StageWHat].Total + snap[StageSegmentTile].Total + snap[StageReduce].Total)
 	out := make(map[string]float64, NumStages)
 	if denom <= 0 {
 		return out

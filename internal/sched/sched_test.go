@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every unit index must be executed exactly once, whatever the pool
+// width, chunk size and total.
+func TestRunExecutesEachUnitOnce(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		p := NewPool(width)
+		for _, total := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			for _, chunk := range []int{0, 1, 3, 1000} {
+				counts := make([]atomic.Int32, total)
+				p.RunFunc(total, chunk, func(lo, hi int) {
+					if lo < 0 || hi > total || lo >= hi {
+						t.Errorf("width=%d total=%d chunk=%d: bad range [%d,%d)", width, total, chunk, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("width=%d total=%d chunk=%d: unit %d ran %d times", width, total, chunk, i, got)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// Run must return only after every unit has completed (happens-before):
+// writes to a plain slice from worker goroutines must be visible.
+func TestRunHappensBefore(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const total = 500
+	for iter := 0; iter < 50; iter++ {
+		out := make([]int, total)
+		p.RunFunc(total, 7, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("iter %d: unit %d result not visible after Run", iter, i)
+			}
+		}
+	}
+}
+
+// Concurrent submitters must co-schedule on one pool without interference.
+func TestConcurrentRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				const total = 257
+				var sum atomic.Int64
+				p.RunFunc(total, 0, func(lo, hi int) {
+					s := int64(0)
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					sum.Add(s)
+				})
+				if want := int64(total * (total - 1) / 2); sum.Load() != want {
+					t.Errorf("goroutine %d iter %d: sum %d, want %d", g, iter, sum.Load(), want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// A nil pool and a width-1 pool both run inline.
+func TestInlineDegenerateCases(t *testing.T) {
+	for _, p := range []*Pool{nil, NewPool(1), NewPool(0)} {
+		if got := p.Workers(); got != 1 {
+			t.Errorf("Workers() = %d, want 1", got)
+		}
+		ran := 0
+		p.RunFunc(10, 0, func(lo, hi int) { ran += hi - lo })
+		if ran != 10 {
+			t.Errorf("inline pool ran %d units, want 10", ran)
+		}
+	}
+}
+
+// The default pool is process-wide and sized to GOMAXPROCS at first use.
+func TestDefaultPool(t *testing.T) {
+	p := Default()
+	if p != Default() {
+		t.Error("Default() is not a singleton")
+	}
+	if p.Workers() < 1 || p.Workers() > runtime.NumCPU()+64 {
+		t.Errorf("default pool width %d out of range", p.Workers())
+	}
+}
+
+// Steady-state Run through a warmed pool must not allocate: descriptors
+// are pooled and the Task is caller-owned.
+func TestRunAllocsSteadyState(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	task := &countTask{}
+	p.Run(64, 4, task) // warm the descriptor pool
+	allocs := testing.AllocsPerRun(100, func() { p.Run(64, 4, task) })
+	// One batch descriptor may still be minted when the sync.Pool was
+	// drained by GC mid-measurement; more than that is a leak.
+	if allocs > 1 {
+		t.Errorf("steady-state Run allocates %v per run, want ≤ 1", allocs)
+	}
+}
+
+type countTask struct{ n atomic.Int64 }
+
+func (c *countTask) Run(lo, hi int) { c.n.Add(int64(hi - lo)) }

@@ -7,7 +7,11 @@ import (
 
 // Runtime executes convolution passes through the plan cache with pooled
 // workspaces. It is safe for concurrent use: plans are read-only, and each
-// execution borrows a private arena from the entry's pool.
+// execution borrows a private arena from the entry's pool. Compute itself
+// lands on core's process-wide sched pool, so concurrent requests
+// co-schedule onto GOMAXPROCS persistent workers instead of each spawning
+// a goroutine set — under load, tail latency degrades toward one
+// request's serial time rather than oversubscription collapse.
 type Runtime struct {
 	cache *PlanCache
 }

@@ -131,6 +131,12 @@ func (pl *Plan) Segments() int { return pl.cfg.Z() }
 // execution: (Z−1) × sizeof(∇W), the paper's "tiny workspace".
 func (pl *Plan) WorkspaceBytes() int64 { return pl.cfg.WorkspaceBytes() }
 
+// WHatCacheBytes returns the footprint of the transformed-∇Y cache the
+// execution fills once per call and reuses across all units of a segment.
+// Bounded by (max α/r)·sizeof(∇Y) regardless of segment count; see
+// core.Config.WHatCacheBytes for the exact accounting.
+func (pl *Plan) WHatCacheBytes() int64 { return pl.cfg.WHatCacheBytes() }
+
 // KernelPair describes the selected fastest kernel pair in Ω-notation.
 func (pl *Plan) KernelPair() string { return pl.cfg.Pair.String() }
 
