@@ -6,7 +6,7 @@ BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_THRESHOLD ?= 0.15
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke
+.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults
 
 ci: vet build race
 
@@ -42,6 +42,14 @@ bench-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
 	$(GO) run ./cmd/winrs-bench -match-procs $(BENCH_BASELINE) -json /tmp/bench_current.json
 	$(GO) run ./cmd/winrs-bench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) /tmp/bench_current.json
+
+# faults runs the request-lifecycle robustness suite under the race
+# detector: the fault-injection harness (forced panics, slow computes,
+# client disconnects), dispatcher panic/cancel isolation, and the
+# cancellable-execution tests in core and sched.
+faults:
+	$(GO) test -race -run 'TestFault|TestServeBodyLimit|TestDispatcher|TestExecuteInCtx|TestExecutorExecuteCtx|TestRunBatch' \
+		./internal/serve ./internal/core ./internal/sched
 
 # fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME each.
 fuzz-smoke:

@@ -39,6 +39,7 @@ func main() {
 		queue    = flag.Int("queue", 64, "max queued requests before 429 rejection")
 		deadline = flag.Duration("deadline", 30*time.Second, "per-request queue+compute deadline")
 		cache    = flag.Int("cache", 256, "plan cache capacity (plans)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before in-flight computes are cancelled")
 		maxBody  = flag.Int64("maxbody", 1<<30, "max request body bytes")
 		enPprof  = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 		enTrace  = flag.Bool("trace", false, "record per-stage execution timings (exported on /metrics)")
@@ -90,11 +91,23 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		log.Printf("winrs-serve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		log.Printf("winrs-serve: shutting down (grace %s)", *drain)
+		// Two-phase drain: first let in-flight requests finish on their
+		// own within the grace budget; past it, srv.Close cancels their
+		// computes cooperatively (they abort at the next chunk claim and
+		// answer 503), so the drain is bounded by one chunk's work rather
+		// than by the slowest request.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("winrs-serve: shutdown: %v", err)
+			log.Printf("winrs-serve: grace budget expired (%v); cancelling in-flight computes", err)
+			srv.Close()
+			finalCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel2()
+			if err := hs.Shutdown(finalCtx); err != nil {
+				log.Printf("winrs-serve: forced shutdown: %v", err)
+				hs.Close()
+			}
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {

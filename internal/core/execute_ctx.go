@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+
+	"winrs/internal/sched"
+	"winrs/internal/tensor"
+)
+
+// ExecuteInCtx is ExecuteIn with cooperative cancellation: when ctx is
+// cancelled or its deadline expires, the execution stops at the next chunk
+// claim of the shared sched pool — the pre-pass, the unit grid and the
+// reduction all abandon their remaining work — and ctx.Err() is returned.
+// The partial result is discarded (the returned tensor is nil) and the
+// workspace is quiescent on return: no pool participant still touches it,
+// so pooled callers may recycle it immediately (the next execution
+// re-zeroes the buckets).
+//
+// An uncancelled ExecuteInCtx produces a result bit-identical to
+// ExecuteIn. Unlike ExecuteIn, each call arms one context watcher, so the
+// ctx path is not allocation-free; latency-critical loops that never
+// cancel should keep calling ExecuteIn.
+func ExecuteInCtx(ctx context.Context, cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) (*tensor.Float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cancel sched.Batch
+	stop := context.AfterFunc(ctx, cancel.Cancel)
+	defer stop()
+	out, ok := executeIn(cfg, ws, x, dy, dst, &cancel)
+	if !ok {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// ExecuteHalfInCtx is ExecuteInCtx for the emulated FP16 Tensor-Core path.
+func ExecuteHalfInCtx(ctx context.Context, cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32) (*tensor.Float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cancel sched.Batch
+	stop := context.AfterFunc(ctx, cancel.Cancel)
+	defer stop()
+	out, ok := executeHalfIn(cfg, ws, x, dy, dst, &cancel)
+	if !ok {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// ExecuteCtx is Executor.Execute with cooperative cancellation; see
+// ExecuteInCtx for the semantics. The returned tensor is owned by the
+// executor and overwritten by the next call.
+func (e *Executor) ExecuteCtx(ctx context.Context, x, dy *tensor.Float32) (*tensor.Float32, error) {
+	return ExecuteInCtx(ctx, e.cfg, e.ws, x, dy, e.out)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"winrs/internal/conv"
+)
+
+// An uncancelled ExecuteInCtx must be bit-identical to ExecuteIn on every
+// differential-sweep shape, FP32 and FP16.
+func TestExecuteInCtxMatchesExecuteIn(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range poolSweepCases {
+		cfg, err := Configure(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		x, dy := poolLayer(t, 91, tc.p)
+		want := ExecuteIn(cfg, nil, x, dy, nil)
+		got, err := ExecuteInCtx(ctx, cfg, nil, x, dy, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		equalBits(t, tc.name, got.Data, want.Data)
+
+		cfgH, err := Configure(tc.p, WithFP16())
+		if err != nil {
+			continue // geometry has no FP16 kernel pair
+		}
+		xh, dyh := x.ToHalf(), dy.ToHalf()
+		wantH := ExecuteHalfIn(cfgH, nil, xh, dyh, nil)
+		gotH, err := ExecuteHalfInCtx(ctx, cfgH, nil, xh, dyh, nil)
+		if err != nil {
+			t.Fatalf("%s fp16: %v", tc.name, err)
+		}
+		equalBits(t, tc.name+"_fp16", gotH.Data, wantH.Data)
+	}
+}
+
+// A context that is already done must abort before any work, returning its
+// error and a nil result.
+func TestExecuteInCtxPreCancelled(t *testing.T) {
+	p := conv.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1}
+	cfg, err := Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, dy := poolLayer(t, 92, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ExecuteInCtx(ctx, cfg, nil, x, dy, nil)
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("pre-cancelled: out=%v err=%v, want nil + context.Canceled", out, err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	out, err = ExecuteInCtx(dctx, cfg, nil, x, dy, nil)
+	if !errors.Is(err, context.DeadlineExceeded) || out != nil {
+		t.Fatalf("expired deadline: out=%v err=%v, want nil + DeadlineExceeded", out, err)
+	}
+
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	cfgH, err := Configure(p, WithFP16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outH, err := ExecuteHalfInCtx(ctx, cfgH, nil, xh, dyh, nil)
+	if !errors.Is(err, context.Canceled) || outH != nil {
+		t.Fatalf("pre-cancelled fp16: out=%v err=%v", outH, err)
+	}
+}
+
+// Cancelling mid-execution must abandon the run — context.Canceled, nil
+// result — and leave the workspace reusable: a follow-up uncancelled run
+// on the same workspace must produce the exact uncancelled result (the
+// re-zeroing contract that lets the serving runtime recycle arenas after a
+// cancelled request).
+func TestExecuteInCtxCancelMidRunWorkspaceReusable(t *testing.T) {
+	// Geometry sized so a warm run takes ~60ms across 10 grid units: on a
+	// single-CPU host a parked timer goroutine only gets scheduled at an
+	// async-preemption point (~10-25ms in), so the run must comfortably
+	// outlast that latency for the cancel to land mid-grid with units left
+	// to skip.
+	p := conv.Params{N: 8, IH: 64, IW: 64, FH: 5, FW: 5, IC: 16, OC: 16, PH: 2, PW: 2}
+	cfg, err := Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, dy := poolLayer(t, 93, p)
+	want := ExecuteIn(cfg, nil, x, dy, nil)
+	ws := NewWorkspace(cfg)
+	ExecuteIn(cfg, ws, x, dy, nil) // warm the workspace and caches
+
+	const maxAttempts = 10
+	cancelled, attempts := 0, 0
+	for ; attempts < maxAttempts && cancelled < 2; attempts++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Millisecond)
+			cancel()
+		}()
+		out, err := ExecuteInCtx(ctx, cfg, ws, x, dy, nil)
+		cancel()
+		switch {
+		case err == nil:
+			equalBits(t, "raced-but-completed", out.Data, want.Data)
+		case errors.Is(err, context.Canceled):
+			if out != nil {
+				t.Fatal("cancelled run returned a partial result")
+			}
+			cancelled++
+			// The workspace must be quiescent and fully reusable right
+			// away: the next run on it must match the uncancelled result
+			// bit for bit (the re-zeroing contract the serving runtime
+			// relies on to recycle arenas after a cancelled request).
+			got, err := ExecuteInCtx(context.Background(), cfg, ws, x, dy, nil)
+			if err != nil {
+				t.Fatalf("attempt %d: reuse after cancel: %v", attempts, err)
+			}
+			equalBits(t, "reuse-after-cancel", got.Data, want.Data)
+		default:
+			t.Fatalf("attempt %d: unexpected error %v", attempts, err)
+		}
+	}
+	if cancelled == 0 {
+		t.Errorf("no run cancelled mid-grid in %d attempts; compute too fast for the cancel window", attempts)
+	}
+	t.Logf("%d/%d attempts cancelled mid-run", cancelled, attempts)
+}
+
+// Executor.ExecuteCtx routes through the same cancellation machinery.
+func TestExecutorExecuteCtx(t *testing.T) {
+	p := conv.Params{N: 1, IH: 10, IW: 10, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	cfg, err := Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(cfg)
+	x, dy := poolLayer(t, 94, p)
+	want := e.Execute(x, dy)
+	wantCopy := append([]float32(nil), want.Data...)
+
+	got, err := e.ExecuteCtx(context.Background(), x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "executor-ctx", got.Data, wantCopy)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteCtx(ctx, x, dy); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"winrs/internal/fp16"
 	"winrs/internal/kahan"
 	"winrs/internal/obs"
+	"winrs/internal/sched"
 	"winrs/internal/tensor"
 )
 
@@ -135,14 +136,14 @@ func reduceInto(cfg *Config, buckets [][]float32, dst *tensor.Float32) *tensor.F
 
 // fillWHat runs the Ŵ-cache pre-pass over all global segment rows on the
 // shared pool, recording it as the what_transform stage when tracing.
-func fillWHat(ws *Workspace, traceOn bool) {
+func fillWHat(ws *Workspace, traceOn bool, cancel *sched.Batch) {
 	total := ws.rowOff[len(ws.rowOff)-1]
 	if !traceOn {
-		execPool().Run(total, 0, &ws.fill)
+		execPool().RunBatch(total, 0, &ws.fill, cancel)
 		return
 	}
 	t0 := time.Now()
-	execPool().Run(total, 0, &ws.fill)
+	execPool().RunBatch(total, 0, &ws.fill, cancel)
 	obs.RecordStage(obs.StageWHat, time.Since(t0))
 }
 
@@ -158,6 +159,16 @@ func fillWHat(ws *Workspace, traceOn bool) {
 // durations, and the reduction records the reduce stage; the disabled path
 // costs one atomic load per call.
 func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.Float32 {
+	out, _ := executeIn(cfg, ws, x, dy, dst, nil)
+	return out
+}
+
+// executeIn is ExecuteIn with an optional cancel handle (nil = never
+// cancelled, the exact pre-cancellation code path). It reports ok=false
+// when cancellation stopped the run; the workspace is then quiescent — no
+// pool participant still touches it — but its buckets hold partial sums,
+// and no result is produced.
+func executeIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32, cancel *sched.Batch) (out *tensor.Float32, ok bool) {
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
 		panic("core: Execute operand shape mismatch")
@@ -167,19 +178,28 @@ func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.F
 
 	growF32(&ws.what32, ws.whatOff[len(ws.whatOff)-1])
 	ws.fill = fillJob{cfg: cfg, ws: ws, dy32: dy}
-	fillWHat(ws, traceOn)
+	fillWHat(ws, traceOn, cancel)
 
 	ws.job = execJob{cfg: cfg, ws: ws, x32: x, traceOn: traceOn}
-	execPool().Run(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job)
+	execPool().RunBatch(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job, cancel)
 	ws.job = execJob{}
 	ws.fill = fillJob{}
-	return reduceTraced(cfg, ws.buckets, dst, traceOn)
+	if cancel.Cancelled() {
+		return nil, false
+	}
+	return reduceTraced(cfg, ws.buckets, dst, traceOn), true
 }
 
 // ExecuteHalfIn is ExecuteIn for the emulated FP16 Tensor-Core path.
 // Buckets and the reduction stay FP32 (paper §5.2), so the same Workspace
 // type serves both precisions; the Ŵ cache is binary16 here.
 func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32) *tensor.Float32 {
+	out, _ := executeHalfIn(cfg, ws, x, dy, dst, nil)
+	return out
+}
+
+// executeHalfIn is executeIn for the FP16 path.
+func executeHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32, cancel *sched.Batch) (out *tensor.Float32, ok bool) {
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
 		panic("core: ExecuteHalf operand shape mismatch")
@@ -189,13 +209,16 @@ func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.F
 
 	growHalf(&ws.what16, ws.whatOff[len(ws.whatOff)-1])
 	ws.fill = fillJob{cfg: cfg, ws: ws, dy16: dy, half: true}
-	fillWHat(ws, traceOn)
+	fillWHat(ws, traceOn, cancel)
 
 	ws.job = execJob{cfg: cfg, ws: ws, x16: x, half: true, traceOn: traceOn}
-	execPool().Run(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job)
+	execPool().RunBatch(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job, cancel)
 	ws.job = execJob{}
 	ws.fill = fillJob{}
-	return reduceTraced(cfg, ws.buckets, dst, traceOn)
+	if cancel.Cancelled() {
+		return nil, false
+	}
+	return reduceTraced(cfg, ws.buckets, dst, traceOn), true
 }
 
 // reduceTraced runs the Kahan reduction, recording the reduce stage when

@@ -41,6 +41,26 @@ type funcTask func(lo, hi int)
 
 func (f funcTask) Run(lo, hi int) { f(lo, hi) }
 
+// Batch is the cancellation handle of one (or several chained) submitted
+// runs. The zero value is ready to use: pass it to RunBatch, and Cancel it
+// from any goroutine to stop the run at the next chunk claim. Cancellation
+// is cooperative and chunk-granular — chunks already claimed finish, every
+// later claim is skipped (but still accounted, so RunBatch returns through
+// the normal completion protocol and the caller may immediately reuse or
+// recycle the task's state). A cancelled run's partial results are
+// unspecified; callers discard them.
+type Batch struct {
+	cancelled atomic.Bool
+}
+
+// Cancel requests the batch stop at the next chunk claim. Idempotent and
+// safe from any goroutine.
+func (b *Batch) Cancel() { b.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called. A nil handle is never
+// cancelled, so unconditional checks need no guard.
+func (b *Batch) Cancelled() bool { return b != nil && b.cancelled.Load() }
+
 // batch is one submitted run. Participants claim chunks off next until it
 // passes total; whoever completes the final unit signals done. refs
 // counts everyone holding a pointer to the batch (submitter + delivered
@@ -48,6 +68,7 @@ func (f funcTask) Run(lo, hi int) { f(lo, hi) }
 // goroutine can still touch it.
 type batch struct {
 	task      Task
+	cancel    *Batch // optional cancellation handle; nil = not cancellable
 	next      atomic.Int64
 	completed atomic.Int64
 	total     int64
@@ -62,6 +83,9 @@ var batchPool = sync.Pool{
 
 // runChunks claims and executes chunks until the index space is
 // exhausted, reporting whether this participant completed the final unit.
+// Once the batch is cancelled, claims keep draining the index space
+// without running the task — one atomic add per skipped chunk — so the
+// completion count still reaches total and every waiter unblocks.
 func (b *batch) runChunks() (finishedLast bool) {
 	for {
 		hi := b.next.Add(b.chunk)
@@ -72,7 +96,9 @@ func (b *batch) runChunks() (finishedLast bool) {
 		if hi > b.total {
 			hi = b.total
 		}
-		b.task.Run(int(lo), int(hi))
+		if !b.cancel.Cancelled() {
+			b.task.Run(int(lo), int(hi))
+		}
 		if b.completed.Add(hi-lo) == b.total {
 			return true
 		}
@@ -85,6 +111,7 @@ func (b *batch) runChunks() (finishedLast bool) {
 func (b *batch) release() {
 	if b.refs.Add(-1) == 0 {
 		b.task = nil
+		b.cancel = nil
 		batchPool.Put(b)
 	}
 }
@@ -162,7 +189,18 @@ func (p *Pool) worker() {
 // participates and Run returns only when every unit has completed;
 // results therefore have the same happens-before edge as a serial loop.
 func (p *Pool) Run(total, chunk int, task Task) {
-	if total <= 0 {
+	p.RunBatch(total, chunk, task, nil)
+}
+
+// RunBatch is Run with a cancellation handle: while c stays uncancelled
+// the execution is identical to Run (a nil c costs one predictable branch
+// per chunk), and once c.Cancel is called — from any goroutine, typically
+// a context watcher — no further chunk starts. RunBatch still returns only
+// when every claimed chunk has finished and the remaining index space has
+// been drained, so the happens-before edge of Run is preserved: after a
+// cancelled RunBatch returns, no participant touches the task again.
+func (p *Pool) RunBatch(total, chunk int, task Task, c *Batch) {
+	if total <= 0 || c.Cancelled() {
 		return
 	}
 	width := p.Workers()
@@ -182,12 +220,25 @@ func (p *Pool) Run(total, chunk int, task Task) {
 		helpers = maxHelpers
 	}
 	if helpers <= 0 || p == nil || p.ch == nil {
-		task.Run(0, total)
+		if c == nil {
+			task.Run(0, total)
+			return
+		}
+		// Inline, but chunked: a cancel from another goroutine still takes
+		// effect at chunk granularity instead of after the whole range.
+		for lo := 0; lo < total && !c.Cancelled(); lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			task.Run(lo, hi)
+		}
 		return
 	}
 
 	b := batchPool.Get().(*batch)
 	b.task = task
+	b.cancel = c
 	b.total = int64(total)
 	b.chunk = int64(chunk)
 	b.next.Store(0)

@@ -126,3 +126,95 @@ func TestRunAllocsSteadyState(t *testing.T) {
 type countTask struct{ n atomic.Int64 }
 
 func (c *countTask) Run(lo, hi int) { c.n.Add(int64(hi - lo)) }
+
+// A nil cancel handle must leave RunBatch identical to Run, and an
+// uncancelled handle must not change what executes.
+func TestRunBatchUncancelled(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		p := NewPool(width)
+		task := &countTask{}
+		var c Batch
+		p.RunBatch(1000, 7, task, &c)
+		p.RunBatch(1000, 7, task, nil)
+		if got := task.n.Load(); got != 2000 {
+			t.Errorf("width %d: ran %d units, want 2000", width, got)
+		}
+		p.Close()
+	}
+}
+
+// A handle cancelled before submission must prevent any unit from running.
+func TestRunBatchCancelledUpfront(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		p := NewPool(width)
+		task := &countTask{}
+		var c Batch
+		c.Cancel()
+		if !c.Cancelled() {
+			t.Fatal("Cancelled() false after Cancel")
+		}
+		p.RunBatch(1000, 7, task, &c)
+		if got := task.n.Load(); got != 0 {
+			t.Errorf("width %d: cancelled batch ran %d units", width, got)
+		}
+		p.Close()
+	}
+}
+
+// cancelTask cancels its own batch during the trip-th executed chunk, so
+// cancellation deterministically lands mid-run.
+type cancelTask struct {
+	c      *Batch
+	chunks atomic.Int64
+	units  atomic.Int64
+	trip   int64
+}
+
+func (s *cancelTask) Run(lo, hi int) {
+	if s.chunks.Add(1) == s.trip {
+		s.c.Cancel()
+	}
+	s.units.Add(int64(hi - lo))
+}
+
+// Cancelling mid-run must stop the batch within chunk-claim granularity:
+// chunks already claimed finish, everything after is skipped, and RunBatch
+// still returns through the normal completion protocol. With W
+// participants, at most trip+W−1 chunks can be in flight when the cancel
+// lands.
+func TestRunBatchCancelMidRun(t *testing.T) {
+	const total, chunk = 100000, 10
+	for _, width := range []int{1, 4} {
+		p := NewPool(width)
+		task := &cancelTask{c: &Batch{}, trip: 3}
+		p.RunBatch(total, chunk, task, task.c)
+		ran := task.units.Load()
+		limit := int64(chunk) * (task.trip + int64(width) - 1)
+		if ran > limit {
+			t.Errorf("width %d: %d units ran after mid-run cancel, want ≤ %d", width, ran, limit)
+		}
+		if ran < int64(chunk)*task.trip {
+			t.Errorf("width %d: only %d units ran, want ≥ %d (claimed chunks must finish)",
+				width, ran, int64(chunk)*task.trip)
+		}
+		p.Close()
+	}
+}
+
+// After a cancelled RunBatch returns, the happens-before edge must hold:
+// no participant touches the task again, so its state is safe to reuse
+// immediately (what the serving runtime relies on to recycle workspaces).
+func TestRunBatchCancelQuiescent(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for iter := 0; iter < 50; iter++ {
+		task := &cancelTask{c: &Batch{}, trip: 2}
+		p.RunBatch(10000, 5, task, task.c)
+		before := task.units.Load()
+		// Any straggler still inside Run would bump units after return;
+		// the read-read pair under -race is the real assertion.
+		if after := task.units.Load(); after != before {
+			t.Fatalf("iter %d: task still running after cancelled RunBatch returned", iter)
+		}
+	}
+}

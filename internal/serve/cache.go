@@ -181,3 +181,12 @@ func (c *PlanCache) Len() int {
 func (c *PlanCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Hits returns the cumulative hit count. Metric callbacks that export hits
+// and misses as separate series read each counter exactly once through
+// these split accessors instead of calling Stats twice and discarding half
+// of each torn snapshot.
+func (c *PlanCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the cumulative miss count; see Hits.
+func (c *PlanCache) Misses() uint64 { return c.misses.Load() }

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -16,10 +18,31 @@ var ErrOverloaded = errors.New("serve: queue full")
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("serve: dispatcher closed")
 
+// ErrPanic is the sentinel matched (via errors.Is) by the *PanicError
+// that Do returns when the submitted job panicked. The worker that ran
+// the job recovers and survives; one bad request never shrinks the pool
+// or kills the daemon.
+var ErrPanic = errors.New("serve: job panicked")
+
+// PanicError carries a recovered job panic: the panic value and the stack
+// of the panicking goroutine, captured inside the recovering worker.
+// errors.Is(err, ErrPanic) matches it.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("serve: job panicked: %v", e.Val) }
+
+// Is reports ErrPanic as this error's sentinel.
+func (e *PanicError) Is(target error) bool { return target == ErrPanic }
+
 // Dispatcher is a bounded worker pool with admission control: at most
 // `workers` jobs run concurrently and at most `queueDepth` jobs wait.
 // Submissions beyond that fail fast with ErrOverloaded, and a job whose
 // context expires while still queued is abandoned without running.
+// Workers are panic-isolated: a job that panics is recovered into a
+// *PanicError (returned by its Do call) and the worker keeps serving.
 type Dispatcher struct {
 	jobs     chan *dispatchJob
 	mu       sync.RWMutex // guards closed vs. sends on jobs
@@ -32,8 +55,26 @@ type dispatchJob struct {
 	// claimed is set once by whoever decides the job's fate: the worker
 	// that runs it, or the submitter abandoning it on deadline.
 	claimed atomic.Bool
-	run     func()
-	done    chan struct{}
+	ctx     context.Context
+	run     func(context.Context)
+	// panicErr is written by the running worker before done is closed and
+	// read by the submitter after done; the channel provides the edge.
+	panicErr *PanicError
+	done     chan struct{}
+}
+
+// invoke runs the job under a recover barrier, converting a panic into the
+// job's panicErr. The deferred recover also makes the unwinding run every
+// defer below the job function first, so resources the job acquired under
+// defer (pooled workspaces, outputs) are released before the worker moves
+// on.
+func (j *dispatchJob) invoke() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicErr = &PanicError{Val: r, Stack: debug.Stack()}
+		}
+	}()
+	j.run(j.ctx)
 }
 
 // NewDispatcher starts `workers` workers (minimum 1) consuming a queue of
@@ -58,7 +99,7 @@ func (d *Dispatcher) worker() {
 	for j := range d.jobs {
 		if j.claimed.CompareAndSwap(false, true) {
 			d.inflight.Add(1)
-			j.run()
+			j.invoke()
 			d.inflight.Add(-1)
 		}
 		close(j.done)
@@ -68,11 +109,15 @@ func (d *Dispatcher) worker() {
 // Do submits fn and waits for it to finish. It returns ErrOverloaded
 // immediately when the queue is full and ctx.Err() if the deadline expires
 // while the job is still queued (the job then never runs). Once fn has
-// started it always runs to completion, and Do waits for it even past the
-// deadline — callers may therefore touch shared state from fn without
-// synchronizing against an early return.
-func (d *Dispatcher) Do(ctx context.Context, fn func()) error {
-	j := &dispatchJob{run: fn, done: make(chan struct{})}
+// started it receives ctx and always runs to its own return — cooperative
+// cancellation inside fn (e.g. core.ExecuteInCtx) is how a deadline or
+// client disconnect aborts mid-compute — and Do waits for it even past the
+// deadline, so callers may touch shared state from fn without
+// synchronizing against an early return. A panicking fn is recovered on
+// the worker, which survives; Do then returns the *PanicError
+// (errors.Is(err, ErrPanic)).
+func (d *Dispatcher) Do(ctx context.Context, fn func(context.Context)) error {
+	j := &dispatchJob{ctx: ctx, run: fn, done: make(chan struct{})}
 	d.mu.RLock()
 	if d.closed {
 		d.mu.RUnlock()
@@ -87,14 +132,23 @@ func (d *Dispatcher) Do(ctx context.Context, fn func()) error {
 	}
 	select {
 	case <-j.done:
-		return nil
+		return j.err()
 	case <-ctx.Done():
 		if j.claimed.CompareAndSwap(false, true) {
 			return ctx.Err() // still queued: abandoned, never runs
 		}
 		<-j.done // a worker claimed it first: it is running, wait it out
-		return nil
+		return j.err()
 	}
+}
+
+// err converts a finished job's outcome into Do's return value. Only
+// valid after done is closed.
+func (j *dispatchJob) err() error {
+	if j.panicErr != nil {
+		return j.panicErr
+	}
+	return nil
 }
 
 // QueueDepth returns the number of jobs currently waiting for a worker.

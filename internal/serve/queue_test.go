@@ -21,7 +21,7 @@ func TestDispatcherRunsJobs(t *testing.T) {
 			// 32 submitters against 4 workers + queue 8 legitimately overflow;
 			// a client retries on 429 and so does this test.
 			for {
-				err := d.Do(context.Background(), func() { n.Add(1) })
+				err := d.Do(context.Background(), func(context.Context) { n.Add(1) })
 				if err == nil {
 					return
 				}
@@ -48,7 +48,7 @@ func TestDispatcherOverload(t *testing.T) {
 	go func() {
 		// An unbuffered queue admits only when the worker is parked on the
 		// receive; retry until the blocker lands.
-		for errors.Is(d.Do(context.Background(), func() {
+		for errors.Is(d.Do(context.Background(), func(context.Context) {
 			close(started)
 			<-release
 		}), ErrOverloaded) {
@@ -56,7 +56,7 @@ func TestDispatcherOverload(t *testing.T) {
 	}()
 	<-started // the single worker is now busy; queue depth 0 admits nothing
 
-	err := d.Do(context.Background(), func() { t.Error("overload job must not run") })
+	err := d.Do(context.Background(), func(context.Context) { t.Error("overload job must not run") })
 	if !errors.Is(err, ErrOverloaded) {
 		t.Errorf("err = %v, want ErrOverloaded", err)
 	}
@@ -70,7 +70,7 @@ func TestDispatcherDeadlineWhileQueued(t *testing.T) {
 	defer d.Close()
 	started := make(chan struct{})
 	release := make(chan struct{})
-	go d.Do(context.Background(), func() {
+	go d.Do(context.Background(), func(context.Context) {
 		close(started)
 		<-release
 	})
@@ -79,7 +79,7 @@ func TestDispatcherDeadlineWhileQueued(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	ran := false
-	err := d.Do(ctx, func() { ran = true })
+	err := d.Do(ctx, func(context.Context) { ran = true })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want DeadlineExceeded", err)
 	}
@@ -98,7 +98,7 @@ func TestDispatcherRunningJobCompletes(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	done := false
-	err := d.Do(ctx, func() {
+	err := d.Do(ctx, func(context.Context) {
 		time.Sleep(60 * time.Millisecond) // outlives the deadline
 		done = true
 	})
@@ -110,10 +110,95 @@ func TestDispatcherRunningJobCompletes(t *testing.T) {
 	}
 }
 
+// A panicking job must be recovered on the worker: Do returns a
+// *PanicError matching ErrPanic (with the panic value and a stack), the
+// worker survives to run subsequent jobs, and the in-flight gauge returns
+// to zero.
+func TestDispatcherPanicIsolated(t *testing.T) {
+	d := NewDispatcher(1, 4) // one worker: a killed worker would deadlock the follow-up
+	defer d.Close()
+
+	err := d.Do(context.Background(), func(context.Context) { panic("boom") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PanicError", err)
+	}
+	if pe.Val != "boom" {
+		t.Errorf("panic value = %v, want boom", pe.Val)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	if got := d.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after panic, want 0", got)
+	}
+
+	// The sole worker must still be alive and serving.
+	ran := false
+	if err := d.Do(context.Background(), func(context.Context) { ran = true }); err != nil {
+		t.Fatalf("follow-up job after panic: %v", err)
+	}
+	if !ran {
+		t.Error("follow-up job did not run on the surviving worker")
+	}
+}
+
+// A panic's unwinding must still run the job's own defers (resource
+// cleanup) before the worker moves on.
+func TestDispatcherPanicRunsJobDefers(t *testing.T) {
+	d := NewDispatcher(1, 1) // depth ≥ 1: admission must not race worker startup
+	defer d.Close()
+	cleaned := false
+	err := d.Do(context.Background(), func(context.Context) {
+		defer func() { cleaned = true }()
+		panic("boom")
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if !cleaned {
+		t.Error("job defer did not run during panic unwinding")
+	}
+}
+
+// A running job receives the submission context, so cancelling the
+// context is observable inside fn — the hook cooperative mid-compute
+// cancellation hangs off.
+func TestDispatcherCancelWhileRunning(t *testing.T) {
+	d := NewDispatcher(1, 1) // depth ≥ 1: admission must not race worker startup
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sawCancel := make(chan bool, 1)
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := d.Do(ctx, func(jctx context.Context) {
+		close(started)
+		select {
+		case <-jctx.Done():
+			sawCancel <- true
+		case <-time.After(5 * time.Second):
+			sawCancel <- false
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil for a job that started and returned", err)
+	}
+	if !<-sawCancel {
+		t.Error("job never observed the cancelled context")
+	}
+}
+
 func TestDispatcherClose(t *testing.T) {
 	d := NewDispatcher(2, 4)
 	d.Close()
-	if err := d.Do(context.Background(), func() {}); !errors.Is(err, ErrClosed) {
+	if err := d.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
 	d.Close() // idempotent

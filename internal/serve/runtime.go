@@ -1,9 +1,22 @@
 package serve
 
 import (
+	"context"
+	"sync/atomic"
+
 	"winrs/internal/core"
 	"winrs/internal/tensor"
 )
+
+// FaultHook is the runtime's fault-injection point: when set, it runs on
+// the dispatcher worker goroutine at the start of every pooled execution,
+// after the workspace and output have been acquired. Returning a non-nil
+// error aborts the request with it (mapped like any compute error — a
+// context error counts as a cancellation); a panic propagates exactly as a
+// compute panic would. The test harness uses it to force panics, slow
+// computes (block until ctx.Done()) and cancellations without build tags;
+// production never sets it, and the unset check is one atomic load.
+type FaultHook func(ctx context.Context, key PlanKey) error
 
 // Runtime executes convolution passes through the plan cache with pooled
 // workspaces. It is safe for concurrent use: plans are read-only, and each
@@ -14,6 +27,12 @@ import (
 // request's serial time rather than oversubscription collapse.
 type Runtime struct {
 	cache *PlanCache
+	hook  atomic.Pointer[FaultHook]
+	// borrowed counts workspace/output pairs currently checked out of the
+	// entry pools. It returns to zero on every exit path — success,
+	// cancellation, compute error, panic — which is what the fault-
+	// injection harness asserts to prove the pools don't leak.
+	borrowed atomic.Int64
 }
 
 // NewRuntime returns a runtime whose plan cache holds about cacheCapacity
@@ -24,6 +43,30 @@ func NewRuntime(cacheCapacity int) *Runtime {
 
 // Cache exposes the runtime's plan cache (stats, direct Gets).
 func (rt *Runtime) Cache() *PlanCache { return rt.cache }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Safe to call concurrently with executions; in-flight requests may still
+// observe the previous hook.
+func (rt *Runtime) SetFaultHook(h FaultHook) {
+	if h == nil {
+		rt.hook.Store(nil)
+		return
+	}
+	rt.hook.Store(&h)
+}
+
+// injectFault runs the installed hook, if any.
+func (rt *Runtime) injectFault(ctx context.Context, key PlanKey) error {
+	if h := rt.hook.Load(); h != nil {
+		return (*h)(ctx, key)
+	}
+	return nil
+}
+
+// Borrowed returns the number of workspace/output pairs currently checked
+// out of the pools — zero whenever no execution is in flight (leak
+// assertions in tests).
+func (rt *Runtime) Borrowed() int64 { return rt.borrowed.Load() }
 
 // BackwardFilter computes ∇W via the cached plan for key. The result is
 // freshly allocated and owned by the caller; only the bucket workspace is
@@ -45,24 +88,18 @@ func (rt *Runtime) BackwardFilter(key PlanKey, x, dy *tensor.Float32) (*tensor.F
 // allocation-free hot path.
 func (rt *Runtime) BackwardFilterPooled(key PlanKey, x, dy *tensor.Float32,
 	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
-	e, hit, err := rt.cache.Get(key)
-	if err != nil {
-		return err
-	}
-	ws := e.AcquireWorkspace()
-	out := e.acquireOut()
-	defer func() {
-		e.ReleaseWorkspace(ws)
-		e.releaseOut(out)
-	}()
-	core.ExecuteIn(e.Cfg, ws, x, dy, out)
-	return use(out, e, hit)
+	return rt.BackwardFilterPooledCtx(context.Background(), key, x, dy, use)
 }
 
-// BackwardFilterHalfPooled is BackwardFilterPooled for binary16 operands
-// (the Tensor-Core path). key.FP16 must be set so the plan restricts
-// kernel selection accordingly; the pooled result stays FP32.
-func (rt *Runtime) BackwardFilterHalfPooled(key PlanKey, x, dy *tensor.Half,
+// BackwardFilterPooledCtx is BackwardFilterPooled with cooperative
+// cancellation: a ctx deadline or cancel aborts the execution at the next
+// chunk claim (core.ExecuteInCtx) and returns ctx.Err(); the partial
+// result is discarded and the arenas are recycled. On a panic — from the
+// fault hook or compute itself — the borrowed arenas are dropped for the
+// GC instead of recycled (a sched helper could in principle still be
+// writing into a workspace abandoned mid-unwind; a dropped arena can
+// corrupt nothing) and the panic propagates to the dispatcher's recover.
+func (rt *Runtime) BackwardFilterPooledCtx(ctx context.Context, key PlanKey, x, dy *tensor.Float32,
 	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
 	e, hit, err := rt.cache.Get(key)
 	if err != nil {
@@ -70,10 +107,62 @@ func (rt *Runtime) BackwardFilterHalfPooled(key PlanKey, x, dy *tensor.Half,
 	}
 	ws := e.AcquireWorkspace()
 	out := e.acquireOut()
+	rt.borrowed.Add(1)
+	recycle := false
 	defer func() {
-		e.ReleaseWorkspace(ws)
-		e.releaseOut(out)
+		rt.borrowed.Add(-1)
+		if recycle {
+			e.ReleaseWorkspace(ws)
+			e.releaseOut(out)
+		}
 	}()
-	core.ExecuteHalfIn(e.Cfg, ws, x, dy, out)
-	return use(out, e, hit)
+	if err := rt.injectFault(ctx, key); err != nil {
+		recycle = true
+		return err
+	}
+	dw, err := core.ExecuteInCtx(ctx, e.Cfg, ws, x, dy, out)
+	recycle = true // execution finished or was fully drained: arenas are quiescent
+	if err != nil {
+		return err
+	}
+	return use(dw, e, hit)
+}
+
+// BackwardFilterHalfPooled is BackwardFilterPooled for binary16 operands
+// (the Tensor-Core path). key.FP16 must be set so the plan restricts
+// kernel selection accordingly; the pooled result stays FP32.
+func (rt *Runtime) BackwardFilterHalfPooled(key PlanKey, x, dy *tensor.Half,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	return rt.BackwardFilterHalfPooledCtx(context.Background(), key, x, dy, use)
+}
+
+// BackwardFilterHalfPooledCtx is BackwardFilterPooledCtx for binary16
+// operands.
+func (rt *Runtime) BackwardFilterHalfPooledCtx(ctx context.Context, key PlanKey, x, dy *tensor.Half,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	e, hit, err := rt.cache.Get(key)
+	if err != nil {
+		return err
+	}
+	ws := e.AcquireWorkspace()
+	out := e.acquireOut()
+	rt.borrowed.Add(1)
+	recycle := false
+	defer func() {
+		rt.borrowed.Add(-1)
+		if recycle {
+			e.ReleaseWorkspace(ws)
+			e.releaseOut(out)
+		}
+	}()
+	if err := rt.injectFault(ctx, key); err != nil {
+		recycle = true
+		return err
+	}
+	dw, err := core.ExecuteHalfInCtx(ctx, e.Cfg, ws, x, dy, out)
+	recycle = true
+	if err != nil {
+		return err
+	}
+	return use(dw, e, hit)
 }

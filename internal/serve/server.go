@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
@@ -61,6 +62,12 @@ type Server struct {
 	reg   *obs.Registry
 	stats *Stats
 	start time.Time
+
+	// closing is cancelled by Close before the dispatcher drains; every
+	// in-flight request's context is derived from it, so shutdown is
+	// bounded by cooperative cancellation instead of the slowest compute.
+	closing     context.Context
+	cancelClose context.CancelFunc
 }
 
 // NewServer builds a server; call Close to drain its workers.
@@ -73,13 +80,14 @@ func NewServer(cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 		start: time.Now(),
 	}
+	s.closing, s.cancelClose = context.WithCancel(context.Background())
 	s.stats = newStats(s.reg)
 	s.reg.GaugeFunc("winrs_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	s.reg.CounterFunc("winrs_plan_cache_hits_total", "Plan-cache hits.",
-		func() uint64 { h, _ := s.rt.cache.Stats(); return h })
+		s.rt.cache.Hits)
 	s.reg.CounterFunc("winrs_plan_cache_misses_total", "Plan-cache misses.",
-		func() uint64 { _, m := s.rt.cache.Stats(); return m })
+		s.rt.cache.Misses)
 	s.reg.GaugeFunc("winrs_plan_cache_entries", "Plans currently cached.",
 		func() float64 { return float64(s.rt.cache.Len()) })
 	s.reg.GaugeFunc("winrs_queue_depth", "Admitted requests waiting for a worker.",
@@ -95,9 +103,14 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Runtime exposes the server's runtime (tests, embedding).
 func (s *Server) Runtime() *Runtime { return s.rt }
 
-// Close drains the worker pool. In-flight requests finish; new ones get
-// 503.
-func (s *Server) Close() { s.disp.Close() }
+// Close drains the worker pool. In-flight computes are cancelled
+// cooperatively (they abort at the next chunk claim and their requests
+// answer 503), so the drain is bounded by one chunk's work rather than by
+// the slowest request; new submissions get 503.
+func (s *Server) Close() {
+	s.cancelClose()
+	s.disp.Close()
+}
 
 // Handler returns the HTTP mux:
 //
@@ -126,10 +139,20 @@ func (s *Server) clientError(w http.ResponseWriter, status int, format string, a
 	http.Error(w, fmt.Sprintf(format, args...), status)
 }
 
+// serveOp drives one request through the full lifecycle: decode +
+// validate (admission), dispatcher queue, compute, response. Every
+// outcome maps to exactly one status and one stats counter, and nothing
+// is written after the response has been committed.
 func (s *Server) serveOp(op Op, w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	hdr, payload, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.clientError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		s.clientError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -166,39 +189,116 @@ func (s *Server) serveOp(op Op, w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
 	defer cancel()
+	// Server shutdown cancels every in-flight request, bounding the drain.
+	stopClose := context.AfterFunc(s.closing, cancel)
+	defer stopClose()
 
 	// The job runs on a dispatcher worker; Do blocks until it finishes (or
 	// it is abandoned while still queued, in which case it never runs), so
-	// writing the response from the job is race-free.
+	// writing the response from the job is race-free. ctx reaches the
+	// compute through the dispatcher, aborting it at the next chunk claim
+	// on deadline expiry, client disconnect or server shutdown.
+	rw := &commitTracker{ResponseWriter: w}
 	var jobErr error
-	err = s.disp.Do(ctx, func() {
-		jobErr = s.compute(op, key, hdr.DType, aBytes, bBytes, w)
+	err = s.disp.Do(ctx, func(jctx context.Context) {
+		jobErr = s.compute(jctx, op, key, hdr.DType, aBytes, bBytes, rw)
 	})
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		s.stats.Rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, ErrPanic):
+		// The worker recovered and survives; this request answers 500.
+		var pe *PanicError
+		errors.As(err, &pe)
+		s.stats.Panics.Add(1)
+		log.Printf("serve: panic in %s compute: %v\n%s", op, pe.Val, pe.Stack)
+		if !rw.committed {
+			http.Error(w, "internal error during compute", http.StatusInternalServerError)
+		}
+	case errors.Is(err, context.Canceled):
+		s.cancelledWhile(op, "queued", r, w)
+	case errors.Is(err, context.DeadlineExceeded):
 		s.stats.Deadline.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "deadline expired while queued", http.StatusServiceUnavailable)
 	case err != nil: // ErrClosed
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 	case jobErr != nil:
-		// Plan construction / compute rejected the geometry. The response
-		// was not started (compute writes only on success).
-		s.stats.ComputeErr.Add(1)
-		http.Error(w, jobErr.Error(), http.StatusUnprocessableEntity)
+		s.jobError(op, jobErr, rw, r, w)
 	default:
 		s.stats.Observe(op, time.Since(t0))
 	}
 }
 
+// cancelledWhile handles a context.Canceled outcome, which has two
+// sources: the client disconnected (its request context is done — nobody
+// is listening, so log + count and write nothing) or the server is
+// shutting down (answer 503 so a still-connected client retries
+// elsewhere).
+func (s *Server) cancelledWhile(op Op, phase string, r *http.Request, w http.ResponseWriter) {
+	if r.Context().Err() != nil {
+		s.stats.Cancelled.Add(1)
+		log.Printf("serve: %s request abandoned while %s: client disconnected", op, phase)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+}
+
+// jobError maps a non-nil compute return to status + counter. The
+// committed flag decides whether an error status can still be sent: once
+// the response body has started, a failure can only be logged and counted
+// (an http.Error there would be a superfluous WriteHeader on a broken
+// connection).
+func (s *Server) jobError(op Op, jobErr error, rw *commitTracker, r *http.Request, w http.ResponseWriter) {
+	switch {
+	case rw.committed:
+		// The only way to fail after commit is the response write itself
+		// (compute writes nothing until it has a result).
+		s.stats.WriteErr.Add(1)
+		log.Printf("serve: %s response write failed mid-body: %v", op, jobErr)
+	case errors.Is(jobErr, context.Canceled):
+		// The execution was cancelled cooperatively mid-compute.
+		s.cancelledWhile(op, "computing", r, w)
+	case errors.Is(jobErr, context.DeadlineExceeded):
+		s.stats.Deadline.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "deadline expired during compute", http.StatusServiceUnavailable)
+	default:
+		// Plan construction / compute rejected the geometry.
+		s.stats.ComputeErr.Add(1)
+		http.Error(w, jobErr.Error(), http.StatusUnprocessableEntity)
+	}
+}
+
+// commitTracker records whether the response has been committed (status
+// line sent or body started). It is written by the dispatcher worker and
+// read by the handler after Do returns; Do's completion edge orders the
+// two, so no further synchronization is needed.
+type commitTracker struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (c *commitTracker) WriteHeader(code int) {
+	c.committed = true
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *commitTracker) Write(p []byte) (int, error) {
+	c.committed = true
+	return c.ResponseWriter.Write(p)
+}
+
 // compute decodes the operands, executes the pass and, on success, writes
-// the response. It never writes on error so serveOp can still set an error
-// status.
-func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w http.ResponseWriter) error {
+// the response. It never writes before it has a result, so serveOp can
+// still set an error status on every pre-write failure. The backward-
+// filter paths poll ctx between chunk claims and abort with ctx.Err();
+// forward and backward-data check it at the boundaries only (their
+// computes are not yet cancellation-aware).
+func (s *Server) compute(ctx context.Context, op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w http.ResponseWriter) error {
 	p := key.Params
 	switch op {
 	case OpBackwardFilter:
@@ -210,7 +310,7 @@ func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w 
 			if err := DecodeF16(bBytes, dy.Data); err != nil {
 				return err
 			}
-			return s.rt.BackwardFilterHalfPooled(key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+			return s.rt.BackwardFilterHalfPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
 				return writeResult(w, dw, e.Cfg, hit)
 			})
 		}
@@ -221,7 +321,7 @@ func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w 
 		if err := DecodeF32(bBytes, dy.Data); err != nil {
 			return err
 		}
-		return s.rt.BackwardFilterPooled(key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+		return s.rt.BackwardFilterPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
 			return writeResult(w, dw, e.Cfg, hit)
 		})
 	case OpForward:
@@ -230,6 +330,9 @@ func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w 
 			return err
 		}
 		if err := DecodeF32(bBytes, wt.Data); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		y, err := core.Forward(p, x, wt)
@@ -243,6 +346,9 @@ func (s *Server) compute(op Op, key PlanKey, dt DType, aBytes, bBytes []byte, w 
 			return err
 		}
 		if err := DecodeF32(bBytes, wt.Data); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		dx, err := core.BackwardData(p, dy, wt)

@@ -27,7 +27,7 @@ func TestServerOverloadRejects429(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	go func() {
-		for errors.Is(s.disp.Do(context.Background(), func() {
+		for errors.Is(s.disp.Do(context.Background(), func(context.Context) {
 			close(started)
 			<-release
 		}), ErrOverloaded) {

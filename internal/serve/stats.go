@@ -17,7 +17,10 @@ type Stats struct {
 	ClientErr  *obs.Counter         // malformed requests (4xx)
 	ComputeErr *obs.Counter         // plan/compute failures (422)
 	Rejected   *obs.Counter         // admission-control rejections (429)
-	Deadline   *obs.Counter         // expired while queued (503)
+	Deadline   *obs.Counter         // deadline expired, queued or mid-compute (503)
+	Cancelled  *obs.Counter         // client gone (disconnect): nothing written
+	Panics     *obs.Counter         // recovered compute panics (500)
+	WriteErr   *obs.Counter         // response-write failures after commit
 
 	hist *obs.Histogram
 }
@@ -28,7 +31,10 @@ func newStats(reg *obs.Registry) *Stats {
 		ClientErr:  reg.Counter("winrs_client_errors_total", "Malformed requests (4xx)."),
 		ComputeErr: reg.Counter("winrs_compute_errors_total", "Plan or compute failures (422)."),
 		Rejected:   reg.Counter("winrs_rejected_total", "Admission-control rejections (429)."),
-		Deadline:   reg.Counter("winrs_deadline_total", "Requests expired while queued (503)."),
+		Deadline:   reg.Counter("winrs_deadline_total", "Requests whose deadline expired, queued or mid-compute (503)."),
+		Cancelled:  reg.Counter("winrs_cancelled_total", "Requests abandoned because the client disconnected."),
+		Panics:     reg.Counter("winrs_panics_total", "Compute panics recovered by the dispatcher (500)."),
+		WriteErr:   reg.Counter("winrs_write_errors_total", "Response writes that failed after the response was committed."),
 		hist: reg.Histogram("winrs_request_latency_seconds",
 			"Completed request latency (queue + compute).",
 			[]float64{0.5, 0.9, 0.99}),
