@@ -51,9 +51,13 @@ faults:
 	$(GO) test -race -run 'TestFault|TestServeBodyLimit|TestDispatcher|TestExecuteInCtx|TestExecutorExecuteCtx|TestRunBatch' \
 		./internal/serve ./internal/core ./internal/sched
 
-# fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME each.
+# fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME
+# each, plus the exhaustive codec equivalence sweeps (all 65536 decode
+# patterns, every encode rounding boundary) that anchor the fuzz targets.
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzConfigurePartition$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzExecuteMatchesDirect$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzConversion$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzOrdering$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzEncodeMatchesScalar$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fp16 -count 1 -run '^TestDecodeSliceExhaustive$$|^TestEncodeSliceBoundarySweep$$'

@@ -37,6 +37,52 @@ func Round(f float32) float32 {
 	return ToFloat32(FromFloat32(f))
 }
 
+// DecodeSlice converts bfloat16 src into float32 dst element-wise — the
+// same slice-codec interface as fp16.DecodeSlice, so callers treat the
+// storage formats uniformly. len(dst) must equal len(src).
+func DecodeSlice(dst []float32, src []Bits) {
+	if len(dst) != len(src) {
+		panic("bf16: DecodeSlice length mismatch")
+	}
+	for i, h := range src {
+		dst[i] = math.Float32frombits(uint32(h) << 16)
+	}
+}
+
+// EncodeSlice converts float32 src into bfloat16 dst element-wise with
+// round-to-nearest-even, bit-identical to the scalar FromFloat32.
+// len(dst) must equal len(src). bfloat16 needs no tables: the encode is
+// an add-and-shift on the float32 bits.
+func EncodeSlice(dst []Bits, src []float32) {
+	if len(dst) != len(src) {
+		panic("bf16: EncodeSlice length mismatch")
+	}
+	for i, v := range src {
+		b := math.Float32bits(v)
+		if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+			dst[i] = Bits(b>>16 | 0x0040)
+			continue
+		}
+		round := uint32(0x7FFF + (b>>16)&1)
+		dst[i] = Bits((b + round) >> 16)
+	}
+}
+
+// RoundSlice rounds every element of vs to its nearest bfloat16 value in
+// place, bit-identical to Round per element — the bulk quantizer the
+// generic low-precision execution path calls on whole panels.
+func RoundSlice(vs []float32) {
+	for i, v := range vs {
+		b := math.Float32bits(v)
+		if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+			vs[i] = math.Float32frombits((b>>16 | 0x0040) << 16)
+			continue
+		}
+		round := uint32(0x7FFF + (b>>16)&1)
+		vs[i] = math.Float32frombits((b + round) >> 16 << 16)
+	}
+}
+
 // IsNaN reports whether h is a NaN pattern.
 func IsNaN(h Bits) bool {
 	return h&0x7F80 == 0x7F80 && h&0x007F != 0

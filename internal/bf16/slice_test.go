@@ -1,0 +1,135 @@
+package bf16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sameF32(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+// Structured boundary patterns: RNE ties on the dropped 16 bits against
+// even and odd kept mantissas, subnormals, specials and NaN payloads.
+var boundaryBits = []uint32{
+	0x00000000, 0x80000000, // ±0
+	0x3F800000, 0xBF800000, // ±1
+	0x3F808000, 0x3F818000, // ties: kept mantissa even / odd
+	0x3F807FFF, 0x3F808001, // just below / above a tie
+	0x00008000, 0x00018000, // float32 subnormal ties
+	0x00000001, 0x807FFFFF, // smallest subnormals
+	0x7F7FFFFF, 0xFF7FFFFF, // ±MaxFloat32 (rounds to ±Inf in bf16)
+	0x7F7F8000, 0x7F7F7FFF, // overflow tie and just below
+	0x7F800000, 0xFF800000, // ±Inf
+	0x7F800001, 0x7FC00000, 0xFFC12345, // NaN payloads
+}
+
+// The slice kernels must match the scalar oracle bit-for-bit on the
+// boundary set and on a large random sample of the full bit domain.
+func TestSliceKernelsMatchScalar(t *testing.T) {
+	bits := append([]uint32(nil), boundaryBits...)
+	rng := rand.New(rand.NewSource(20260805))
+	for i := 0; i < 1<<20; i++ {
+		bits = append(bits, rng.Uint32())
+	}
+
+	src := make([]float32, len(bits))
+	for i, b := range bits {
+		src[i] = math.Float32frombits(b)
+	}
+	enc := make([]Bits, len(src))
+	EncodeSlice(enc, src)
+	for i, v := range src {
+		if want := FromFloat32(v); enc[i] != want {
+			t.Fatalf("EncodeSlice(%#08x) = %#04x, oracle FromFloat32 = %#04x",
+				bits[i], enc[i], want)
+		}
+	}
+
+	dec := make([]float32, len(enc))
+	DecodeSlice(dec, enc)
+	for i, h := range enc {
+		if want := ToFloat32(h); !sameF32(dec[i], want) {
+			t.Fatalf("DecodeSlice(%#04x) = %x, oracle ToFloat32 = %x",
+				h, math.Float32bits(dec[i]), math.Float32bits(want))
+		}
+	}
+
+	rs := append([]float32(nil), src...)
+	RoundSlice(rs)
+	for i, v := range src {
+		if want := Round(v); !sameF32(rs[i], want) {
+			t.Fatalf("RoundSlice(%#08x) = %x, scalar Round = %x",
+				bits[i], math.Float32bits(rs[i]), math.Float32bits(want))
+		}
+	}
+}
+
+// Exhaustive decode: every bfloat16 pattern expands exactly and
+// re-encodes to itself (except NaNs, which must stay NaN).
+func TestDecodeEncodeExhaustive(t *testing.T) {
+	src := make([]Bits, 1<<16)
+	for i := range src {
+		src[i] = Bits(i)
+	}
+	dec := make([]float32, len(src))
+	DecodeSlice(dec, src)
+	back := make([]Bits, len(src))
+	EncodeSlice(back, dec)
+	for i, h := range src {
+		if !sameF32(dec[i], ToFloat32(h)) {
+			t.Fatalf("DecodeSlice(%#04x) != ToFloat32", h)
+		}
+		if IsNaN(h) {
+			if !IsNaN(back[i]) {
+				t.Fatalf("NaN pattern %#04x re-encoded to non-NaN %#04x", h, back[i])
+			}
+			continue
+		}
+		if back[i] != h {
+			t.Fatalf("round trip of %#04x gave %#04x", h, back[i])
+		}
+	}
+}
+
+func TestSliceKernelLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: length mismatch did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("DecodeSlice", func() { DecodeSlice(make([]float32, 2), make([]Bits, 3)) })
+	mustPanic("EncodeSlice", func() { EncodeSlice(make([]Bits, 3), make([]float32, 2)) })
+}
+
+func BenchmarkRoundSliceBulk(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vs := make([]float32, 4096)
+	for i := range vs {
+		vs[i] = rng.Float32()*4 - 2
+	}
+	b.SetBytes(int64(len(vs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoundSlice(vs)
+	}
+}
+
+func BenchmarkRoundScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vs := make([]float32, 4096)
+	for i := range vs {
+		vs[i] = rng.Float32()*4 - 2
+	}
+	b.SetBytes(int64(len(vs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range vs {
+			vs[j] = Round(v)
+		}
+	}
+}

@@ -206,6 +206,10 @@ func halfMats(tr *winograd.Transform) (g, d, a *winograd.Mat) {
 
 // fillRowHalf is fillRow32 for the FP16 path: mixed-precision filter
 // transform (FP32 arithmetic, binary16 storage) into the half-width cache.
+// The gathered ∇Y rows bulk-decode through the binary16 LUT into the
+// workspace scratch and the transformed panel bulk-encodes into the cache
+// — both kernels are bit-identical to the scalar codec, so the cache
+// contents are unchanged.
 func fillRowHalf(p conv.Params, seg Segment, oh int, dy *tensor.Half,
 	s *tileScratch, what []fp16.Bits) {
 	tr := seg.K.Transform()
@@ -221,16 +225,11 @@ func fillRowHalf(p conv.Params, seg Segment, oh int, dy *tensor.Half,
 		for nb := 0; nb < p.N; nb++ {
 			for u := 0; u < r; u++ {
 				base := dy.Shape.Index(nb, oh, ow0+u, 0)
-				dst := wRaw[u*oc : (u+1)*oc]
-				for c := 0; c < oc; c++ {
-					dst[c] = fp16.ToFloat32(dy.Data[base+c])
-				}
+				fp16.DecodeSlice(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
 			}
 			matMulF32(gMat, wRaw, wHatF, r, oc)
 			dst := what[((rowBase+t)*p.N+nb)*entry:]
-			for i, vv := range wHatF {
-				dst[i] = fp16.FromFloat32(vv)
-			}
+			fp16.EncodeSlice(dst[:entry], wHatF)
 		}
 	}
 }
@@ -432,9 +431,7 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
 				smp.begin(ut)
 				hw := what[((rowBase+t)*p.N+nb)*entry:]
 				hw = hw[:entry]
-				for i, hb := range hw {
-					wDec[i] = fp16.ToFloat32(hb)
-				}
+				fp16.DecodeSlice(wDec, hw)
 				for u := 0; u < alpha; u++ {
 					iw := ow0 + colBase + u - p.PW
 					dst := xRaw[u*ic : (u+1)*ic]
@@ -445,18 +442,14 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
 						continue
 					}
 					base := x.Shape.Index(nb, ih, iw, 0)
-					for c := 0; c < ic; c++ {
-						dst[c] = fp16.ToFloat32(x.Data[base+c])
-					}
+					fp16.DecodeSlice(dst, x.Data[base:base+ic])
 				}
 				matTMulF32(dMat, xRaw, xHat, alpha, ic)
 				// Round to binary16 storage and decode in place: the
 				// decoded values are exactly the binary16 operands, so the
 				// FP32-accumulated EWM below is the Tensor-Core contract
 				// without a per-product conversion.
-				for i, vv := range xHat {
-					xHat[i] = fp16.ToFloat32(fp16.FromFloat32(vv))
-				}
+				fp16.RoundSlice(xHat)
 				smp.mark()
 				ewmPanels(v, wDec, xHat, alpha, oc, ic)
 				smp.end()

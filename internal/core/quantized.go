@@ -22,6 +22,11 @@ type Quantizer struct {
 	Name string
 	// Round quantizes one value (must be idempotent).
 	Round func(float32) float32
+	// RoundSlice, when set, quantizes a whole slice in place and must be
+	// bit-identical to Round per element. The execution path uses it to
+	// round gathered panels in bulk (the formats' table-driven kernels);
+	// when nil the path falls back to per-element Round.
+	RoundSlice func([]float32)
 	// UseScaling selects the eq. (7) scaling matrices for α ≥ 16
 	// transforms; formats with a narrow dynamic range (FP16, FP8) need
 	// them, wide-exponent formats (BF16) do not.
@@ -29,13 +34,13 @@ type Quantizer struct {
 }
 
 // QuantBF16 is the bfloat16 storage format: float32 range, 8-bit mantissa.
-var QuantBF16 = Quantizer{Name: "BF16", Round: bf16.Round}
+var QuantBF16 = Quantizer{Name: "BF16", Round: bf16.Round, RoundSlice: bf16.RoundSlice}
 
 // QuantFP8E4M3 is the OCP FP8 E4M3 format (max 448), scaled transforms on.
-var QuantFP8E4M3 = Quantizer{Name: "FP8-E4M3", Round: fp8.E4M3.Round, UseScaling: true}
+var QuantFP8E4M3 = Quantizer{Name: "FP8-E4M3", Round: fp8.E4M3.Round, RoundSlice: fp8.E4M3.RoundSlice, UseScaling: true}
 
 // QuantFP8E5M2 is the OCP FP8 E5M2 format (max 57344), scaled transforms on.
-var QuantFP8E5M2 = Quantizer{Name: "FP8-E5M2", Round: fp8.E5M2.Round, UseScaling: true}
+var QuantFP8E5M2 = Quantizer{Name: "FP8-E5M2", Round: fp8.E5M2.Round, RoundSlice: fp8.E5M2.RoundSlice, UseScaling: true}
 
 // QuantInt8 returns a symmetric INT8 quantizer with the given absolute
 // maximum: values snap to the 255-level grid absmax·{-127..127}/127,
@@ -122,13 +127,16 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 		}
 		for ow0 := seg.Col0; ow0 < seg.Col1; ow0 += r {
 			for nb := 0; nb < p.N; nb++ {
+				// Gather the rows as raw float32, then quantize the whole
+				// panel in one bulk call — bit-identical to per-element
+				// rounding during the gather (Round is element-wise and
+				// Round(0) = 0 for every format, so the zero-filled clipped
+				// rows are unaffected).
 				for u := 0; u < r; u++ {
 					base := dy.Shape.Index(nb, oh, ow0+u, 0)
-					dst := wRaw[u*oc : (u+1)*oc]
-					for c := 0; c < oc; c++ {
-						dst[c] = q.Round(dy.Data[base+c])
-					}
+					copy(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
 				}
+				quantizeSlice(wRaw, q)
 				gPlan.MulPanel(wRaw, wHat, r, oc)
 				quantizeSlice(wHat, q)
 				for u := 0; u < alpha; u++ {
@@ -141,10 +149,9 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 						continue
 					}
 					base := x.Shape.Index(nb, ih, iw, 0)
-					for c := 0; c < ic; c++ {
-						dst[c] = q.Round(x.Data[base+c])
-					}
+					copy(dst, x.Data[base:base+ic])
 				}
+				quantizeSlice(xRaw, q)
 				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
 				quantizeSlice(xHat, q)
 				ewmPanels(v, wHat, xHat, alpha, oc, ic)
@@ -154,7 +161,14 @@ func segmentTileQuantized(p conv.Params, seg Segment, fh, j int,
 	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
 }
 
+// quantizeSlice rounds vs in place, preferring the format's bulk kernel.
+// INT8 (and any caller-supplied Quantizer without a bulk kernel) takes
+// the per-element fallback.
 func quantizeSlice(vs []float32, q Quantizer) {
+	if q.RoundSlice != nil {
+		q.RoundSlice(vs)
+		return
+	}
 	for i, v := range vs {
 		vs[i] = q.Round(v)
 	}

@@ -174,3 +174,30 @@ func TestQuantizedFP8LargeAlpha(t *testing.T) {
 		t.Errorf("FP8 Omega16 MARE %v", m)
 	}
 }
+
+// The bulk RoundSlice kernels must leave the quantized execution
+// bit-identical to the per-element fallback (RoundSlice stripped from the
+// same quantizer) for every format that ships one.
+func TestQuantizedBulkMatchesScalarFallback(t *testing.T) {
+	p := quantLayer()
+	x, dy, _ := quantOperands(t, p, 7)
+	cfg, err := Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Quantizer{QuantBF16, QuantFP8E4M3, QuantFP8E5M2} {
+		if q.RoundSlice == nil {
+			t.Fatalf("%s: expected a bulk kernel", q.Name)
+		}
+		scalar := q
+		scalar.RoundSlice = nil
+		want := ExecuteQuantized(cfg, x, dy, scalar)
+		got := ExecuteQuantized(cfg, x, dy, q)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%s: bulk path diverged from scalar fallback at %d: %v vs %v",
+					q.Name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

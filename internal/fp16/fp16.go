@@ -200,19 +200,17 @@ func DotF16Acc(a, b []Bits) Bits {
 }
 
 // SliceFromFloat32 converts src into a freshly allocated binary16 slice.
+// Hot paths should prefer the dst-reusing EncodeSlice.
 func SliceFromFloat32(src []float32) []Bits {
 	dst := make([]Bits, len(src))
-	for i, v := range src {
-		dst[i] = FromFloat32(v)
-	}
+	EncodeSlice(dst, src)
 	return dst
 }
 
 // SliceToFloat32 converts src into a freshly allocated float32 slice.
+// Hot paths should prefer the dst-reusing DecodeSlice.
 func SliceToFloat32(src []Bits) []float32 {
 	dst := make([]float32, len(src))
-	for i, v := range src {
-		dst[i] = ToFloat32(v)
-	}
+	DecodeSlice(dst, src)
 	return dst
 }

@@ -47,6 +47,50 @@ func FuzzConversion(f *testing.F) {
 	})
 }
 
+// FuzzEncodeMatchesScalar pins the table-driven bulk codec to the scalar
+// oracle on arbitrary float32 bit patterns: EncodeSlice must produce the
+// exact FromFloat32 pattern, and decoding the result back through the LUT
+// must match ToFloat32 bit-for-bit. Seeds cover RNE tie cases (midpoints
+// at 2049/2051 and the subnormal tie 2^-25), the 65504→65520 overflow
+// boundary, subnormal boundaries (2^-14, 2^-24), and NaN payloads.
+func FuzzEncodeMatchesScalar(f *testing.F) {
+	for _, seed := range []uint32{
+		0x00000000, 0x80000000, // ±0
+		0x45000800, 0x45002800, // 2049, 2051: RNE ties at ULP 2
+		0x33000000, 0xB3000000, // ±2^-25: tie at half the smallest subnormal
+		0x477FE000, 0x477FF000, // 65504 (max finite), 65520 (overflow tie)
+		0x38800000, 0x33800000, // 2^-14 (min normal), 2^-24 (min subnormal)
+		0x387FC000, 0x337FFFFF, // just below min normal / subnormal boundary
+		0x7F800001, 0xFFC12345, // NaN payloads
+		0x7F7FFFFF, 0x00000001, // float32 extremes
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		var enc [1]Bits
+		EncodeSlice(enc[:], []float32{v})
+		want := FromFloat32(v)
+		if enc[0] != want {
+			t.Fatalf("EncodeSlice(%#08x) = %#04x, oracle FromFloat32 = %#04x",
+				bits, enc[0], want)
+		}
+		var dec [1]float32
+		DecodeSlice(dec[:], enc[:])
+		if math.Float32bits(dec[0]) != math.Float32bits(ToFloat32(want)) {
+			t.Fatalf("DecodeSlice(%#04x) = %#08x, oracle ToFloat32 = %#08x",
+				want, math.Float32bits(dec[0]), math.Float32bits(ToFloat32(want)))
+		}
+		var round [1]float32
+		round[0] = v
+		RoundSlice(round[:])
+		if math.Float32bits(round[0]) != math.Float32bits(ToFloat32(want)) {
+			t.Fatalf("RoundSlice(%#08x) = %#08x, scalar round trip = %#08x",
+				bits, math.Float32bits(round[0]), math.Float32bits(ToFloat32(want)))
+		}
+	})
+}
+
 // FuzzOrdering: conversion must be monotone — a larger finite float32
 // never converts to a smaller half.
 func FuzzOrdering(f *testing.F) {

@@ -6,7 +6,10 @@
 // execution path.
 package fp8
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Format selects an 8-bit layout.
 type Format int
@@ -89,6 +92,119 @@ func (f Format) Round(v float32) float32 {
 // roundEven rounds to the nearest integer with ties to even.
 func roundEven(x float64) float64 {
 	return math.RoundToEven(x)
+}
+
+// fp8Tables is the table-driven bulk rounder of one format, mirroring the
+// fp16 codec scheme at 8-bit width: the float32 exponent byte selects a
+// base pattern, mantissa shift and implicit-bit OR (256-entry class
+// tables), an RNE fixup rounds the dropped bits, a saturation clamp
+// implements the OCP conversion convention (E4M3 clamps to ±448 instead
+// of producing the NaN pattern, E5M2 overflows to ±Inf), and a 128-entry
+// value LUT decodes the resulting pattern back to the float32 value
+// domain. Built lazily once per format; the scalar Round stays as the
+// rounding oracle.
+type fp8Tables struct {
+	base  [256]uint8
+	shift [256]uint8
+	or    [256]uint32
+	val   [128]float32
+	// satPat is the largest pattern the encoder may produce: the max
+	// finite pattern for E4M3, the Inf pattern for E5M2.
+	satPat uint32
+}
+
+var fp8TableCache [2]struct {
+	once sync.Once
+	t    *fp8Tables
+}
+
+func (f Format) tables() *fp8Tables {
+	slot := &fp8TableCache[0]
+	if f == E5M2 {
+		slot = &fp8TableCache[1]
+	}
+	slot.once.Do(func() {
+		s := f.spec()
+		minNorm := 1 - s.bias
+		maxExp := (1<<s.expBits - 1) - s.bias // E4M3: top exponent is finite
+		if s.hasInf {
+			maxExp = (1<<s.expBits - 2) - s.bias
+		}
+		t := &fp8Tables{}
+		if s.hasInf {
+			t.satPat = uint32((1<<s.expBits - 1) << s.manBits) // Inf
+		} else {
+			t.satPat = uint32((1<<s.expBits)<<s.manBits - 2) // max finite
+		}
+		for c := 0; c < 256; c++ {
+			e := c - 127
+			switch {
+			case c == 0 || e < minNorm-s.manBits-1:
+				// Zeros, float32 subnormals and values below half the
+				// smallest fp8 subnormal: signed zero, no rounding
+				// (shift 24 keeps the remainder under the half-point).
+				t.shift[c] = 24
+			case e < minNorm:
+				t.or[c] = 0x800000
+				t.shift[c] = uint8(23 - s.manBits + minNorm - e)
+			case e <= maxExp:
+				t.base[c] = uint8((e + s.bias) << s.manBits)
+				t.shift[c] = uint8(23 - s.manBits)
+			default:
+				// Overflow (including float32 Inf, whose NaNs are
+				// intercepted before the tables): saturation pattern.
+				t.base[c] = uint8(t.satPat)
+				t.shift[c] = 24
+			}
+		}
+		manGrid := float64(int64(1) << s.manBits)
+		for p := 0; p < 128; p++ {
+			exp := p >> s.manBits
+			man := p & (1<<s.manBits - 1)
+			switch {
+			case exp == 0:
+				t.val[p] = float32(float64(man) * math.Ldexp(1, minNorm-s.manBits))
+			case s.hasInf && exp == 1<<s.expBits-1:
+				if man == 0 {
+					t.val[p] = float32(math.Inf(1))
+				} else {
+					t.val[p] = float32(math.NaN())
+				}
+			case !s.hasInf && p == (1<<s.expBits)<<s.manBits-1:
+				t.val[p] = float32(math.NaN())
+			default:
+				t.val[p] = float32((1 + float64(man)/manGrid) * math.Ldexp(1, exp-s.bias))
+			}
+		}
+		slot.t = t
+	})
+	return slot.t
+}
+
+// RoundSlice rounds every element of vs to the format's nearest
+// representable value in place, bit-identical to Round per element — the
+// slice-codec interface shared with fp16 and bf16, used by the quantized
+// execution path to round whole gathered panels at once.
+func (f Format) RoundSlice(vs []float32) {
+	t := f.tables()
+	for i, v := range vs {
+		b := math.Float32bits(v)
+		if b&0x7F800000 == 0x7F800000 && b&0x7FFFFF != 0 {
+			continue // NaN passes through unchanged, like Round
+		}
+		c := b >> 23 & 0xFF
+		m := b&0x7FFFFF | t.or[c]
+		sh := uint32(t.shift[c])
+		h := uint32(t.base[c]) + m>>sh
+		rem := m & (1<<sh - 1)
+		if rem+(h&1) > 1<<(sh-1) {
+			h++
+		}
+		if h > t.satPat {
+			h = t.satPat
+		}
+		vs[i] = math.Float32frombits(b&0x80000000 | math.Float32bits(t.val[h]))
+	}
 }
 
 // Epsilon returns the relative spacing at 1.0.

@@ -1,0 +1,148 @@
+package fp8
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sameF32(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+// boundaryInputs builds the structured sweep for one format: every value
+// on a mantissa grid four times finer than the format's across the full
+// exponent range (so every representable value, every rounding midpoint
+// and every quarter-point appears exactly), the float32 neighbours of
+// each, the subnormal/overflow edges, and specials.
+func boundaryInputs(f Format) []float32 {
+	var vs []float32
+	add := func(v float32) {
+		vs = append(vs, v, -v,
+			math.Nextafter32(v, float32(math.Inf(1))),
+			math.Nextafter32(v, float32(math.Inf(-1))),
+			-math.Nextafter32(v, float32(math.Inf(1))),
+			-math.Nextafter32(v, float32(math.Inf(-1))))
+	}
+	// Grid of 1/32 mantissa steps covers ties for both formats (E4M3
+	// midpoints sit on 1/16 steps, E5M2 on 1/8).
+	for e := -30; e <= 20; e++ {
+		scale := math.Ldexp(1, e)
+		for k := 32; k < 64; k++ {
+			add(float32(float64(k) / 32 * scale))
+		}
+	}
+	add(0)
+	add(f.MaxValue())
+	add(float32(math.Inf(1)))
+	vs = append(vs, float32(math.NaN()),
+		math.Float32frombits(0x7F800001), math.Float32frombits(0xFFC12345),
+		math.Float32frombits(0x00000001), math.Float32frombits(0x807FFFFF))
+	return vs
+}
+
+// RoundSlice must match the scalar Round oracle bit-for-bit (sign of
+// zero, NaN payload passthrough, saturation vs overflow) on the
+// structured boundary sweep and on random float32 bit patterns.
+func TestRoundSliceMatchesScalar(t *testing.T) {
+	for _, f := range []Format{E4M3, E5M2} {
+		vals := boundaryInputs(f)
+		rng := rand.New(rand.NewSource(20260805))
+		for i := 0; i < 1<<20; i++ {
+			vals = append(vals, math.Float32frombits(rng.Uint32()))
+		}
+		got := append([]float32(nil), vals...)
+		f.RoundSlice(got)
+		for i, v := range vals {
+			want := f.Round(v)
+			if !sameF32(got[i], want) {
+				t.Fatalf("%v.RoundSlice(%x = %v) = %x (%v), scalar Round = %x (%v)",
+					f, math.Float32bits(v), v,
+					math.Float32bits(got[i]), got[i],
+					math.Float32bits(want), want)
+			}
+		}
+	}
+}
+
+// The table path must preserve the scalar's special-value conventions.
+func TestRoundSliceSpecials(t *testing.T) {
+	in := []float32{
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)), 0,
+		1e6, -1e6,
+	}
+	e4 := append([]float32(nil), in...)
+	E4M3.RoundSlice(e4)
+	if e4[0] != 448 || e4[1] != -448 || e4[4] != 448 || e4[5] != -448 {
+		t.Errorf("E4M3 saturation broken: %v", e4)
+	}
+	e5 := append([]float32(nil), in...)
+	E5M2.RoundSlice(e5)
+	if !math.IsInf(float64(e5[0]), 1) || !math.IsInf(float64(e5[1]), -1) ||
+		!math.IsInf(float64(e5[4]), 1) || !math.IsInf(float64(e5[5]), -1) {
+		t.Errorf("E5M2 overflow broken: %v", e5)
+	}
+	for _, out := range [][]float32{e4, e5} {
+		if !sameF32(out[2], float32(math.Copysign(0, -1))) || !sameF32(out[3], 0) {
+			t.Errorf("zero signs not preserved: %v", out[2:4])
+		}
+	}
+	nan := []float32{math.Float32frombits(0xFFC12345)}
+	E4M3.RoundSlice(nan)
+	if math.Float32bits(nan[0]) != 0xFFC12345 {
+		t.Errorf("NaN payload not passed through: %#08x", math.Float32bits(nan[0]))
+	}
+}
+
+// Every fp8-representable value must survive RoundSlice unchanged
+// (idempotence on the format's grid), walked directly off the decode LUT.
+func TestRoundSliceIdempotentOnGrid(t *testing.T) {
+	for _, f := range []Format{E4M3, E5M2} {
+		tab := f.tables()
+		for p, v := range tab.val {
+			if v != v || math.IsInf(float64(v), 0) {
+				continue
+			}
+			for _, s := range []float32{v, -v} {
+				got := []float32{s}
+				f.RoundSlice(got)
+				if want := f.Round(s); !sameF32(got[0], want) {
+					t.Fatalf("%v pattern %#02x (%v): RoundSlice = %v, Round = %v",
+						f, p, s, got[0], want)
+				}
+				if math.Abs(float64(got[0])) != math.Abs(float64(v)) && s != 0 {
+					t.Fatalf("%v grid value %v not a fixed point: got %v", f, s, got[0])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkRoundSliceTable(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	vs := make([]float32, 4096)
+	for i := range vs {
+		vs[i] = rng.Float32()*8 - 4
+	}
+	b.SetBytes(int64(len(vs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E4M3.RoundSlice(vs)
+	}
+}
+
+func BenchmarkRoundScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	vs := make([]float32, 4096)
+	for i := range vs {
+		vs[i] = rng.Float32()*8 - 4
+	}
+	b.SetBytes(int64(len(vs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range vs {
+			vs[j] = E4M3.Round(v)
+		}
+	}
+}

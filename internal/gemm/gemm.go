@@ -326,8 +326,6 @@ func Algo1Half(p conv.Params, x, dy *tensor.Half) *tensor.Float32 {
 			}
 		}
 	})
-	for i, v := range acc {
-		dw.Data[i] = fp16.ToFloat32(v)
-	}
+	fp16.DecodeSlice(dw.Data, acc)
 	return dw
 }

@@ -8,9 +8,11 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"winrs/internal/core"
+	"winrs/internal/fp16"
 	"winrs/internal/obs"
 	"winrs/internal/tensor"
 )
@@ -292,6 +294,40 @@ func (c *commitTracker) Write(p []byte) (int, error) {
 	return c.ResponseWriter.Write(p)
 }
 
+// Operand ingest pools: request-decode buffers reused across requests so
+// a steady stream of backward-filter calls stops allocating two operand
+// tensors per request. The buffers go back to the pool on every normal
+// return — the execution paths are synchronous and leave the operands
+// quiescent even on cancellation (arenas drained before return) — and are
+// deliberately dropped on panic, the workspace-pool convention.
+var (
+	halfOperandPool = sync.Pool{New: func() any { return new([]fp16.Bits) }}
+	f32OperandPool  = sync.Pool{New: func() any { return new([]float32) }}
+)
+
+// getHalfOperand shapes a pooled binary16 buffer into a tensor. Contents
+// are stale until the decode fills every element.
+func getHalfOperand(shape tensor.Shape) (*tensor.Half, *[]fp16.Bits) {
+	bp := halfOperandPool.Get().(*[]fp16.Bits)
+	if n := shape.Elems(); cap(*bp) < n {
+		*bp = make([]fp16.Bits, n)
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return &tensor.Half{Shape: shape, Data: *bp}, bp
+}
+
+// getF32Operand is getHalfOperand for float32 operands.
+func getF32Operand(shape tensor.Shape) (*tensor.Float32, *[]float32) {
+	bp := f32OperandPool.Get().(*[]float32)
+	if n := shape.Elems(); cap(*bp) < n {
+		*bp = make([]float32, n)
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return &tensor.Float32{Shape: shape, Data: *bp}, bp
+}
+
 // compute decodes the operands, executes the pass and, on success, writes
 // the response. It never writes before it has a result, so serveOp can
 // still set an error status on every pre-write failure. The backward-
@@ -303,27 +339,35 @@ func (s *Server) compute(ctx context.Context, op Op, key PlanKey, dt DType, aByt
 	switch op {
 	case OpBackwardFilter:
 		if dt == F16 {
-			x, dy := tensor.NewHalf(p.XShape()), tensor.NewHalf(p.DYShape())
-			if err := DecodeF16(aBytes, x.Data); err != nil {
-				return err
+			x, xb := getHalfOperand(p.XShape())
+			dy, dyb := getHalfOperand(p.DYShape())
+			err := DecodeF16(aBytes, x.Data)
+			if err == nil {
+				err = DecodeF16(bBytes, dy.Data)
 			}
-			if err := DecodeF16(bBytes, dy.Data); err != nil {
-				return err
+			if err == nil {
+				err = s.rt.BackwardFilterHalfPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+					return writeResult(w, dw, e.Cfg, hit)
+				})
 			}
-			return s.rt.BackwardFilterHalfPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
+			halfOperandPool.Put(xb)
+			halfOperandPool.Put(dyb)
+			return err
+		}
+		x, xb := getF32Operand(p.XShape())
+		dy, dyb := getF32Operand(p.DYShape())
+		err := DecodeF32(aBytes, x.Data)
+		if err == nil {
+			err = DecodeF32(bBytes, dy.Data)
+		}
+		if err == nil {
+			err = s.rt.BackwardFilterPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
 				return writeResult(w, dw, e.Cfg, hit)
 			})
 		}
-		x, dy := tensor.NewFloat32(p.XShape()), tensor.NewFloat32(p.DYShape())
-		if err := DecodeF32(aBytes, x.Data); err != nil {
-			return err
-		}
-		if err := DecodeF32(bBytes, dy.Data); err != nil {
-			return err
-		}
-		return s.rt.BackwardFilterPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
-			return writeResult(w, dw, e.Cfg, hit)
-		})
+		f32OperandPool.Put(xb)
+		f32OperandPool.Put(dyb)
+		return err
 	case OpForward:
 		x, wt := tensor.NewFloat32(p.XShape()), tensor.NewFloat32(p.DWShape())
 		if err := DecodeF32(aBytes, x.Data); err != nil {

@@ -105,10 +105,18 @@ func (t *Float32) ToFloat64() *Float64 {
 // ToHalf rounds into a fresh binary16 tensor (round-to-nearest-even).
 func (t *Float32) ToHalf() *Half {
 	h := NewHalf(t.Shape)
-	for i, v := range t.Data {
-		h.Data[i] = fp16.FromFloat32(v)
-	}
+	fp16.EncodeSlice(h.Data, t.Data)
 	return h
+}
+
+// ToHalfInto rounds into dst, which must have the same shape — the
+// allocation-free variant for steady-state loops (training steps, the
+// serving ingest path).
+func (t *Float32) ToHalfInto(dst *Half) {
+	if dst.Shape != t.Shape {
+		panic(fmt.Sprintf("tensor: ToHalfInto shape mismatch: %v vs %v", dst.Shape, t.Shape))
+	}
+	fp16.EncodeSlice(dst.Data, t.Data)
 }
 
 // Float64 is a dense NHWC float64 tensor used as accuracy ground truth.
@@ -171,10 +179,17 @@ func (t *Half) Set(n, h, w, c int, v float32) {
 // ToFloat32 widens into a fresh float32 tensor.
 func (t *Half) ToFloat32() *Float32 {
 	f := NewFloat32(t.Shape)
-	for i, v := range t.Data {
-		f.Data[i] = fp16.ToFloat32(v)
-	}
+	fp16.DecodeSlice(f.Data, t.Data)
 	return f
+}
+
+// ToFloat32Into widens into dst, which must have the same shape — the
+// allocation-free variant of ToFloat32.
+func (t *Half) ToFloat32Into(dst *Float32) {
+	if dst.Shape != t.Shape {
+		panic(fmt.Sprintf("tensor: ToFloat32Into shape mismatch: %v vs %v", dst.Shape, t.Shape))
+	}
+	fp16.DecodeSlice(dst.Data, t.Data)
 }
 
 // MARE computes the Mean Absolute Relative Error of approx against the

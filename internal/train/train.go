@@ -65,11 +65,32 @@ func WinRSBFC(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error) {
 // the given loss scale: ∇Y is scaled up before the binary16 conversion
 // (keeping small gradients above the FP16 underflow threshold) and the
 // result is scaled back down — the paper's Loss Scaling setup for Fig 13.
+//
+// The returned closure keeps per-layer-shape operand buffers and converts
+// into them with the bulk binary16 kernels, so steady-state training steps
+// stop paying a Clone plus two tensor allocations per layer. Like a *Net,
+// the closure is for a single training loop — not concurrent use.
 func WinRSHalfBFC(lossScale float32) BFC {
+	type halfOperands struct {
+		x16, dy16 *tensor.Half
+		scaled    *tensor.Float32
+	}
+	bufs := make(map[conv.Params]*halfOperands)
 	return func(p conv.Params, x, dy *tensor.Float32) (*tensor.Float32, error) {
-		scaled := dy.Clone()
-		scaled.Scale(lossScale)
-		dw, err := core.BackwardFilterHalf(p, x.ToHalf(), scaled.ToHalf())
+		b := bufs[p]
+		if b == nil {
+			b = &halfOperands{
+				x16:    tensor.NewHalf(p.XShape()),
+				dy16:   tensor.NewHalf(p.DYShape()),
+				scaled: tensor.NewFloat32(p.DYShape()),
+			}
+			bufs[p] = b
+		}
+		copy(b.scaled.Data, dy.Data)
+		b.scaled.Scale(lossScale)
+		x.ToHalfInto(b.x16)
+		b.scaled.ToHalfInto(b.dy16)
+		dw, err := core.BackwardFilterHalf(p, b.x16, b.dy16)
 		if err != nil {
 			return nil, err
 		}

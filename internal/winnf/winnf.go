@@ -202,26 +202,41 @@ func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half) *tensor.Float32 {
 	th, tw := tilesOf(p)
 	nt := p.N * th * tw
 
+	// Bulk-decode both binary16 operands once through the LUT instead of a
+	// scalar conversion per tile access — the decoded float32 values are
+	// exactly what At returned, so every transform input is unchanged.
+	dyf := dy.ToFloat32()
+	xf := x.ToFloat32()
+
 	ft := make([]fp16.Bits, a2*nt*p.OC)
 	parallelFor(nt, func(ti int) {
 		n := ti / (th * tw)
 		rem := ti % (th * tw)
 		ty, tx := rem/tw, rem%tw
 		tile := make([]float64, TileR*TileR)
+		ttF := make([]float32, a2)
+		ttH := make([]fp16.Bits, a2)
 		for oc := 0; oc < p.OC; oc++ {
 			for i := 0; i < TileR; i++ {
 				for j := 0; j < TileR; j++ {
 					oy, ox := ty*TileR+i, tx*TileR+j
 					if oy < p.OH() && ox < p.OW() {
-						tile[i*TileR+j] = float64(dy.At(n, oy, ox, oc))
+						tile[i*TileR+j] = float64(dyf.At(n, oy, ox, oc))
 					} else {
 						tile[i*TileR+j] = 0
 					}
 				}
 			}
 			tt := transform2D(tr.G, tile, TileR, TileR)
+			// Contiguous bulk encode, then scatter the bits into the
+			// [a2][nt][OC] planes (FromFloat64 narrows to float32 first, so
+			// the table encoder sees the same inputs).
 			for k := 0; k < a2; k++ {
-				ft[(k*nt+ti)*p.OC+oc] = fp16.FromFloat64(tt[k])
+				ttF[k] = float32(tt[k])
+			}
+			fp16.EncodeSlice(ttH, ttF)
+			for k := 0; k < a2; k++ {
+				ft[(k*nt+ti)*p.OC+oc] = ttH[k]
 			}
 		}
 	})
@@ -232,13 +247,15 @@ func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half) *tensor.Float32 {
 		rem := ti % (th * tw)
 		ty, tx := rem/tw, rem%tw
 		tile := make([]float64, a2)
+		ttF := make([]float32, a2)
+		ttH := make([]fp16.Bits, a2)
 		for ic := 0; ic < p.IC; ic++ {
 			for i := 0; i < alpha; i++ {
 				ih := ty*TileR + i - p.PH
 				for j := 0; j < alpha; j++ {
 					iw := tx*TileR + j - p.PW
 					if ih >= 0 && ih < p.IH && iw >= 0 && iw < p.IW {
-						tile[i*alpha+j] = float64(x.At(n, ih, iw, ic))
+						tile[i*alpha+j] = float64(xf.At(n, ih, iw, ic))
 					} else {
 						tile[i*alpha+j] = 0
 					}
@@ -246,7 +263,11 @@ func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half) *tensor.Float32 {
 			}
 			tt := transform2DT(tr.D, tile, alpha, alpha)
 			for k := 0; k < a2; k++ {
-				it[(k*nt+ti)*p.IC+ic] = fp16.FromFloat64(tt[k])
+				ttF[k] = float32(tt[k])
+			}
+			fp16.EncodeSlice(ttH, ttF)
+			for k := 0; k < a2; k++ {
+				it[(k*nt+ti)*p.IC+ic] = ttH[k]
 			}
 		}
 	})
@@ -272,12 +293,17 @@ func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half) *tensor.Float32 {
 		}
 	})
 
+	// Bulk-decode the EWM output once; the OT gathers float32 values from
+	// the decoded planes (ToFloat64 widens through the same float32).
+	ewmF := make([]float32, len(ewm))
+	fp16.DecodeSlice(ewmF, ewm)
+
 	dw := tensor.NewFloat32(p.DWShape())
 	parallelFor(p.OC*p.IC, func(idx int) {
 		oc, ic := idx/p.IC, idx%p.IC
 		acc := make([]float64, a2)
 		for k := 0; k < a2; k++ {
-			acc[k] = fp16.ToFloat64(ewm[k*p.OC*p.IC+oc*p.IC+ic])
+			acc[k] = float64(ewmF[k*p.OC*p.IC+oc*p.IC+ic])
 		}
 		y := transform2DT(tr.A, acc, alpha, alpha)
 		for fh := 0; fh < f; fh++ {

@@ -177,17 +177,20 @@ func (t *Transform) Conv1DHalf(x, w []fp16.Bits, s *ScaledTransform) []float32 {
 	if s != nil {
 		gMat, dMat, aMat = s.G, s.D, s.A
 	}
-	// FP32 transforms on widened inputs, rounded once to binary16.
+	// FP32 transforms on widened inputs, rounded once to binary16 via the
+	// fused bulk rounder (bit-identical to an encode/decode pair).
 	xf := fp16.SliceToFloat32(x)
 	wf := fp16.SliceToFloat32(w)
-	gw16 := fp16.SliceFromFloat32(gMat.MulVec32(wf))
-	dx16 := fp16.SliceFromFloat32(dMat.TMulVec32(xf))
+	gw := gMat.MulVec32(wf)
+	dx := dMat.TMulVec32(xf)
+	fp16.RoundSlice(gw)
+	fp16.RoundSlice(dx)
 	// EWM with FP32 accumulation surrogate: products of binary16 values
 	// kept in float32 (no binary16 rounding of the products — Tensor
 	// Cores form exact FP16×FP16 products into FP32 accumulators).
 	acc := make([]float32, t.Alpha)
 	for i := range acc {
-		acc[i] = fp16.ToFloat32(gw16[i]) * fp16.ToFloat32(dx16[i])
+		acc[i] = gw[i] * dx[i]
 	}
 	// FP32 output transform on the accumulators.
 	return aMat.TMulVec32(acc)
