@@ -6,7 +6,7 @@ BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_THRESHOLD ?= 0.15
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults
+.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults dispatch-smoke
 
 ci: vet build race
 
@@ -42,6 +42,14 @@ bench-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
 	$(GO) run ./cmd/winrs-bench -match-procs $(BENCH_BASELINE) -json /tmp/bench_current.json
 	$(GO) run ./cmd/winrs-bench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) /tmp/bench_current.json
+
+# dispatch-smoke drives every registered backend through the serving path
+# once (explicit algo headers plus "auto"), asserting each served gradient
+# agrees with the FP64 direct-conv oracle and the per-backend dispatch
+# metrics move, then runs the backend-level dispatch unit tests.
+dispatch-smoke:
+	$(GO) test -count 1 -run '^TestDispatchSmoke$$|^TestServeAuto|^TestServeForceAndDefaultAlgo$$' ./internal/serve
+	$(GO) test -count 1 -run '^TestDispatch|^TestRanking' ./internal/backend
 
 # faults runs the request-lifecycle robustness suite under the race
 # detector: the fault-injection harness (forced panics, slow computes,

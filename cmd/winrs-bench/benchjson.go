@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"winrs/internal/backend"
 	"winrs/internal/conv"
 	"winrs/internal/core"
 	"winrs/internal/gemm"
@@ -32,6 +34,27 @@ type benchReport struct {
 	CalibrationNs float64 `json:"calibration_ns_per_op"`
 
 	Results []benchResult `json:"results"`
+
+	// Dispatch records the cost-model dispatch decision per grid shape
+	// (additive schema-1 field: absent from older baselines, in which case
+	// compare mode simply skips the flip check).
+	Dispatch []benchDispatch `json:"dispatch,omitempty"`
+}
+
+// benchDispatch is one shape's dispatch audit: what the dispatcher chose
+// versus what a full measurement of every eligible backend says, plus the
+// prediction ranking that produced the choice. WithinBest is the
+// chosen/best measured ns/op ratio — the acceptance criterion is ≤ 1.10.
+type benchDispatch struct {
+	Shape         string              `json:"shape"`
+	Chosen        string              `json:"chosen"`
+	Measured      bool                `json:"measured"` // refinement ran
+	BestBackend   string              `json:"best_backend"`
+	BestNsPerOp   float64             `json:"best_ns_per_op"`
+	ChosenNsPerOp float64             `json:"chosen_ns_per_op"`
+	WithinBest    float64             `json:"within_best"`
+	BackendNs     map[string]float64  `json:"backend_ns_per_op"`
+	Candidates    []backend.Candidate `json:"candidates"`
 }
 
 // benchResult measures one (shape, algorithm) cell.
@@ -186,6 +209,31 @@ func runBenchJSON(path string) error {
 			NsPerOp:     measureNs(func() { gemm.Algo0(p, x, dy) }),
 			AllocsPerOp: testing.AllocsPerRun(5, func() { gemm.Algo0(p, x, dy) }),
 		})
+
+		// The remaining registry backends (FFT, non-fused Winograd) through
+		// the unified interface — NEW relative to pre-dispatch baselines, so
+		// compare reports them without gating — plus this shape's dispatch
+		// audit.
+		times := measureBackends(p, x, dy)
+		for _, name := range []string{"fft", "winnf"} {
+			ns, ok := times[name]
+			if !ok {
+				continue // winnf skips non-square grid shapes
+			}
+			b, _ := backend.Default().Get(name)
+			rep.Results = append(rep.Results, benchResult{
+				Name: name + "/" + tag, Algo: name, Shape: tag,
+				NsPerOp:        ns,
+				WorkspaceBytes: b.WorkspaceBytes(p, backend.FP32),
+			})
+		}
+		rec, err := dispatchAudit(p, tag, times)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: dispatch %s -> %s (within-best %.2fx of %s)\n",
+			tag, rec.Chosen, rec.WithinBest, rec.BestBackend)
+		rep.Dispatch = append(rep.Dispatch, rec)
 	}
 
 	out, err := json.MarshalIndent(&rep, "", "  ")
@@ -198,6 +246,45 @@ func runBenchJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, out, 0o644)
+}
+
+// measureBackends times every eligible FP32 backend on the shape through
+// the unified interface (min-of-batches, like the grid rows), so the
+// dispatch audit compares the same quantity the dispatcher optimizes.
+func measureBackends(p conv.Params, x, dy *tensor.Float32) map[string]float64 {
+	times := map[string]float64{}
+	dst := tensor.NewFloat32(p.DWShape())
+	for _, b := range backend.Default().Eligible(p, backend.FP32) {
+		b := b
+		times[b.Name()] = measureNs(func() {
+			if err := b.ExecuteCtx(context.Background(), p, x, dy, dst); err != nil {
+				panic(err) // geometry was vetted by Supports
+			}
+		})
+	}
+	return times
+}
+
+// dispatchAudit runs the real dispatcher (with measurement refinement, as
+// winrs-serve would on a plan-cache miss) and scores its choice against
+// the full per-backend measurement.
+func dispatchAudit(p conv.Params, tag string, times map[string]float64) (benchDispatch, error) {
+	d, err := backend.Default().Dispatch(p, backend.FP32, backend.Options{Measure: true})
+	if err != nil {
+		return benchDispatch{}, err
+	}
+	rec := benchDispatch{Shape: tag, Chosen: d.Backend, Measured: d.Measured,
+		BackendNs: times, Candidates: d.Candidates}
+	for name, ns := range times {
+		if rec.BestNsPerOp == 0 || ns < rec.BestNsPerOp {
+			rec.BestBackend, rec.BestNsPerOp = name, ns
+		}
+	}
+	rec.ChosenNsPerOp = times[d.Backend]
+	if rec.BestNsPerOp > 0 {
+		rec.WithinBest = rec.ChosenNsPerOp / rec.BestNsPerOp
+	}
+	return rec, nil
 }
 
 // pinProcsToBaseline sets runtime GOMAXPROCS to the value recorded in the
@@ -328,6 +415,26 @@ func runBenchCompare(oldPath, newPath string, threshold float64) error {
 				fmt.Sprintf("%s: allocs/op 0 -> %g", nr.Name, nr.AllocsPerOp))
 		}
 	}
+	// Dispatch-decision diff (warn-only): a flipped choice between baseline
+	// and candidate is reviewer signal — maybe a cost-model retune, maybe a
+	// genuinely shifted crossover — but never a gate failure; the ns/op
+	// gates above already catch real regressions. Baselines predating the
+	// dispatch field simply skip this check.
+	oldDisp := map[string]benchDispatch{}
+	for _, d := range oldRep.Dispatch {
+		oldDisp[d.Shape] = d
+	}
+	for _, nd := range newRep.Dispatch {
+		od, ok := oldDisp[nd.Shape]
+		if !ok {
+			continue
+		}
+		if od.Chosen != nd.Chosen {
+			fmt.Printf("  DISPATCH FLIP %s: %s -> %s (within-best %.2fx -> %.2fx; warning only)\n",
+				nd.Shape, od.Chosen, nd.Chosen, od.WithinBest, nd.WithinBest)
+		}
+	}
+
 	var missing []string
 	for name, or := range oldByName {
 		if !seen[name] && or.HotPath {

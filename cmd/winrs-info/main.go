@@ -8,6 +8,7 @@
 //	winrs-info -n 32 -hw 224 -f 3 -c 64
 //	winrs-info -n 32 -hw 56 -f 5 -c 256 -fp16 -gpu l40s
 //	winrs-info -tune          # microbenchmark-tuned kernel coefficients
+//	winrs-info -dispatch -n 1 -hw 32 -f 3 -c 8   # host backend ranking
 package main
 
 import (
@@ -15,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"winrs/internal/autotune"
+	"winrs/internal/backend"
 	"winrs/internal/conv"
 	"winrs/internal/core"
 	"winrs/internal/gpusim"
@@ -43,6 +46,8 @@ func main() {
 	tune := flag.Bool("tune", false, "microbenchmark kernel coefficients on this host")
 	tuneDur := flag.Duration("tune-dur", 20*time.Millisecond, "per-kernel tuning duration")
 	asJSON := flag.Bool("json", false, "emit the plan description as JSON")
+	dispatch := flag.Bool("dispatch", false, "print the host backend ranking (per-backend workspace + predicted time) instead of the GPU plan")
+	procs := flag.Int("procs", 0, "worker count the dispatch prediction assumes (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *tune {
@@ -57,6 +62,13 @@ func main() {
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *dispatch {
+		if err := runDispatch(p, *fp16, *procs, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	d, err := device(*gpu)
 	if err != nil {
@@ -125,6 +137,46 @@ func main() {
 		addPlan(nf)
 	}
 	t.Write(os.Stdout)
+}
+
+// runDispatch prints what the host dispatcher would decide for the layer:
+// every eligible backend's workspace and cost-model prediction, sorted
+// fastest-first (measurement refinement is a serve-time concern and is not
+// run here — this is the pure prediction winrs-serve starts from).
+func runDispatch(p conv.Params, fp16 bool, procs int, asJSON bool) error {
+	prec := backend.FP32
+	if fp16 {
+		prec = backend.FP16
+	}
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	d, err := backend.Default().Dispatch(p, prec, backend.Options{Procs: procs, Measure: false})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
+	}
+	fmt.Printf("layer              %v\n", p)
+	fmt.Printf("precision          %v\n", prec)
+	fmt.Printf("procs assumed      %d\n", procs)
+	fmt.Printf("dispatch choice    %s\n", d.Backend)
+	fmt.Println()
+	t := report.NewTable("host backend ranking (cost-model prediction)",
+		"rank", "backend", "workspace MB", "predicted ms")
+	for i, c := range d.Candidates {
+		t.AddRow(i+1, c.Name, float64(c.WorkspaceBytes)/(1<<20), c.PredictedNs/1e6)
+	}
+	t.Write(os.Stdout)
+	for _, b := range backend.Default().Backends() {
+		if !b.Supports(p, prec) {
+			fmt.Printf("ineligible         %s (unsupported at %v)\n", b.Name(), prec)
+		}
+	}
+	return nil
 }
 
 func runTune(dur time.Duration) {

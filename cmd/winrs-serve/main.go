@@ -6,6 +6,9 @@
 // Usage:
 //
 //	winrs-serve -addr :8780 -workers 8 -queue 64 -deadline 30s -cache 256
+//	winrs-serve -algo auto                # cost-model dispatch by default
+//	winrs-serve -force-algo winrs         # pin the paper's algorithm
+//	winrs-serve -dispatch-measure=false   # prediction-only "auto"
 //
 // Endpoints: POST /v1/backward_filter, /v1/forward, /v1/backward_data
 // (framed request bodies, see internal/serve's wire format), GET /healthz
@@ -43,16 +46,22 @@ func main() {
 		maxBody  = flag.Int64("maxbody", 1<<30, "max request body bytes")
 		enPprof  = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 		enTrace  = flag.Bool("trace", false, "record per-stage execution timings (exported on /metrics)")
+		algo     = flag.String("algo", "", `backward-filter algorithm when the request omits "algo": "" or "winrs" (default), "auto" for cost-model dispatch, or a backend name (gemm, direct, fft, winnf)`)
+		forceAlg = flag.String("force-algo", "", "override the algorithm of EVERY backward-filter request, including explicit headers (\"winrs\" disables dispatch entirely)")
+		measure  = flag.Bool("dispatch-measure", true, `refine "auto" dispatch with a bounded one-shot measurement of the top-2 predicted backends (once per plan-cache miss)`)
 	)
 	flag.Parse()
 	obs.EnableTrace(*enTrace)
 
 	srv := serve.NewServer(serve.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		Deadline:      *deadline,
-		CacheCapacity: *cache,
-		MaxBodyBytes:  *maxBody,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		Deadline:           *deadline,
+		CacheCapacity:      *cache,
+		MaxBodyBytes:       *maxBody,
+		DefaultAlgo:        *algo,
+		ForceAlgo:          *forceAlg,
+		DispatchMeasureOff: !*measure,
 	})
 	defer srv.Close()
 
@@ -86,8 +95,8 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("winrs-serve listening on %s (workers=%d queue=%d deadline=%s cache=%d)",
-		ln.Addr(), *workers, *queue, *deadline, *cache)
+	log.Printf("winrs-serve listening on %s (workers=%d queue=%d deadline=%s cache=%d algo=%q force-algo=%q)",
+		ln.Addr(), *workers, *queue, *deadline, *cache, *algo, *forceAlg)
 
 	select {
 	case <-ctx.Done():

@@ -17,6 +17,17 @@ import (
 	"winrs/internal/winograd"
 )
 
+// MeasureOnce times a single invocation of f — the bounded one-shot
+// measurement behind dispatch refinement (internal/backend): unlike
+// MeasureKernel's repeated-until-duration loop, the cost is exactly one
+// execution of the candidate, so a dispatcher can afford to measure its
+// top predictions without multiplying the first request's latency.
+func MeasureOnce(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
 // panel sizes of the microbenchmark's channel blocks; large enough that
 // the EWM dominates, small enough to stay in cache.
 const (

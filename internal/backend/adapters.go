@@ -1,0 +1,268 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"context"
+
+	"winrs/internal/conv"
+	"winrs/internal/core"
+	"winrs/internal/fftconv"
+	"winrs/internal/gemm"
+	"winrs/internal/tensor"
+	"winrs/internal/winnf"
+)
+
+// errFP16 is the uniform "no FP16 path" failure.
+func errFP16(name string) error {
+	return fmt.Errorf("backend: %s has no FP16 path", name)
+}
+
+// --- winrs: the paper's fused segmented Winograd algorithm ---
+
+// winrsBackend adapts internal/core. Configuration adaptation (§4) is
+// deterministic per (geometry, precision), so configs are memoized; the
+// workspace is allocated per call — this is the registry/measurement
+// entry point, while the serving hot path keeps its own pooled route
+// through serve.Runtime (which reuses workspaces and stays 0 allocs/op).
+type winrsBackend struct {
+	cfgs sync.Map // winrsKey -> winrsConfig
+}
+
+type winrsKey struct {
+	p    conv.Params
+	fp16 bool
+}
+
+type winrsConfig struct {
+	cfg *core.Config
+	err error
+}
+
+func newWinRSBackend() *winrsBackend { return &winrsBackend{} }
+
+func (b *winrsBackend) Name() string { return "winrs" }
+
+func (b *winrsBackend) config(p conv.Params, prec Precision) (*core.Config, error) {
+	key := winrsKey{p: p, fp16: prec == FP16}
+	if v, ok := b.cfgs.Load(key); ok {
+		c := v.(winrsConfig)
+		return c.cfg, c.err
+	}
+	opts := []core.Option{}
+	if prec == FP16 {
+		opts = append(opts, core.WithFP16())
+	}
+	cfg, err := core.Configure(p, opts...)
+	v, _ := b.cfgs.LoadOrStore(key, winrsConfig{cfg: cfg, err: err})
+	c := v.(winrsConfig)
+	return c.cfg, c.err
+}
+
+func (b *winrsBackend) Supports(p conv.Params, prec Precision) bool {
+	if p.Validate() != nil {
+		return false
+	}
+	_, err := b.config(p, prec)
+	return err == nil
+}
+
+func (b *winrsBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 {
+	cfg, err := b.config(p, prec)
+	if err != nil {
+		return 0
+	}
+	return cfg.WorkspaceBytes()
+}
+
+func (b *winrsBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	cfg, err := b.config(p, FP32)
+	if err != nil {
+		return err
+	}
+	return observe(ctx, b.Name(), func() error {
+		_, err := core.ExecuteInCtx(ctx, cfg, core.NewWorkspace(cfg), x, dy, dst)
+		return err
+	})
+}
+
+func (b *winrsBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *tensor.Half, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	cfg, err := b.config(p, FP16)
+	if err != nil {
+		return err
+	}
+	return observe(ctx, b.Name(), func() error {
+		_, err := core.ExecuteHalfInCtx(ctx, cfg, core.NewWorkspace(cfg), x, dy, dst)
+		return err
+	})
+}
+
+// --- gemm: explicit chunked im2col + GEMM (the Cu-Algo1 stand-in) ---
+
+type gemmBackend struct{}
+
+func (gemmBackend) Name() string { return "gemm" }
+
+func (gemmBackend) Supports(p conv.Params, prec Precision) bool {
+	return p.Validate() == nil
+}
+
+func (gemmBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 {
+	if p.Validate() != nil {
+		return 0
+	}
+	return gemm.Algo1Workspace(p)
+}
+
+func (gemmBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	return observe(ctx, "gemm", func() error {
+		copy(dst.Data, gemm.Algo1(p, x, dy).Data)
+		return nil
+	})
+}
+
+func (gemmBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *tensor.Half, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	return observe(ctx, "gemm", func() error {
+		copy(dst.Data, gemm.Algo1Half(p, x, dy).Data)
+		return nil
+	})
+}
+
+// --- direct: naive summation (the oracle-adjacent reference) ---
+
+// directBackend adapts internal/conv. Its FP16 path widens the binary16
+// operands to float32 and runs the FP32 kernel — oracle semantics (the
+// quantization error of the operands, none from the arithmetic), matching
+// how the differential suite grounds FP16 backends.
+type directBackend struct{}
+
+func (directBackend) Name() string { return "direct" }
+
+func (directBackend) Supports(p conv.Params, prec Precision) bool {
+	return p.Validate() == nil
+}
+
+func (directBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 { return 0 }
+
+func (directBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	return observe(ctx, "direct", func() error {
+		copy(dst.Data, conv.BackwardFilterDirect32(p, x, dy).Data)
+		return nil
+	})
+}
+
+func (directBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *tensor.Half, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	return observe(ctx, "direct", func() error {
+		copy(dst.Data, conv.BackwardFilterDirect32(p, x.ToFloat32(), dy.ToFloat32()).Data)
+		return nil
+	})
+}
+
+// --- fft: spectral correlation (the Cu-FFT stand-in; FP32 only) ---
+
+type fftBackend struct{}
+
+func (fftBackend) Name() string { return "fft" }
+
+func (fftBackend) Supports(p conv.Params, prec Precision) bool {
+	return prec == FP32 && p.Validate() == nil
+}
+
+// WorkspaceBytes reports the Go implementation's actual scratch — the
+// complex128 spectrum planes of every (n,ic) input and (n,oc) gradient
+// (the per-pair accumulator plane is transient). fftconv.ModelWorkspace
+// stays the GPU-model (complex64) quantity for the Table 2 comparisons.
+func (fftBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 {
+	if prec != FP32 || p.Validate() != nil {
+		return 0
+	}
+	lh, lw := fftconv.PlaneSize(p)
+	planes := int64(p.N)*int64(p.IC) + int64(p.N)*int64(p.OC)
+	return planes * int64(lh) * int64(lw) * 16
+}
+
+func (fftBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	return observe(ctx, "fft", func() error {
+		copy(dst.Data, fftconv.BackwardFilter(p, x, dy).Data)
+		return nil
+	})
+}
+
+func (fftBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *tensor.Half, dst *tensor.Float32) error {
+	return errFP16("fft")
+}
+
+// --- winnf: non-fused Winograd (the Cu-WinNF stand-in) ---
+
+type winnfBackend struct{}
+
+func (winnfBackend) Name() string { return "winnf" }
+
+func (winnfBackend) Supports(p conv.Params, prec Precision) bool {
+	if p.Validate() != nil || !winnf.Supported(p) {
+		return false
+	}
+	if prec == FP16 {
+		return p.FH == 3 // Cu-WinNF FP16 covers only 3×3
+	}
+	return true
+}
+
+func (winnfBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 {
+	if p.Validate() != nil || !winnf.Supported(p) {
+		return 0
+	}
+	ws := winnf.Workspace(p)
+	if prec == FP16 {
+		return ws / 2 // intermediates held in binary16
+	}
+	return ws
+}
+
+func (winnfBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	if !winnf.Supported(p) {
+		return fmt.Errorf("backend: winnf does not support %v", p)
+	}
+	return observe(ctx, "winnf", func() error {
+		copy(dst.Data, winnf.BackwardFilter(p, x, dy).Data)
+		return nil
+	})
+}
+
+func (winnfBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *tensor.Half, dst *tensor.Float32) error {
+	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
+		return err
+	}
+	if !(p.FH == 3 && p.FW == 3) {
+		return fmt.Errorf("backend: winnf FP16 supports only 3x3, got %v", p)
+	}
+	return observe(ctx, "winnf", func() error {
+		copy(dst.Data, winnf.BackwardFilterHalf(p, x, dy).Data)
+		return nil
+	})
+}

@@ -1,19 +1,20 @@
 package fftconv
 
 import (
-	"runtime"
-	"sync"
-
 	"winrs/internal/conv"
+	"winrs/internal/sched"
 	"winrs/internal/tensor"
 )
 
-// planeSize returns the FFT plane extents (Lh, Lw): powers of two covering
+// PlaneSize returns the FFT plane extents (Lh, Lw): powers of two covering
 // the zero-padded input, which keeps the circular correlation free of
 // wraparound for all filter offsets.
-func planeSize(p conv.Params) (lh, lw int) {
+func PlaneSize(p conv.Params) (lh, lw int) {
 	return NextPow2(p.IH + 2*p.PH), NextPow2(p.IW + 2*p.PW)
 }
+
+// planeSize is the internal alias of PlaneSize.
+func planeSize(p conv.Params) (lh, lw int) { return PlaneSize(p) }
 
 // ModelWorkspace returns the workspace the modelled GPU FFT algorithm
 // allocates, in bytes: complex64 spectrum planes for every (n, ic) input,
@@ -91,31 +92,26 @@ func BackwardFilter(p conv.Params, x, dy *tensor.Float32) *tensor.Float32 {
 	return dw
 }
 
+// testPool, when non-nil, overrides the shared pool — tests inject a
+// fixed-width pool to exercise parallel execution regardless of the host
+// GOMAXPROCS (mirroring internal/core's pattern).
+var testPool *sched.Pool
+
+// parallelFor runs f(i) for i in [0,n) on the process-wide persistent
+// sched pool: FFT stages co-schedule with every other parallel path
+// instead of spawning an ad-hoc goroutine set per call, and effective
+// width tracks the pool's GOMAXPROCS sizing. A chunk of 1 keeps the
+// previous work distribution — each claim is one FFT plane (or one
+// (oc,ic) accumulation), and planes are coarse enough that per-unit
+// claims beat chunking for tail balance.
 func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	pool := testPool
+	if pool == nil {
+		pool = sched.Default()
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
+	pool.RunFunc(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			f(i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	})
 }

@@ -12,9 +12,11 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"winrs/internal/backend"
 	"winrs/internal/conv"
 	"winrs/internal/core"
 	"winrs/internal/tensor"
@@ -31,6 +33,20 @@ type PlanKey struct {
 	NSM int
 	// Segments forces the segment count Z; non-positive means adaptive.
 	Segments int
+	// Algo selects the backward-filter algorithm: "" for WinRS (the
+	// default — existing keys and the public wrappers are unchanged),
+	// "auto" for cost-model dispatch (the decision is made once per key
+	// and memoized with the entry), or an explicit backend name from
+	// internal/backend ("winrs", "gemm", "direct", "fft", "winnf").
+	Algo string
+}
+
+// precision maps the key's FP16 flag to the backend precision.
+func (k PlanKey) precision() backend.Precision {
+	if k.FP16 {
+		return backend.FP16
+	}
+	return backend.FP32
 }
 
 // Options translates the key back into core configuration options.
@@ -62,24 +78,52 @@ func (k PlanKey) hash() uint32 {
 	if k.FP16 {
 		mix(1)
 	}
+	for i := 0; i < len(k.Algo); i++ {
+		mix(int(k.Algo[i]))
+	}
 	return h
 }
 
 // Entry is one cached plan together with its workspace pool: bucket arenas
 // and output tensors sized for the plan, recycled across executions so the
 // steady-state gradient path allocates nothing.
+//
+// An entry routes to exactly one backend. WinRS entries (Cfg non-nil)
+// carry the adapted core.Config plus a workspace pool and run the
+// original allocation-free pooled path; non-WinRS entries (Cfg nil) hold
+// the backend executor instead and pool only the output tensor — those
+// backends manage their own scratch.
 type Entry struct {
 	Key PlanKey
+	// Cfg is the adapted WinRS plan; nil when the entry executes a
+	// non-WinRS backend.
 	Cfg *core.Config
+	// Backend is the resolved backend name ("winrs" when Cfg is non-nil).
+	Backend string
+	// Decision is the dispatch record that resolved an Algo "auto" key
+	// (prediction ranking plus any refinement measurements); zero-valued
+	// for explicitly selected algorithms.
+	Decision backend.Decision
 
-	ws  sync.Pool // *core.Workspace
+	exec backend.Backend // executor for non-WinRS entries; nil otherwise
+
+	ws  sync.Pool // *core.Workspace (WinRS entries only)
 	out sync.Pool // *tensor.Float32, DW-shaped
 }
 
 func newEntry(key PlanKey, cfg *core.Config) *Entry {
-	e := &Entry{Key: key, Cfg: cfg}
+	e := &Entry{Key: key, Cfg: cfg, Backend: backendWinRS}
 	e.ws.New = func() any { return core.NewWorkspace(cfg) }
 	e.out.New = func() any { return tensor.NewFloat32(cfg.Params.DWShape()) }
+	return e
+}
+
+// backendWinRS is the registry name of the paper's algorithm.
+const backendWinRS = "winrs"
+
+func newBackendEntry(key PlanKey, b backend.Backend) *Entry {
+	e := &Entry{Key: key, Backend: b.Name(), exec: b}
+	e.out.New = func() any { return tensor.NewFloat32(key.Params.DWShape()) }
 	return e
 }
 
@@ -104,6 +148,11 @@ type PlanCache struct {
 	shardCap     int
 	shards       [cacheShards]cacheShard
 	hits, misses atomic.Uint64
+
+	// dispatch configures Algo "auto" resolution; set once at
+	// construction / via SetDispatchOptions, read on cache misses.
+	dispatchMu   sync.Mutex
+	dispatchOpts backend.Options
 }
 
 type cacheShard struct {
@@ -118,18 +167,40 @@ func NewPlanCache(capacity int) *PlanCache {
 	if capacity < cacheShards {
 		capacity = cacheShards
 	}
-	c := &PlanCache{shardCap: (capacity + cacheShards - 1) / cacheShards}
+	c := &PlanCache{
+		shardCap: (capacity + cacheShards - 1) / cacheShards,
+		// Default "auto" behaviour: refine the top-2 predictions with one
+		// bounded measurement each. The bound keeps a first request's
+		// extra latency in the tens of milliseconds, and the result is
+		// memoized with the entry, so the cost is once per geometry.
+		dispatchOpts: backend.Options{Measure: true},
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[PlanKey]*list.Element)
 	}
 	return c
 }
 
-// Get returns the cached plan for key, running configuration adaptation on
-// a miss. The boolean reports a cache hit. Concurrent misses on the same
-// key may run adaptation more than once; the first insert wins and the
-// duplicates are dropped (Configure is pure, so all results are
-// equivalent).
+// SetDispatchOptions overrides how Algo "auto" keys are resolved (e.g.
+// disabling measurement refinement). It affects future misses only.
+func (c *PlanCache) SetDispatchOptions(o backend.Options) {
+	c.dispatchMu.Lock()
+	c.dispatchOpts = o
+	c.dispatchMu.Unlock()
+}
+
+func (c *PlanCache) dispatchOptions() backend.Options {
+	c.dispatchMu.Lock()
+	defer c.dispatchMu.Unlock()
+	return c.dispatchOpts
+}
+
+// Get returns the cached plan for key, running configuration adaptation
+// (and, for Algo "auto" keys, backend dispatch) on a miss. The boolean
+// reports a cache hit. Concurrent misses on the same key may run
+// adaptation more than once; the first insert wins and the duplicates are
+// dropped (Configure and Dispatch are deterministic up to measurement
+// noise, so all results are equivalent).
 func (c *PlanCache) Get(key PlanKey) (*Entry, bool, error) {
 	s := &c.shards[key.hash()%cacheShards]
 	s.mu.Lock()
@@ -142,13 +213,13 @@ func (c *PlanCache) Get(key PlanKey) (*Entry, bool, error) {
 	s.mu.Unlock()
 	c.misses.Add(1)
 
-	// Configuration adaptation runs outside the shard lock: it is CPU-bound
-	// and must not serialize hits behind it.
-	cfg, err := core.Configure(key.Params, key.Options()...)
+	// Algo resolution and configuration adaptation run outside the shard
+	// lock: they are CPU-bound (dispatch may even measure) and must not
+	// serialize hits behind them.
+	e, err := c.buildEntry(key)
 	if err != nil {
 		return nil, false, err
 	}
-	e := newEntry(key, cfg)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,6 +234,50 @@ func (c *PlanCache) Get(key PlanKey) (*Entry, bool, error) {
 		delete(s.m, old.Value.(*Entry).Key)
 	}
 	return e, false, nil
+}
+
+// buildEntry resolves the key's algorithm to an executable entry.
+func (c *PlanCache) buildEntry(key PlanKey) (*Entry, error) {
+	reg := backend.Default()
+	switch key.Algo {
+	case "", backendWinRS:
+		// The paper's algorithm, exactly as before: the zero-value Algo
+		// keeps every pre-existing key (and the public winrs wrappers) on
+		// the pooled WinRS path.
+		cfg, err := core.Configure(key.Params, key.Options()...)
+		if err != nil {
+			return nil, err
+		}
+		return newEntry(key, cfg), nil
+	case "auto":
+		d, err := reg.Dispatch(key.Params, key.precision(), c.dispatchOptions())
+		if err != nil {
+			return nil, err
+		}
+		var e *Entry
+		if d.Backend == backendWinRS {
+			cfg, err := core.Configure(key.Params, key.Options()...)
+			if err != nil {
+				return nil, err
+			}
+			e = newEntry(key, cfg)
+		} else {
+			b, _ := reg.Get(d.Backend)
+			e = newBackendEntry(key, b)
+		}
+		e.Decision = d
+		return e, nil
+	default:
+		b, ok := reg.Get(key.Algo)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown algo %q", key.Algo)
+		}
+		if !b.Supports(key.Params, key.precision()) {
+			return nil, fmt.Errorf("serve: algo %q does not support %v at %v",
+				key.Algo, key.Params, key.precision())
+		}
+		return newBackendEntry(key, b), nil
+	}
 }
 
 // Len returns the number of cached plans.

@@ -1,0 +1,270 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"winrs"
+	"winrs/internal/backend"
+	"winrs/internal/conv"
+	"winrs/internal/serve"
+)
+
+// dispatchShape is covered by every backend: square 3×3, FP32 and FP16.
+var dispatchShape = winrs.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+
+func newDispatchServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	s := serve.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postAlgo(t *testing.T, url string, p winrs.Params, algo string, x, dy *winrs.Tensor) (*http.Response, []byte) {
+	t.Helper()
+	body, err := serve.EncodeRequest(
+		serve.RequestHeader{Op: "backward_filter", Params: p, Algo: algo},
+		serve.AppendF32(nil, x.Data), serve.AppendF32(nil, dy.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/backward_filter", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestDispatchSmoke drives every registered backend through the serving
+// path once on the same layer, asserting each result agrees with the FP64
+// direct-convolution oracle under the eq.(7)-style bound and that the
+// response names the backend that ran. This is the `make dispatch-smoke`
+// target.
+func TestDispatchSmoke(t *testing.T) {
+	_, ts := newDispatchServer(t, serve.Config{DispatchMeasureOff: true})
+	p := dispatchShape
+	x, dy := randLayer(t, 91, p)
+	ref := conv.BackwardFilterDirect64(p, x.ToFloat64(), dy.ToFloat64())
+	// κ floor 16 at FW=3; L = N·OH·OW; ε = 2^-24 (see the differential
+	// suites this mirrors).
+	bound := 16.0 * float64(p.N*p.OH()*p.OW()) * 5.96e-8
+
+	algos := append(backend.Default().Names(), "auto")
+	for _, algo := range algos {
+		resp, out := postAlgo(t, ts.URL, p, algo, x, dy)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("algo %q: status %d: %s", algo, resp.StatusCode, out)
+		}
+		ran := resp.Header.Get("X-Winrs-Backend")
+		if algo == "auto" {
+			if _, ok := backend.Default().Get(ran); !ok {
+				t.Errorf("auto: X-Winrs-Backend %q is not a registered backend", ran)
+			}
+		} else if ran != algo {
+			t.Errorf("algo %q: X-Winrs-Backend %q", algo, ran)
+		}
+		got := make([]float32, p.DWShape().Elems())
+		if err := serve.DecodeF32(out, got); err != nil {
+			t.Fatalf("algo %q: %v", algo, err)
+		}
+		for i := range ref.Data {
+			if d := math.Abs(float64(got[i]) - ref.Data[i]); d > bound {
+				t.Fatalf("algo %q: served gradient off oracle by %.3g at %d (bound %.3g)",
+					algo, d, i, bound)
+				break
+			}
+		}
+	}
+
+	// Every backend's dispatch counter must have moved.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(raw)
+	for _, name := range backend.Default().Names() {
+		series := `winrs_dispatch_total{backend="` + name + `"}`
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics missing %s", series)
+			continue
+		}
+		if strings.Contains(metrics, series+" 0") {
+			t.Errorf("%s never incremented", series)
+		}
+	}
+}
+
+// An "auto" plan is dispatched once and memoized: the second request is a
+// cache hit on the same backend.
+func TestServeAutoMemoizesDecision(t *testing.T) {
+	_, ts := newDispatchServer(t, serve.Config{DispatchMeasureOff: true})
+	x, dy := randLayer(t, 92, dispatchShape)
+
+	resp1, out1 := postAlgo(t, ts.URL, dispatchShape, "auto", x, dy)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first auto: status %d: %s", resp1.StatusCode, out1)
+	}
+	if got := resp1.Header.Get("X-Winrs-Cache"); got != "miss" {
+		t.Errorf("first auto: cache %q, want miss", got)
+	}
+	first := resp1.Header.Get("X-Winrs-Backend")
+
+	resp2, out2 := postAlgo(t, ts.URL, dispatchShape, "auto", x, dy)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second auto: status %d: %s", resp2.StatusCode, out2)
+	}
+	if got := resp2.Header.Get("X-Winrs-Cache"); got != "hit" {
+		t.Errorf("second auto: cache %q, want hit", got)
+	}
+	if again := resp2.Header.Get("X-Winrs-Backend"); again != first {
+		t.Errorf("auto flipped backends across cache hit: %q then %q", first, again)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("memoized auto dispatch returned different bytes")
+	}
+}
+
+// Explicit "winrs" canonicalizes to the default plan key, sharing its
+// cache entry with header-less requests.
+func TestServeExplicitWinRSSharesDefaultEntry(t *testing.T) {
+	s, ts := newDispatchServer(t, serve.Config{})
+	x, dy := randLayer(t, 93, dispatchShape)
+
+	if resp, out := postBackwardFilter(t, ts.URL, dispatchShape, x, dy); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default request: status %d: %s", resp.StatusCode, out)
+	}
+	resp, out := postAlgo(t, ts.URL, dispatchShape, "winrs", x, dy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit winrs: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Cache"); got != "hit" {
+		t.Errorf("explicit winrs after default: cache %q, want hit", got)
+	}
+	if got := resp.Header.Get("X-Winrs-Backend"); got != "winrs" {
+		t.Errorf("X-Winrs-Backend %q, want winrs", got)
+	}
+	if resp.Header.Get("X-Winrs-Kernel-Pair") == "" {
+		t.Error("WinRS response lost its kernel-pair header")
+	}
+	if n := s.Runtime().Cache().Len(); n != 1 {
+		t.Errorf("cache holds %d plans, want 1 shared entry", n)
+	}
+}
+
+func TestServeAlgoValidation(t *testing.T) {
+	_, ts := newDispatchServer(t, serve.Config{})
+	p := dispatchShape
+	x, dy := randLayer(t, 94, p)
+
+	// Unknown algorithm name.
+	resp, out := postAlgo(t, ts.URL, p, "cudnn", x, dy)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown algo: status %d: %s", resp.StatusCode, out)
+	}
+
+	// algo is a backward-filter-only field.
+	body, err := serve.EncodeRequest(serve.RequestHeader{Params: p, Algo: "auto"},
+		serve.AppendF32(nil, x.Data), serve.AppendF32(nil, winrs.NewTensor(p.DWShape()).Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp, err := http.Post(ts.URL+"/v1/forward", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("algo on forward: status %d", fresp.StatusCode)
+	}
+
+	// A backend that rejects the geometry (winnf on a non-square filter)
+	// fails plan construction, not silently falls back.
+	np := winrs.Params{N: 1, IH: 8, IW: 12, FH: 1, FW: 3, IC: 2, OC: 2}
+	nx, ndy := randLayer(t, 95, np)
+	resp, _ = postAlgo(t, ts.URL, np, "winnf", nx, ndy)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("winnf on 1x3: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// ForceAlgo overrides every request, including explicit headers;
+// DefaultAlgo applies only when the header is silent.
+func TestServeForceAndDefaultAlgo(t *testing.T) {
+	x, dy := randLayer(t, 96, dispatchShape)
+
+	_, forced := newDispatchServer(t, serve.Config{ForceAlgo: "gemm"})
+	resp, out := postAlgo(t, forced.URL, dispatchShape, "direct", x, dy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Backend"); got != "gemm" {
+		t.Errorf("ForceAlgo=gemm served by %q", got)
+	}
+
+	_, defaulted := newDispatchServer(t, serve.Config{DefaultAlgo: "auto", DispatchMeasureOff: true})
+	resp, out = postBackwardFilter(t, defaulted.URL, dispatchShape, x, dy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("defaulted: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Backend"); got == "" {
+		t.Error("DefaultAlgo=auto response has no backend header")
+	}
+	// An explicit header still wins over DefaultAlgo.
+	resp, out = postAlgo(t, defaulted.URL, dispatchShape, "direct", x, dy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit over default: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Backend"); got != "direct" {
+		t.Errorf("explicit direct over DefaultAlgo served by %q", got)
+	}
+}
+
+// The memoized decision is exposed on the cache entry for introspection.
+func TestServeAutoDecisionRecorded(t *testing.T) {
+	s, ts := newDispatchServer(t, serve.Config{DispatchMeasureOff: true})
+	x, dy := randLayer(t, 97, dispatchShape)
+	if resp, out := postAlgo(t, ts.URL, dispatchShape, "auto", x, dy); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	key := serve.PlanKey{Params: conv.Params(dispatchShape), Algo: "auto"}
+	e, hit, err := s.Runtime().Cache().Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("auto entry not cached under its plan key")
+	}
+	if e.Decision.Backend != e.Backend {
+		t.Errorf("entry backend %q != decision backend %q", e.Backend, e.Decision.Backend)
+	}
+	if len(e.Decision.Candidates) == 0 {
+		t.Error("decision has no candidates")
+	}
+	if e.Decision.Measured {
+		t.Error("measurement ran with DispatchMeasureOff")
+	}
+}

@@ -96,6 +96,12 @@ type RequestHeader struct {
 	Segments int `json:"segments,omitempty"`
 	// NSM overrides the hardware model's SM count (0 = default, 128).
 	NSM int `json:"nsm,omitempty"`
+	// Algo selects the backward-filter algorithm: "" or "winrs" (the
+	// paper's algorithm — the default, so existing clients are
+	// unchanged), "auto" (cost-model dispatch, memoized per plan key),
+	// or an explicit backend name ("gemm", "direct", "fft", "winnf").
+	// Only valid for backward_filter requests.
+	Algo string `json:"algo,omitempty"`
 }
 
 // OperandShapes returns the shapes of the two request tensors (in payload

@@ -76,6 +76,13 @@ func (rt *Runtime) BackwardFilter(key PlanKey, x, dy *tensor.Float32) (*tensor.F
 	if err != nil {
 		return nil, false, err
 	}
+	if e.Cfg == nil {
+		dw := tensor.NewFloat32(key.Params.DWShape())
+		if err := e.exec.ExecuteCtx(context.Background(), key.Params, x, dy, dw); err != nil {
+			return nil, false, err
+		}
+		return dw, hit, nil
+	}
 	ws := e.AcquireWorkspace()
 	defer e.ReleaseWorkspace(ws)
 	return core.ExecuteIn(e.Cfg, ws, x, dy, nil), hit, nil
@@ -105,6 +112,11 @@ func (rt *Runtime) BackwardFilterPooledCtx(ctx context.Context, key PlanKey, x, 
 	if err != nil {
 		return err
 	}
+	if e.Cfg == nil {
+		return rt.backendPooled(ctx, key, e, hit, use, func(ctx context.Context, out *tensor.Float32) error {
+			return e.exec.ExecuteCtx(ctx, key.Params, x, dy, out)
+		})
+	}
 	ws := e.AcquireWorkspace()
 	out := e.acquireOut()
 	rt.borrowed.Add(1)
@@ -128,6 +140,36 @@ func (rt *Runtime) BackwardFilterPooledCtx(ctx context.Context, key PlanKey, x, 
 	return use(dw, e, hit)
 }
 
+// backendPooled drives a non-WinRS entry through the pooled lifecycle:
+// only the output tensor is pooled (the backends manage their own
+// scratch), the fault hook and borrow accounting apply exactly as on the
+// WinRS path, and a panic drops the output for the GC instead of
+// recycling it. Cancellation is boundary-checked by the backends — their
+// inner loops run to completion, mirroring forward/backward_data.
+func (rt *Runtime) backendPooled(ctx context.Context, key PlanKey, e *Entry, hit bool,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error,
+	exec func(ctx context.Context, out *tensor.Float32) error) error {
+	out := e.acquireOut()
+	rt.borrowed.Add(1)
+	recycle := false
+	defer func() {
+		rt.borrowed.Add(-1)
+		if recycle {
+			e.releaseOut(out)
+		}
+	}()
+	if err := rt.injectFault(ctx, key); err != nil {
+		recycle = true
+		return err
+	}
+	err := exec(ctx, out)
+	recycle = true // backends return only after their parallel stages drain
+	if err != nil {
+		return err
+	}
+	return use(out, e, hit)
+}
+
 // BackwardFilterHalfPooled is BackwardFilterPooled for binary16 operands
 // (the Tensor-Core path). key.FP16 must be set so the plan restricts
 // kernel selection accordingly; the pooled result stays FP32.
@@ -143,6 +185,11 @@ func (rt *Runtime) BackwardFilterHalfPooledCtx(ctx context.Context, key PlanKey,
 	e, hit, err := rt.cache.Get(key)
 	if err != nil {
 		return err
+	}
+	if e.Cfg == nil {
+		return rt.backendPooled(ctx, key, e, hit, use, func(ctx context.Context, out *tensor.Float32) error {
+			return e.exec.ExecuteHalfCtx(ctx, key.Params, x, dy, out)
+		})
 	}
 	ws := e.AcquireWorkspace()
 	out := e.acquireOut()

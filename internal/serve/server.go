@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"winrs/internal/backend"
 	"winrs/internal/core"
 	"winrs/internal/fp16"
 	"winrs/internal/obs"
@@ -32,6 +33,18 @@ type Config struct {
 	CacheCapacity int
 	// MaxBodyBytes caps the request body (default 1 GiB).
 	MaxBodyBytes int64
+	// DefaultAlgo is the backward-filter algorithm used when a request's
+	// header omits "algo": "" or "winrs" (default), "auto" for
+	// cost-model dispatch, or an explicit backend name.
+	DefaultAlgo string
+	// ForceAlgo, when non-empty, overrides the algo of every
+	// backward-filter request, including explicit headers: "winrs" pins
+	// the paper's algorithm (disabling dispatch entirely), "auto" forces
+	// dispatch for all traffic.
+	ForceAlgo string
+	// DispatchMeasureOff disables the one-shot measurement refinement of
+	// "auto" dispatch, leaving the cost-model prediction alone to decide.
+	DispatchMeasureOff bool
 }
 
 func (c *Config) fillDefaults() {
@@ -83,6 +96,9 @@ func NewServer(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.closing, s.cancelClose = context.WithCancel(context.Background())
+	if cfg.DispatchMeasureOff {
+		s.rt.cache.SetDispatchOptions(backend.Options{Measure: false})
+	}
 	s.stats = newStats(s.reg)
 	s.reg.GaugeFunc("winrs_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -187,7 +203,16 @@ func (s *Server) serveOp(op Op, w http.ResponseWriter, r *http.Request) {
 	}
 	aBytes := payload[:aShape.Elems()*esz]
 	bBytes := payload[aShape.Elems()*esz:]
-	key := PlanKey{Params: p, FP16: hdr.DType == F16, NSM: hdr.NSM, Segments: hdr.Segments}
+	if hdr.Algo != "" && op != OpBackwardFilter {
+		s.clientError(w, http.StatusBadRequest, "algo is only supported for backward_filter")
+		return
+	}
+	algo, err := s.resolveAlgo(op, hdr.Algo)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := PlanKey{Params: p, FP16: hdr.DType == F16, NSM: hdr.NSM, Segments: hdr.Segments, Algo: algo}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
 	defer cancel()
@@ -232,6 +257,35 @@ func (s *Server) serveOp(op Op, w http.ResponseWriter, r *http.Request) {
 	default:
 		s.stats.Observe(op, time.Since(t0))
 	}
+}
+
+// resolveAlgo folds the request's algo with the server's default/force
+// configuration and normalizes it into a plan-key Algo: the precedence is
+// ForceAlgo > header > DefaultAlgo, "winrs" canonicalizes to "" (so
+// explicit-WinRS requests share cache entries with default ones), and an
+// unknown name is a client error. Non-BFC ops always resolve to "".
+func (s *Server) resolveAlgo(op Op, hdrAlgo string) (string, error) {
+	if op != OpBackwardFilter {
+		return "", nil
+	}
+	algo := hdrAlgo
+	if algo == "" {
+		algo = s.cfg.DefaultAlgo
+	}
+	if s.cfg.ForceAlgo != "" {
+		algo = s.cfg.ForceAlgo
+	}
+	switch algo {
+	case "", "winrs":
+		return "", nil
+	case "auto":
+		return "auto", nil
+	}
+	if _, ok := backend.Default().Get(algo); !ok {
+		return "", fmt.Errorf("unknown algo %q (want \"auto\" or one of %v)",
+			algo, backend.Default().Names())
+	}
+	return algo, nil
 }
 
 // cancelledWhile handles a context.Canceled outcome, which has two
@@ -347,7 +401,8 @@ func (s *Server) compute(ctx context.Context, op Op, key PlanKey, dt DType, aByt
 			}
 			if err == nil {
 				err = s.rt.BackwardFilterHalfPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
-					return writeResult(w, dw, e.Cfg, hit)
+					s.stats.DispatchTo(e.Backend)
+					return writeResult(w, dw, e, hit)
 				})
 			}
 			halfOperandPool.Put(xb)
@@ -362,7 +417,8 @@ func (s *Server) compute(ctx context.Context, op Op, key PlanKey, dt DType, aByt
 		}
 		if err == nil {
 			err = s.rt.BackwardFilterPooledCtx(ctx, key, x, dy, func(dw *tensor.Float32, e *Entry, hit bool) error {
-				return writeResult(w, dw, e.Cfg, hit)
+				s.stats.DispatchTo(e.Backend)
+				return writeResult(w, dw, e, hit)
 			})
 		}
 		f32OperandPool.Put(xb)
@@ -405,16 +461,21 @@ func (s *Server) compute(ctx context.Context, op Op, key PlanKey, dt DType, aByt
 }
 
 // writeResult sends t as raw little-endian float32 with metadata headers.
-// The cache-hit header is only meaningful for the plan-cached ops, which
-// pass their cfg; forward/backward_data pass nil.
-func writeResult(w http.ResponseWriter, t *tensor.Float32, cfg *core.Config, hit bool) error {
+// The cache/backend headers are only meaningful for the plan-cached ops,
+// which pass their entry; forward/backward_data pass nil. The kernel-pair
+// and segment headers appear only on WinRS-executed results (other
+// backends have no adapted WinRS plan).
+func writeResult(w http.ResponseWriter, t *tensor.Float32, e *Entry, hit bool) error {
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-Winrs-Shape", t.Shape.String())
 	h.Set("Content-Length", fmt.Sprint(4*len(t.Data)))
-	if cfg != nil {
-		h.Set("X-Winrs-Kernel-Pair", cfg.Pair.String())
-		h.Set("X-Winrs-Segments", fmt.Sprint(cfg.Z()))
+	if e != nil {
+		h.Set("X-Winrs-Backend", e.Backend)
+		if e.Cfg != nil {
+			h.Set("X-Winrs-Kernel-Pair", e.Cfg.Pair.String())
+			h.Set("X-Winrs-Segments", fmt.Sprint(e.Cfg.Z()))
+		}
 		if hit {
 			h.Set("X-Winrs-Cache", "hit")
 		} else {

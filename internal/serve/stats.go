@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"winrs/internal/backend"
 	"winrs/internal/obs"
 )
 
@@ -21,6 +22,11 @@ type Stats struct {
 	Cancelled  *obs.Counter         // client gone (disconnect): nothing written
 	Panics     *obs.Counter         // recovered compute panics (500)
 	WriteErr   *obs.Counter         // response-write failures after commit
+
+	// Dispatch counts completed backward-filter executions per backend
+	// (winrs_dispatch_total{backend=...}); all five series are
+	// pre-registered so /metrics shows zeros before any dispatch.
+	Dispatch map[string]*obs.Counter
 
 	hist *obs.Histogram
 }
@@ -43,7 +49,20 @@ func newStats(reg *obs.Registry) *Stats {
 		s.OK[op] = reg.Counter("winrs_requests_total",
 			"Completed requests per operation.", obs.Label{Key: "op", Value: op.String()})
 	}
+	s.Dispatch = make(map[string]*obs.Counter)
+	for _, name := range backend.Default().Names() {
+		s.Dispatch[name] = reg.Counter("winrs_dispatch_total",
+			"Backward-filter executions per backend.",
+			obs.Label{Key: "backend", Value: name})
+	}
 	return s
+}
+
+// DispatchTo counts one backward-filter execution on the named backend.
+func (s *Stats) DispatchTo(name string) {
+	if c, ok := s.Dispatch[name]; ok {
+		c.Add(1)
+	}
 }
 
 // Observe records one successful request.
