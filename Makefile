@@ -6,7 +6,7 @@ BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_THRESHOLD ?= 0.15
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults dispatch-smoke
+.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults dispatch-smoke batch-smoke saturate
 
 ci: vet build race
 
@@ -59,6 +59,25 @@ faults:
 	$(GO) test -race -run 'TestFault|TestServeBodyLimit|TestDispatcher|TestExecuteInCtx|TestExecutorExecuteCtx|TestRunBatch' \
 		./internal/serve ./internal/core ./internal/sched
 
+# batch-smoke runs the micro-batching differential and topology suites
+# under the race detector: batched execution pinned bit-identical to
+# per-request, mixed-geometry isolation, the consistent-hash ring's
+# remapping bounds, and the in-process router (stickiness, live drain).
+# Batch-membership fault injection is named TestFaultBatch* and therefore
+# also rides the `faults` target.
+batch-smoke:
+	$(GO) test -race -count 1 -run 'TestBatch|TestRing|TestRoute|TestRouter' ./internal/serve
+
+# saturate is the multi-process load test: real winrs-serve ×2 and
+# winrs-router processes, mixed-geometry load, shard-stickiness and
+# zero-drop live-drain assertions, and an in-process batched-vs-unbatched
+# saturation comparison merged into /tmp/bench_saturate.json (override
+# with SATURATE_OUT; point it at the committed baseline to track rows).
+SATURATE_OUT ?= /tmp/bench_saturate.json
+saturate:
+	$(GO) run ./cmd/winrs-bench -saturate $(SATURATE_OUT)
+	WINRS_LOADTEST_BENCH=$(SATURATE_OUT) $(GO) test -tags loadtest -count 1 -timeout 600s -v ./internal/loadtest
+
 # fuzz-smoke runs every fuzz target from its seed corpus for FUZZTIME
 # each, plus the exhaustive codec equivalence sweeps (all 65536 decode
 # patterns, every encode rounding boundary) that anchor the fuzz targets.
@@ -68,4 +87,5 @@ fuzz-smoke:
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzConversion$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzOrdering$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz '^FuzzEncodeMatchesScalar$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzProtoRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fp16 -count 1 -run '^TestDecodeSliceExhaustive$$|^TestEncodeSliceBoundarySweep$$'

@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"winrs/internal/backend"
+	"winrs/internal/benchfmt"
 	"winrs/internal/conv"
 	"winrs/internal/core"
 	"winrs/internal/gemm"
@@ -19,56 +19,17 @@ import (
 	"winrs/internal/tensor"
 )
 
-// benchSchemaVersion identifies the BENCH_*.json layout. Bump it on any
-// field change so the compare mode can refuse to diff incompatible files.
-const benchSchemaVersion = 1
+// The report schema lives in internal/benchfmt so the multi-process load
+// test (which appends saturation rows) shares it by construction; the
+// aliases keep this package's call sites unchanged.
+const benchSchemaVersion = benchfmt.SchemaVersion
 
-// benchReport is one machine-readable benchmark run: CI archives these as
-// BENCH_<date>.json and `winrs-bench -compare old new` diffs two of them.
-type benchReport struct {
-	SchemaVersion int     `json:"schema_version"`
-	Date          string  `json:"date"`
-	GoVersion     string  `json:"go_version"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	NumCPU        int     `json:"num_cpu,omitempty"`
-	CalibrationNs float64 `json:"calibration_ns_per_op"`
-
-	Results []benchResult `json:"results"`
-
-	// Dispatch records the cost-model dispatch decision per grid shape
-	// (additive schema-1 field: absent from older baselines, in which case
-	// compare mode simply skips the flip check).
-	Dispatch []benchDispatch `json:"dispatch,omitempty"`
-}
-
-// benchDispatch is one shape's dispatch audit: what the dispatcher chose
-// versus what a full measurement of every eligible backend says, plus the
-// prediction ranking that produced the choice. WithinBest is the
-// chosen/best measured ns/op ratio — the acceptance criterion is ≤ 1.10.
-type benchDispatch struct {
-	Shape         string              `json:"shape"`
-	Chosen        string              `json:"chosen"`
-	Measured      bool                `json:"measured"` // refinement ran
-	BestBackend   string              `json:"best_backend"`
-	BestNsPerOp   float64             `json:"best_ns_per_op"`
-	ChosenNsPerOp float64             `json:"chosen_ns_per_op"`
-	WithinBest    float64             `json:"within_best"`
-	BackendNs     map[string]float64  `json:"backend_ns_per_op"`
-	Candidates    []backend.Candidate `json:"candidates"`
-}
-
-// benchResult measures one (shape, algorithm) cell.
-type benchResult struct {
-	Name           string             `json:"name"` // "<algo>/<shape>", the compare key
-	Algo           string             `json:"algo"`
-	Shape          string             `json:"shape"`
-	NsPerOp        float64            `json:"ns_per_op"`
-	AllocsPerOp    float64            `json:"allocs_per_op"`
-	WorkspaceBytes int64              `json:"workspace_bytes"`
-	WHatCacheBytes int64              `json:"what_cache_bytes,omitempty"`
-	HotPath        bool               `json:"hot_path"` // gated by -compare
-	StageShares    map[string]float64 `json:"stage_shares,omitempty"`
-}
+type (
+	benchReport     = benchfmt.Report
+	benchResult     = benchfmt.Result
+	benchDispatch   = benchfmt.Dispatch
+	benchSaturation = benchfmt.Saturation
+)
 
 // benchShapes is the fixed grid the gate tracks: a padded 3×3 production
 // shape, a batched 5×5, and a channel-heavy 3×3. Small enough that the
@@ -236,16 +197,7 @@ func runBenchJSON(path string) error {
 		rep.Dispatch = append(rep.Dispatch, rec)
 	}
 
-	out, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(out)
-		return err
-	}
-	return os.WriteFile(path, out, 0o644)
+	return rep.Write(path)
 }
 
 // measureBackends times every eligible FP32 backend on the shape through
@@ -307,22 +259,7 @@ func pinProcsToBaseline(path string) error {
 }
 
 func readBenchReport(path string) (*benchReport, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rep benchReport
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if rep.SchemaVersion != benchSchemaVersion {
-		return nil, fmt.Errorf("%s: schema_version %d, this binary speaks %d",
-			path, rep.SchemaVersion, benchSchemaVersion)
-	}
-	if rep.CalibrationNs <= 0 {
-		return nil, fmt.Errorf("%s: missing calibration benchmark", path)
-	}
-	return &rep, nil
+	return benchfmt.Read(path)
 }
 
 // checkEnvMatch refuses to diff reports from mismatched environments:
@@ -432,6 +369,36 @@ func runBenchCompare(oldPath, newPath string, threshold float64) error {
 		if od.Chosen != nd.Chosen {
 			fmt.Printf("  DISPATCH FLIP %s: %s -> %s (within-best %.2fx -> %.2fx; warning only)\n",
 				nd.Shape, od.Chosen, nd.Chosen, od.WithinBest, nd.WithinBest)
+		}
+	}
+
+	// Saturation diff (warn-only): serving throughput and batch occupancy
+	// depend on scheduler behavior and machine load in ways the calibrated
+	// compute grid does not, so a drop here is reviewer signal rather than
+	// a gate failure — except a drained scenario that dropped in-flight
+	// requests, which is a correctness property and does fail.
+	oldSat := map[string]benchSaturation{}
+	for _, s := range oldRep.Saturation {
+		oldSat[s.Scenario] = s
+	}
+	for _, ns := range newRep.Saturation {
+		if ns.Drained && ns.FailedInFlight > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("saturation %s: %d in-flight request(s) failed across a drain", ns.Scenario, ns.FailedInFlight))
+		}
+		base, ok := oldSat[ns.Scenario]
+		if !ok {
+			fmt.Printf("  NEW   saturation/%-33s %11.0f req/s (no baseline, not gated)\n",
+				ns.Scenario, ns.Throughput)
+			continue
+		}
+		if base.Throughput > 0 && ns.Throughput < base.Throughput*(1-threshold) {
+			fmt.Printf("  SATURATION WARN %s: throughput %.0f -> %.0f req/s (%+.1f%%; warning only)\n",
+				ns.Scenario, base.Throughput, ns.Throughput, (ns.Throughput/base.Throughput-1)*100)
+		}
+		if base.BatchOccupancyMean > 0 && ns.BatchOccupancyMean < base.BatchOccupancyMean*(1-threshold) {
+			fmt.Printf("  SATURATION WARN %s: batch occupancy %.2f -> %.2f members/batch (warning only)\n",
+				ns.Scenario, base.BatchOccupancyMean, ns.BatchOccupancyMean)
 		}
 	}
 

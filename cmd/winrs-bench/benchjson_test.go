@@ -131,3 +131,67 @@ func TestCompareRefusesEnvMismatch(t *testing.T) {
 		t.Error("Go-version mismatch passed the gate")
 	}
 }
+
+// Saturation rows warn but never gate — except a drained scenario that
+// dropped in-flight requests, which is a correctness failure.
+func TestCompareSaturationRows(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "old.json", benchReport{
+		CalibrationNs: 100_000,
+		Saturation: []benchSaturation{
+			{Scenario: "inproc_batch", Throughput: 5000, BatchOccupancyMean: 4.0},
+		},
+	})
+
+	// A 50% throughput and occupancy collapse warns, never fails.
+	slower := writeReport(t, dir, "slower.json", benchReport{
+		CalibrationNs: 100_000,
+		Saturation: []benchSaturation{
+			{Scenario: "inproc_batch", Throughput: 2500, BatchOccupancyMean: 2.0},
+		},
+	})
+	if err := runBenchCompare(base, slower, 0.15); err != nil {
+		t.Errorf("saturation regression failed the gate (should only warn): %v", err)
+	}
+
+	// A drain that dropped in-flight requests is a hard failure.
+	dropped := writeReport(t, dir, "dropped.json", benchReport{
+		CalibrationNs: 100_000,
+		Saturation: []benchSaturation{
+			{Scenario: "multiproc_router", Drained: true, FailedInFlight: 3, Throughput: 5000},
+		},
+	})
+	if err := runBenchCompare(base, dropped, 0.15); err == nil {
+		t.Error("drain-dropped in-flight requests passed the gate")
+	}
+}
+
+// mergeSaturation replaces same-scenario rows and keeps foreign ones, so
+// -saturate re-runs refresh their rows without clobbering the load test's.
+func TestMergeSaturation(t *testing.T) {
+	existing := []benchSaturation{
+		{Scenario: "inproc_batch", Throughput: 1},
+		{Scenario: "multiproc_router", Throughput: 2},
+	}
+	rows := []benchSaturation{
+		{Scenario: "inproc_batch", Throughput: 9},
+		{Scenario: "inproc_nobatch", Throughput: 8},
+	}
+	got := mergeSaturation(existing, rows)
+	if len(got) != 3 {
+		t.Fatalf("merged %d rows, want 3: %+v", len(got), got)
+	}
+	byScenario := map[string]float64{}
+	for _, r := range got {
+		byScenario[r.Scenario] = r.Throughput
+	}
+	if byScenario["inproc_batch"] != 9 {
+		t.Errorf("same-scenario row not replaced: %+v", got)
+	}
+	if byScenario["multiproc_router"] != 2 {
+		t.Errorf("foreign row clobbered: %+v", got)
+	}
+	if byScenario["inproc_nobatch"] != 8 {
+		t.Errorf("new row missing: %+v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Command winrs-router is the consistent-hash shard front for a fleet of
+// winrs-serve nodes: it hashes each framed request's plan-cache key onto a
+// ring of nodes and forwards the raw frame, so every layer geometry keeps
+// hitting the same node's warm plan and Ŵ caches. Nodes can be added and
+// drained live through the admin endpoints.
+//
+// Usage:
+//
+//	winrs-router -addr :8779 -node http://10.0.0.1:8780 -node http://10.0.0.2:8780
+//
+// Endpoints: POST /v1/backward_filter, /v1/forward, /v1/backward_data
+// (forwarded by plan-key hash), POST /admin/nodes/{add,drain,remove}?node=URL,
+// GET /admin/ring, /healthz, /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"winrs/internal/serve"
+)
+
+// nodeList collects repeated -node flags.
+type nodeList []string
+
+func (n *nodeList) String() string { return strings.Join(*n, ",") }
+func (n *nodeList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*n = append(*n, s)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var nodes nodeList
+	var (
+		addr     = flag.String("addr", ":8779", "listen address")
+		replicas = flag.Int("replicas", 0, "virtual points per node on the hash ring (0 = default 64)")
+		maxBody  = flag.Int64("maxbody", 1<<30, "max request body bytes")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-forward timeout")
+	)
+	flag.Var(&nodes, "node", "shard node base URL (repeatable, or comma-separated)")
+	flag.Parse()
+
+	rt := serve.NewRouter(serve.RouterConfig{
+		Nodes:          nodes,
+		Replicas:       *replicas,
+		MaxBodyBytes:   *maxBody,
+		ForwardTimeout: *timeout,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "winrs-router: %v\n", err)
+		os.Exit(1)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("winrs-router listening on %s (nodes=%v)", ln.Addr(), []string(nodes))
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("winrs-router: forced shutdown: %v", err)
+			hs.Close()
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "winrs-router: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package loadtest holds the multi-process serving load test: it builds
+// the real winrs-serve and winrs-router binaries, runs a two-node fleet
+// behind the router as separate OS processes, and drives mixed-geometry
+// load through the front — asserting shard stickiness, live drain with
+// zero dropped in-flight requests, and recording a saturation row into a
+// bench report (see internal/benchfmt).
+//
+// The test is expensive (it compiles two binaries and saturates the
+// machine), so it is gated behind the "loadtest" build tag:
+//
+//	go test -tags loadtest ./internal/loadtest
+//
+// or `make saturate`. Set WINRS_LOADTEST_BENCH to a bench-report path to
+// merge the measured saturation row into it.
+package loadtest

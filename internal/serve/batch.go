@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"winrs/internal/core"
+	"winrs/internal/obs"
+	"winrs/internal/tensor"
+)
+
+// Cross-request micro-batching. A training cluster sends the same layer
+// geometry from thousands of workers, so jobs that share a plan-cache key
+// are coalesced into one batched execution: the batch takes ONE dispatcher
+// slot, resolves the plan with ONE cache lookup and borrows ONE
+// workspace/output arena pair that every member reuses in turn — the plan
+// lookup, admission bookkeeping and arena traffic are amortized across
+// requests, and the Ŵ-cache region of the shared workspace is refilled in
+// place instead of round-tripping through the pool per request. Members
+// still execute their own operands sequentially through the same
+// core.ExecuteInCtx the per-request path uses, so a batched response is
+// byte-for-byte identical to the single-request one.
+//
+// Failure isolation is per member: a member whose context is cancelled
+// while the batch is pending simply drops out (its slot is skipped), a
+// member whose compute is cancelled mid-flight aborts alone, and a member
+// that panics is recovered inside the batch — its arenas are dropped for
+// the GC (the pool-poisoning convention) and fresh ones are borrowed for
+// the remaining members, which complete normally.
+
+// batchMember is one request riding a coalesced batch. The claimed flag is
+// the same protocol dispatchJob uses: set once by whoever decides the
+// member's fate — the batch runner, or the submitter abandoning it on
+// deadline while the batch is still pending/queued.
+type batchMember struct {
+	claimed atomic.Bool
+	ctx     context.Context
+	run     func(ctx context.Context, bx *BatchExec)
+	// panicErr is written by the batch runner before done is closed; the
+	// channel provides the edge.
+	panicErr *PanicError
+	// lifeErr is a batch-level lifecycle error (admission rejection,
+	// shutdown) fanned out to every member.
+	lifeErr error
+	done    chan struct{}
+}
+
+func (m *batchMember) err() error {
+	if m.panicErr != nil {
+		return m.panicErr
+	}
+	return m.lifeErr
+}
+
+// pendingBatch accumulates same-key members until it seals.
+type pendingBatch struct {
+	key     PlanKey
+	members []*batchMember
+	sealed  bool
+	timer   *time.Timer
+}
+
+// Coalescer groups submitted jobs by plan key and runs each sealed batch
+// as one dispatcher job. A batch seals when it reaches maxBatch members or
+// when the linger window since its first member expires, whichever comes
+// first; a lone request therefore pays at most the linger window of extra
+// latency, and only when no same-key traffic joins it.
+type Coalescer struct {
+	disp   *Dispatcher
+	max    int
+	linger time.Duration
+	// base is the batch's queue-phase context (the server's closing
+	// context): batches abandoned in the dispatcher queue on shutdown fan
+	// ErrClosed-equivalent errors to their members. Member computes use
+	// their own request contexts.
+	base context.Context
+
+	begin func(key PlanKey) *BatchExec // Runtime.beginBatch
+
+	mu      sync.Mutex
+	closed  bool
+	pending map[PlanKey]*pendingBatch
+
+	// flushed counts batches handed to the dispatcher; tests and Close use
+	// it to reason about pending state. Metrics are observed per run.
+	batches   *obs.Counter
+	batched   *obs.Counter
+	occupancy *obs.ValueHistogram
+}
+
+// newCoalescer wires a coalescer in front of disp. max ≤ 1 or linger ≤ 0
+// disables coalescing — callers should bypass the coalescer entirely then.
+func newCoalescer(disp *Dispatcher, rt *Runtime, max int, linger time.Duration,
+	base context.Context, batches, batched *obs.Counter, occupancy *obs.ValueHistogram) *Coalescer {
+	return &Coalescer{
+		disp:      disp,
+		max:       max,
+		linger:    linger,
+		base:      base,
+		begin:     rt.beginBatch,
+		pending:   make(map[PlanKey]*pendingBatch),
+		batches:   batches,
+		batched:   batched,
+		occupancy: occupancy,
+	}
+}
+
+// Do submits run as a member of the key's batch and blocks until the
+// member's fate is decided. Like Dispatcher.Do it returns nil when run was
+// invoked (compute errors travel through the closure's own side channel),
+// ctx.Err() when the member was abandoned before running, ErrOverloaded /
+// ErrClosed when the batch could not be admitted, and the member's
+// *PanicError when run panicked (the batch's other members are unaffected).
+func (c *Coalescer) Do(ctx context.Context, key PlanKey, run func(ctx context.Context, bx *BatchExec)) error {
+	m := &batchMember{ctx: ctx, run: run, done: make(chan struct{})}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	b := c.pending[key]
+	if b == nil {
+		b = &pendingBatch{key: key}
+		c.pending[key] = b
+		b.timer = time.AfterFunc(c.linger, func() { c.sealAndSubmit(b) })
+	}
+	b.members = append(b.members, m)
+	var launch *pendingBatch
+	if len(b.members) >= c.max {
+		c.sealLocked(b)
+		launch = b
+	}
+	c.mu.Unlock()
+	if launch != nil {
+		go c.submit(launch)
+	}
+
+	select {
+	case <-m.done:
+		return m.err()
+	case <-ctx.Done():
+		if m.claimed.CompareAndSwap(false, true) {
+			return ctx.Err() // still pending or queued: abandoned, never runs
+		}
+		<-m.done // the batch runner claimed it first: wait it out
+		return m.err()
+	}
+}
+
+// sealLocked marks b sealed and detaches it from the pending map. Caller
+// holds c.mu.
+func (c *Coalescer) sealLocked(b *pendingBatch) {
+	b.sealed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	if c.pending[b.key] == b {
+		delete(c.pending, b.key)
+	}
+}
+
+// sealAndSubmit is the linger-timer path: seal unless the size cap beat
+// the timer to it.
+func (c *Coalescer) sealAndSubmit(b *pendingBatch) {
+	c.mu.Lock()
+	if b.sealed {
+		c.mu.Unlock()
+		return
+	}
+	c.sealLocked(b)
+	c.mu.Unlock()
+	c.submit(b)
+}
+
+// submit hands the sealed batch to the dispatcher as one job and fans a
+// lifecycle failure (queue full, shutdown) out to every member that has
+// not already been decided.
+func (c *Coalescer) submit(b *pendingBatch) {
+	err := c.disp.Do(c.base, func(context.Context) { c.runBatch(b) })
+	if err == nil {
+		return
+	}
+	for _, m := range b.members {
+		if m.claimed.CompareAndSwap(false, true) {
+			m.lifeErr = err
+			close(m.done)
+		}
+	}
+}
+
+// runBatch executes the batch on a dispatcher worker: one plan resolution,
+// one arena borrow, members in arrival order. Each member is claimed with
+// the same CAS protocol the dispatcher uses, so an abandoned member is
+// skipped without running and a running member's submitter waits it out.
+func (c *Coalescer) runBatch(b *pendingBatch) {
+	if c.batches != nil {
+		c.batches.Add(1)
+	}
+	if c.occupancy != nil {
+		c.occupancy.Observe(float64(len(b.members)))
+	}
+	if c.batched != nil && len(b.members) > 1 {
+		c.batched.Add(uint64(len(b.members)))
+	}
+	bx := c.begin(b.key)
+	defer bx.end()
+	for _, m := range b.members {
+		if !m.claimed.CompareAndSwap(false, true) {
+			continue // abandoned while pending/queued; nobody is waiting
+		}
+		if err := m.ctx.Err(); err != nil {
+			// Claimed but the request is already dead: report the context
+			// error without touching the arenas.
+			m.lifeErr = err
+			close(m.done)
+			continue
+		}
+		c.runMember(m, bx)
+		close(m.done)
+	}
+}
+
+// runMember invokes one member under a recover barrier: a panic poisons
+// only this member (converted to its *PanicError) and the shared arenas
+// are dropped, not recycled — the next member re-borrows fresh ones.
+func (c *Coalescer) runMember(m *batchMember, bx *BatchExec) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panicErr = &PanicError{Val: r, Stack: debug.Stack()}
+			bx.poison()
+		}
+	}()
+	m.run(m.ctx, bx)
+}
+
+// Close seals and submits every pending batch immediately and rejects
+// further submissions. Members of the flushed batches still execute (or
+// fail with the dispatcher's shutdown error); their request contexts are
+// typically already cancelled by the server's closing context, so computes
+// abort at the next chunk claim.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var flush []*pendingBatch
+	for _, b := range c.pending {
+		c.sealLocked(b)
+		flush = append(flush, b)
+	}
+	c.mu.Unlock()
+	for _, b := range flush {
+		go c.submit(b)
+	}
+}
+
+// BatchExec is the shared execution state of one running batch: the
+// resolved plan entry plus the workspace/output arenas every member
+// executes through in turn. It is used from exactly one goroutine (the
+// batch's dispatcher worker), so no locking is needed; members must finish
+// with a returned gradient before returning, because the next member
+// overwrites the same arena.
+type BatchExec struct {
+	rt  *Runtime
+	key PlanKey
+	e   *Entry
+	hit bool
+	err error // plan-resolution failure, returned to every member
+
+	ws  *core.Workspace // WinRS entries only; nil after a panic until re-borrowed
+	out *tensor.Float32
+}
+
+// beginBatch resolves key once and borrows the batch's shared arenas. A
+// resolution failure is carried in the BatchExec and surfaces from every
+// member's execute call, mapping to the same per-request compute error the
+// un-batched path would produce.
+func (rt *Runtime) beginBatch(key PlanKey) *BatchExec {
+	bx := &BatchExec{rt: rt, key: key}
+	e, hit, err := rt.cache.Get(key)
+	if err != nil {
+		bx.err = err
+		return bx
+	}
+	bx.e, bx.hit = e, hit
+	bx.borrow()
+	return bx
+}
+
+// borrow acquires the shared arenas and counts them against the runtime's
+// borrow ledger.
+func (bx *BatchExec) borrow() {
+	if bx.e.Cfg != nil {
+		bx.ws = bx.e.AcquireWorkspace()
+	}
+	bx.out = bx.e.acquireOut()
+	bx.rt.borrowed.Add(1)
+}
+
+// poison drops the borrowed arenas for the GC after a member panic: a
+// sched helper could in principle still be writing into a workspace
+// abandoned mid-unwind, and a dropped arena can corrupt nothing. The next
+// member re-borrows fresh arenas lazily.
+func (bx *BatchExec) poison() {
+	if bx.out == nil && bx.ws == nil {
+		return
+	}
+	bx.ws, bx.out = nil, nil
+	bx.rt.borrowed.Add(-1)
+}
+
+// end recycles the arenas (unless a trailing panic dropped them).
+func (bx *BatchExec) end() {
+	if bx.out == nil {
+		return
+	}
+	if bx.ws != nil {
+		bx.e.ReleaseWorkspace(bx.ws)
+	}
+	bx.e.releaseOut(bx.out)
+	bx.ws, bx.out = nil, nil
+	bx.rt.borrowed.Add(-1)
+}
+
+// ensure re-borrows arenas if a previous member's panic dropped them.
+func (bx *BatchExec) ensure() {
+	if bx.out == nil {
+		bx.borrow()
+	}
+}
+
+// BackwardFilter executes one member's FP32 gradient through the batch's
+// shared plan and arenas; semantics match Runtime.BackwardFilterPooledCtx
+// (fault hook, cancellation, pooled result handed to use).
+func (bx *BatchExec) BackwardFilter(ctx context.Context, x, dy *tensor.Float32,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	if bx.err != nil {
+		return bx.err
+	}
+	bx.ensure()
+	if err := bx.rt.injectFault(ctx, bx.key); err != nil {
+		return err
+	}
+	if bx.e.Cfg == nil {
+		if err := bx.e.exec.ExecuteCtx(ctx, bx.key.Params, x, dy, bx.out); err != nil {
+			return err
+		}
+		return use(bx.out, bx.e, bx.hit)
+	}
+	dw, err := core.ExecuteInCtx(ctx, bx.e.Cfg, bx.ws, x, dy, bx.out)
+	if err != nil {
+		return err
+	}
+	return use(dw, bx.e, bx.hit)
+}
+
+// BackwardFilterHalf is BackwardFilter for binary16 operands.
+func (bx *BatchExec) BackwardFilterHalf(ctx context.Context, x, dy *tensor.Half,
+	use func(dw *tensor.Float32, e *Entry, hit bool) error) error {
+	if bx.err != nil {
+		return bx.err
+	}
+	bx.ensure()
+	if err := bx.rt.injectFault(ctx, bx.key); err != nil {
+		return err
+	}
+	if bx.e.Cfg == nil {
+		if err := bx.e.exec.ExecuteHalfCtx(ctx, bx.key.Params, x, dy, bx.out); err != nil {
+			return err
+		}
+		return use(bx.out, bx.e, bx.hit)
+	}
+	dw, err := core.ExecuteHalfInCtx(ctx, bx.e.Cfg, bx.ws, x, dy, bx.out)
+	if err != nil {
+		return err
+	}
+	return use(dw, bx.e, bx.hit)
+}

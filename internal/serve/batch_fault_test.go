@@ -1,0 +1,215 @@
+package serve_test
+
+// Fault injection for batch membership, via Runtime.SetFaultHook: one
+// member disconnecting mid-batch must not poison the rest, and a panic
+// inside a batched compute must 500 only the affected member while the
+// shared arenas return to the pools (Borrowed() == 0).
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"winrs"
+	"winrs/internal/serve"
+)
+
+func newBatchFaultServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.NewServer(serve.Config{
+		Workers:     2,
+		QueueDepth:  64,
+		BatchMax:    16,
+		BatchLinger: 150 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestFaultBatchMemberDisconnect drops one member's client mid-batch; the
+// surviving members must answer 200 with the exact library gradient, and
+// the shared arenas must be back in the pools afterwards.
+func TestFaultBatchMemberDisconnect(t *testing.T) {
+	s, ts := newBatchFaultServer(t)
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1}
+	x, dy := randLayer(t, 401, p)
+	lib, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.AppendF32(nil, lib.Data)
+	body := frameF32(t, p, x, dy)
+
+	// The first hook invocation (the batch's first-running member) blocks
+	// until either its own context dies or the test releases it; later
+	// invocations pass straight through.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	s.Runtime().SetFaultHook(func(ctx context.Context, key serve.PlanKey) error {
+		if first.CompareAndSwap(true, false) {
+			close(entered)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-release:
+				return nil
+			}
+		}
+		return nil
+	})
+	defer s.Runtime().SetFaultHook(nil)
+
+	// Member A will be disconnected; B and C are healthy.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctxA, http.MethodPost,
+			ts.URL+"/v1/backward_filter", bytes.NewReader(body))
+		if err != nil {
+			aDone <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		aDone <- nil
+	}()
+
+	type result struct {
+		status int
+		out    []byte
+		err    error
+	}
+	var wg sync.WaitGroup
+	results := make([]result, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].status, results[i].out, results[i].err = postRaw(ts.URL, body)
+		}(i)
+	}
+
+	// Wait for the batch to start running, drop A mid-batch, then release
+	// the blocked member (which may itself be A — either way the batch
+	// continues with the survivors).
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never started")
+	}
+	cancelA()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	<-aDone
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("survivor %d: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("survivor %d: status %d: %s", i, r.status, r.out)
+		}
+		if !bytes.Equal(r.out, want) {
+			t.Fatalf("survivor %d: gradient differs after a member disconnect", i)
+		}
+	}
+	if got := s.Runtime().Borrowed(); got != 0 {
+		t.Errorf("Borrowed() = %d after member disconnect, want 0", got)
+	}
+}
+
+// TestFaultBatchPanicIsolatesMember panics exactly one member's compute
+// inside a multi-member batch: that member answers 500, every other
+// member answers 200 with the exact gradient, the arenas do not leak, and
+// the server keeps serving.
+func TestFaultBatchPanicIsolatesMember(t *testing.T) {
+	s, ts := newBatchFaultServer(t)
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 3, PH: 1, PW: 1}
+	x, dy := randLayer(t, 402, p)
+	lib, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.AppendF32(nil, lib.Data)
+	body := frameF32(t, p, x, dy)
+
+	// Panic on the second hook invocation, so the batch has already run a
+	// healthy member on the shared arenas and must run more after the
+	// poisoned ones are replaced.
+	var calls atomic.Int64
+	s.Runtime().SetFaultHook(func(ctx context.Context, key serve.PlanKey) error {
+		if calls.Add(1) == 2 {
+			panic("injected batched compute panic")
+		}
+		return nil
+	})
+	defer s.Runtime().SetFaultHook(nil)
+
+	const members = 4
+	type result struct {
+		status int
+		out    []byte
+		err    error
+	}
+	var wg sync.WaitGroup
+	results := make([]result, members)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].status, results[i].out, results[i].err = postRaw(ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, failed int
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("member %d: %v", i, r.err)
+		}
+		switch r.status {
+		case http.StatusOK:
+			ok++
+			if !bytes.Equal(r.out, want) {
+				t.Errorf("member %d: gradient differs after a sibling panic", i)
+			}
+		case http.StatusInternalServerError:
+			failed++
+		default:
+			t.Errorf("member %d: unexpected status %d: %s", i, r.status, r.out)
+		}
+	}
+	if failed != 1 || ok != members-1 {
+		t.Fatalf("outcomes: %d ok, %d failed; want %d ok, 1 failed", ok, failed, members-1)
+	}
+	if got := s.Runtime().Borrowed(); got != 0 {
+		t.Errorf("Borrowed() = %d after batched panic, want 0", got)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "winrs_panics_total 1") {
+		t.Error("metrics missing winrs_panics_total 1")
+	}
+
+	// The pools and workers must still serve the next request correctly.
+	status, out, err := postRaw(ts.URL, body)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("follow-up after batched panic: status %d err %v", status, err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Error("follow-up gradient differs after batched panic")
+	}
+}

@@ -1,0 +1,288 @@
+package serve_test
+
+// Differential suite for cross-request micro-batching: responses produced
+// through the coalescer must be byte-for-byte identical to the library
+// path (and therefore to the un-batched serving path, which server_test
+// pins against the same oracle), across FP32/FP16 and the inline (1) and
+// pooled (4) GOMAXPROCS regimes, including a mixed-geometry interleave
+// proving distinct plan keys never cross-contaminate batches.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"winrs"
+	"winrs/internal/serve"
+)
+
+// newBatchServer starts a server with coalescing enabled: a generous
+// linger so concurrently fired requests reliably share a batch, a size cap
+// above every test's request count so only the linger seals.
+func newBatchServer(t *testing.T, workers int) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.NewServer(serve.Config{
+		Workers:     workers,
+		QueueDepth:  64,
+		BatchMax:    32,
+		BatchLinger: 200 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postRaw posts a pre-framed body and returns status and response bytes;
+// goroutine-safe (no t.Fatal).
+func postRaw(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url+"/v1/backward_filter", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+// frameF32 builds the framed FP32 backward-filter request body.
+func frameF32(t *testing.T, p winrs.Params, x, dy *winrs.Tensor) []byte {
+	t.Helper()
+	body, err := serve.EncodeRequest(serve.RequestHeader{Op: "backward_filter", Params: p},
+		serve.AppendF32(nil, x.Data), serve.AppendF32(nil, dy.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestBatchDifferentialBitIdentical fires N concurrent same-geometry
+// requests through the coalescer and requires every response to equal the
+// library gradient byte-for-byte, in both scheduling regimes and both
+// precisions. The occupancy metrics must show that batching actually
+// happened — a silently degenerate batch-of-1 sweep would prove nothing.
+func TestBatchDifferentialBitIdentical(t *testing.T) {
+	p := winrs.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	const concurrent = 6
+
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			t.Run("fp32", func(t *testing.T) {
+				s, ts := newBatchServer(t, 2)
+				x, dy := randLayer(t, 101, p)
+				lib, err := winrs.BackwardFilter(p, x, dy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := serve.AppendF32(nil, lib.Data)
+				body := frameF32(t, p, x, dy)
+				driveIdentical(t, ts.URL, body, want, concurrent)
+				assertBatched(t, s, ts.URL, concurrent)
+			})
+
+			t.Run("fp16", func(t *testing.T) {
+				s, ts := newBatchServer(t, 2)
+				xf, dyf := randLayer(t, 102, p)
+				xh, dyh := xf.ToHalf(), dyf.ToHalf()
+				lib, err := winrs.BackwardFilterHalf(p, xh, dyh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := serve.AppendF32(nil, lib.Data)
+				body, err := serve.EncodeRequest(
+					serve.RequestHeader{Op: "backward_filter", Params: p, DType: serve.F16},
+					serve.AppendF16(nil, xh.Data), serve.AppendF16(nil, dyh.Data))
+				if err != nil {
+					t.Fatal(err)
+				}
+				driveIdentical(t, ts.URL, body, want, concurrent)
+				assertBatched(t, s, ts.URL, concurrent)
+			})
+		})
+	}
+}
+
+// driveIdentical posts body n times concurrently and requires every
+// response to be 200 with exactly want bytes.
+func driveIdentical(t *testing.T, url string, body, want []byte, n int) {
+	t.Helper()
+	type result struct {
+		status int
+		out    []byte
+		err    error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].status, results[i].out, results[i].err = postRaw(url, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.out)
+		}
+		if !bytes.Equal(r.out, want) {
+			t.Fatalf("request %d: batched response differs from the library gradient", i)
+		}
+	}
+}
+
+// assertBatched requires that the n concurrent requests actually rode
+// multi-member batches (metrics moved), not n degenerate singletons.
+func assertBatched(t *testing.T, s *serve.Server, url string, n int) {
+	t.Helper()
+	mean, count := s.Stats().BatchOccupancy.Mean()
+	if count == 0 {
+		t.Fatal("no batch executions recorded")
+	}
+	if s.Stats().Batched.Load() == 0 {
+		t.Errorf("winrs_batched_total stayed 0 across %d concurrent same-key requests (mean occupancy %.1f)", n, mean)
+	}
+	metrics := scrapeMetrics(t, url)
+	if !strings.Contains(metrics, "winrs_batch_occupancy_count") {
+		t.Error("metrics missing winrs_batch_occupancy series")
+	}
+}
+
+// TestBatchMixedGeometryInterleave interleaves three distinct plan keys
+// concurrently; every response must match its own geometry's library
+// gradient — a batch mixing keys would corrupt shapes or payloads.
+func TestBatchMixedGeometryInterleave(t *testing.T) {
+	_, ts := newBatchServer(t, 4)
+	geos := []winrs.Params{
+		{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1},
+		{N: 2, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 3, PH: 1, PW: 1},
+		{N: 1, IH: 14, IW: 14, FH: 5, FW: 5, IC: 2, OC: 2, PH: 2, PW: 2},
+	}
+	const perGeo = 4
+	bodies := make([][]byte, len(geos))
+	wants := make([][]byte, len(geos))
+	for i, p := range geos {
+		x, dy := randLayer(t, int64(200+i), p)
+		lib, err := winrs.BackwardFilter(p, x, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = frameF32(t, p, x, dy)
+		wants[i] = serve.AppendF32(nil, lib.Data)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(geos)*perGeo)
+	for i := range geos {
+		for j := 0; j < perGeo; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				status, out, err := postRaw(ts.URL, bodies[i])
+				if err != nil {
+					errs <- fmt.Errorf("geo %d req %d: %w", i, j, err)
+					return
+				}
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("geo %d req %d: status %d: %s", i, j, status, out)
+					return
+				}
+				if !bytes.Equal(out, wants[i]) {
+					errs <- fmt.Errorf("geo %d req %d: response crossed batches (payload differs)", i, j)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBatchSealsOnSizeCap proves the size cap seals a batch without
+// waiting out the linger window: with a far-future linger, max members
+// arriving promptly must still complete promptly.
+func TestBatchSealsOnSizeCap(t *testing.T) {
+	s := serve.NewServer(serve.Config{
+		Workers:     2,
+		QueueDepth:  64,
+		BatchMax:    3,
+		BatchLinger: 30 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x, dy := randLayer(t, 300, p)
+	body := frameF32(t, p, x, dy)
+
+	done := make(chan error, 3)
+	t0 := time.Now()
+	for i := 0; i < 3; i++ {
+		go func() {
+			status, out, err := postRaw(ts.URL, body)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("status %d: %s", status, out)
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("size-capped batch did not execute before the linger window")
+		}
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("batch took %v; the size cap should have sealed it immediately", elapsed)
+	}
+	if got := s.Runtime().Borrowed(); got != 0 {
+		t.Errorf("Borrowed() = %d, want 0", got)
+	}
+}
+
+// TestBatchDisabledBypass pins the default: without BatchMax/BatchLinger
+// the coalescer is absent, requests run per-request, and the batch metrics
+// stay zero.
+func TestBatchDisabledBypass(t *testing.T) {
+	s, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x, dy := randLayer(t, 301, p)
+	for i := 0; i < 3; i++ {
+		resp, out := postBackwardFilter(t, ts.URL, p, x, dy)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, out)
+		}
+	}
+	if got := s.Stats().Batches.Load(); got != 0 {
+		t.Errorf("winrs_batches_total = %d on a non-batching server, want 0", got)
+	}
+	metrics := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(metrics, "winrs_batches_total 0") {
+		t.Error("metrics missing pre-registered winrs_batches_total 0")
+	}
+}

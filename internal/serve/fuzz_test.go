@@ -1,0 +1,90 @@
+package serve
+
+// FuzzProtoRoundTrip drives DecodeRequest with arbitrary bytes: it must
+// never panic, and whenever it accepts a frame, re-encoding the decoded
+// header with the decoded payload and decoding again must reproduce both
+// exactly — the round-trip law the server and router both lean on (the
+// router re-frames nothing, but its route hash reads the same decoded
+// header the node will see).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"winrs/internal/conv"
+)
+
+// fuzzFrame builds a well-formed body for the seed corpus.
+func fuzzFrame(tb testing.TB, hdr RequestHeader, payload []byte) []byte {
+	tb.Helper()
+	body, err := EncodeRequest(hdr, payload)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return body
+}
+
+func FuzzProtoRoundTrip(f *testing.F) {
+	p := conv.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+
+	// Seeds: a realistic request per op/dtype, edge headers, and targeted
+	// corruptions of each framing field.
+	seeds := [][]byte{
+		fuzzFrame(f, RequestHeader{Op: "backward_filter", Params: p}, bytes.Repeat([]byte{0x3f}, 64)),
+		fuzzFrame(f, RequestHeader{Op: "backward_filter", Params: p, DType: F16, Segments: 2, NSM: 64, Algo: "auto"}, []byte{1, 2, 3, 4}),
+		fuzzFrame(f, RequestHeader{Op: "forward", Params: p}, nil),
+		fuzzFrame(f, RequestHeader{}, nil),
+	}
+	seeds = append(seeds,
+		[]byte{},                           // empty
+		[]byte("WRS1"),                     // magic only, no length
+		[]byte("XXXX\x00\x00\x00\x00"),     // wrong magic
+		[]byte("WRS1\x00\x00\x00\x00"),     // zero header length
+		[]byte("WRS1\xff\xff\xff\xff"),     // implausible header length
+		[]byte("WRS1\x02\x00\x00\x00{}"),   // minimal valid JSON header
+		[]byte("WRS1\x05\x00\x00\x00{]]]"), // length past truncated junk header
+	)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, payload, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only the absence of panics matters
+		}
+
+		// Accepted frames must re-encode deterministically and round-trip.
+		body, err := EncodeRequest(hdr, payload)
+		if err != nil {
+			t.Fatalf("decoded header failed to re-encode: %v", err)
+		}
+		hdr2, payload2, err := DecodeRequest(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(hdr, hdr2) {
+			t.Fatalf("header round-trip mismatch:\n  first  %+v\n  second %+v", hdr, hdr2)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Fatalf("payload round-trip mismatch: %d vs %d bytes", len(payload), len(payload2))
+		}
+
+		// The framing preamble of the re-encoded body must be canonical.
+		if len(body) < 8 || [4]byte(body[:4]) != Magic {
+			t.Fatal("re-encoded body lost the magic")
+		}
+		hlen := binary.LittleEndian.Uint32(body[4:8])
+		if int(8+hlen)+len(payload) != len(body) {
+			t.Fatalf("re-encoded length bookkeeping off: hlen=%d payload=%d body=%d",
+				hlen, len(payload), len(body))
+		}
+
+		// Route hashing must be total and stable on every accepted header.
+		if RouteHash(hdr) != RouteHash(hdr2) {
+			t.Fatal("route hash differs across a round-trip")
+		}
+	})
+}

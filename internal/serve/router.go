@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"winrs/internal/obs"
+)
+
+// Router is the winrs-router shard front: it decodes just enough of each
+// framed request to compute its plan-key route hash, picks the owning node
+// off a consistent-hash ring, and forwards the raw frame unmodified over
+// HTTP. Because the mapping is a pure function of the key and the ring,
+// every geometry keeps hitting the same node's plan/Ŵ caches; adding a
+// node remaps ~1/n of the key space and draining a node stops new picks
+// while in-flight forwards complete — the router exposes both operations
+// as admin endpoints so membership changes are live.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	client *http.Client
+	reg    *obs.Registry
+
+	mu       sync.Mutex
+	inflight map[string]*nodeTraffic // per node address
+
+	forwardErrs *obs.Counter
+	noNode      *obs.Counter
+}
+
+// nodeTraffic tracks one node's router-side traffic: the in-flight count
+// gates drains, the counter feeds the per-shard metric series.
+type nodeTraffic struct {
+	mu       sync.Mutex
+	inflight int
+	idle     chan struct{} // closed when inflight drops to 0; replaced on reuse
+	total    *obs.Counter
+	errs     *obs.Counter
+}
+
+// RouterConfig sizes the router. Zero values select the defaults.
+type RouterConfig struct {
+	// Nodes seeds the ring with shard base URLs (e.g. "http://10.0.0.1:8780").
+	Nodes []string
+	// Replicas is the virtual-point count per node (default 64).
+	Replicas int
+	// MaxBodyBytes caps a forwarded request body (default 1 GiB).
+	MaxBodyBytes int64
+	// ForwardTimeout bounds one forwarded request (default 60s).
+	ForwardTimeout time.Duration
+}
+
+func (c *RouterConfig) fillDefaults() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
+	}
+}
+
+// NewRouter builds a router over the seed nodes.
+func NewRouter(cfg RouterConfig) *Router {
+	cfg.fillDefaults()
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas),
+		client:   &http.Client{Timeout: cfg.ForwardTimeout},
+		reg:      obs.NewRegistry(),
+		inflight: make(map[string]*nodeTraffic),
+	}
+	rt.forwardErrs = rt.reg.Counter("winrs_router_forward_errors_total",
+		"Forwards that failed to reach their node (502).")
+	rt.noNode = rt.reg.Counter("winrs_router_no_node_total",
+		"Requests rejected because no active node remained (503).")
+	rt.reg.GaugeFunc("winrs_router_nodes_active", "Nodes currently taking new picks.",
+		func() float64 { return float64(rt.ring.Active()) })
+	for _, n := range cfg.Nodes {
+		rt.AddNode(n)
+	}
+	return rt
+}
+
+// Registry exposes the router's metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Ring exposes the membership ring (tests, embedding).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// traffic returns (creating if needed) the node's traffic record and its
+// per-shard metric handles.
+func (rt *Router) traffic(addr string) *nodeTraffic {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n, ok := rt.inflight[addr]
+	if !ok {
+		n = &nodeTraffic{
+			total: rt.reg.Counter("winrs_router_forwarded_total",
+				"Requests forwarded per shard node.", obs.Label{Key: "node", Value: addr}),
+			errs: rt.reg.Counter("winrs_router_node_errors_total",
+				"Forward failures per shard node.", obs.Label{Key: "node", Value: addr}),
+		}
+		rt.inflight[addr] = n
+	}
+	return n
+}
+
+func (n *nodeTraffic) enter() {
+	n.mu.Lock()
+	n.inflight++
+	n.mu.Unlock()
+}
+
+func (n *nodeTraffic) exit() {
+	n.mu.Lock()
+	n.inflight--
+	if n.inflight == 0 && n.idle != nil {
+		close(n.idle)
+		n.idle = nil
+	}
+	n.mu.Unlock()
+}
+
+// awaitIdle blocks until the node has no in-flight forwards or the timeout
+// expires; reports whether it went idle.
+func (n *nodeTraffic) awaitIdle(timeout time.Duration) bool {
+	n.mu.Lock()
+	if n.inflight == 0 {
+		n.mu.Unlock()
+		return true
+	}
+	if n.idle == nil {
+		n.idle = make(chan struct{})
+	}
+	ch := n.idle
+	n.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// AddNode inserts (or re-activates) a shard node.
+func (rt *Router) AddNode(addr string) {
+	rt.traffic(addr)
+	rt.ring.Add(addr)
+}
+
+// DrainNode takes addr off the ring and waits up to timeout for its
+// in-flight forwards to complete. Returns an error for an unknown node or
+// an expired wait.
+func (rt *Router) DrainNode(addr string, timeout time.Duration) error {
+	if !rt.ring.Drain(addr) {
+		return fmt.Errorf("router: unknown node %q", addr)
+	}
+	if !rt.traffic(addr).awaitIdle(timeout) {
+		return fmt.Errorf("router: node %q still has in-flight requests after %v", addr, timeout)
+	}
+	return nil
+}
+
+// Handler returns the router mux: the three /v1/* op routes forwarded by
+// plan-key hash, the membership admin endpoints, /healthz and /metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, path := range []string{"/v1/backward_filter", "/v1/forward", "/v1/backward_data"} {
+		mux.HandleFunc("POST "+path, rt.forward)
+	}
+	mux.HandleFunc("POST /admin/nodes/add", rt.handleAdd)
+	mux.HandleFunc("POST /admin/nodes/drain", rt.handleDrain)
+	mux.HandleFunc("POST /admin/nodes/remove", rt.handleRemove)
+	mux.HandleFunc("GET /admin/ring", rt.handleRing)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+// forward routes one framed request. The body is read once (the header
+// must be parsed for the route hash) and forwarded verbatim — the node
+// re-validates the frame, so a malformed frame is rejected twice, once
+// here with whatever we can diagnose cheaply and once at depth.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hdr, _, err := DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	node, ok := rt.ring.Pick(RouteHash(hdr))
+	if !ok {
+		rt.noNode.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no active shard node", http.StatusServiceUnavailable)
+		return
+	}
+
+	tr := rt.traffic(node)
+	tr.enter()
+	defer tr.exit()
+	tr.total.Add(1)
+
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		node+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		tr.errs.Add(1)
+		rt.forwardErrs.Add(1)
+		log.Printf("router: forward to %s failed: %v", node, err)
+		http.Error(w, fmt.Sprintf("shard node unreachable: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Winrs-Shard", node)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) handleAdd(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	rt.AddNode(node)
+	fmt.Fprintf(w, "added %s\n", node)
+}
+
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	timeout := 30 * time.Second
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	if err := rt.DrainNode(node, timeout); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "drained %s\n", node)
+}
+
+func (rt *Router) handleRemove(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	if !rt.ring.Remove(node) {
+		http.Error(w, fmt.Sprintf("unknown node %q", node), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "removed %s\n", node)
+}
+
+func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
+	type nodeInfo struct {
+		Addr     string `json:"addr"`
+		Draining bool   `json:"draining"`
+		InFlight int    `json:"in_flight"`
+	}
+	var nodes []nodeInfo
+	for _, n := range rt.ring.Nodes() {
+		tr := rt.traffic(n.Addr)
+		tr.mu.Lock()
+		inf := tr.inflight
+		tr.mu.Unlock()
+		nodes = append(nodes, nodeInfo{Addr: n.Addr, Draining: n.Draining, InFlight: inf})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"nodes": nodes, "active": rt.ring.Active()})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok",
+		"active": rt.ring.Active(),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.reg.WriteText(w)
+}
