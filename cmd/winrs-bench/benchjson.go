@@ -48,7 +48,8 @@ func shapeTag(p conv.Params) string {
 
 // measureNs times fn as min-of-batches: reps are sized so one batch runs
 // ≳20ms, and the fastest of 3 batches is reported — the standard defense
-// against scheduler noise without a benchmarking dependency.
+// against scheduler noise (this host shows multi-second bursts) without a
+// benchmarking dependency.
 func measureNs(fn func()) float64 {
 	fn() // warm pools, page in operands
 	reps := 1
@@ -59,7 +60,7 @@ func measureNs(fn func()) float64 {
 		}
 		if d := time.Since(t0); d >= 20*time.Millisecond {
 			best := float64(d.Nanoseconds()) / float64(reps)
-			for b := 1; b < 3; b++ {
+			for b := 1; b < 5; b++ {
 				t0 = time.Now()
 				for i := 0; i < reps; i++ {
 					fn()
@@ -140,6 +141,7 @@ func runBenchJSON(path string) error {
 			WHatCacheBytes: cfg32.WHatCacheBytes(),
 			HotPath:        true,
 			StageShares:    benchStageShares(run32),
+			EWMKernel:      cfg32.EWMKernel(),
 		})
 
 		cfg16, err := core.Configure(p, core.WithFP16())
@@ -157,6 +159,7 @@ func runBenchJSON(path string) error {
 			WHatCacheBytes: cfg16.WHatCacheBytes(),
 			HotPath:        true,
 			StageShares:    benchStageShares(run16),
+			EWMKernel:      cfg16.EWMKernel(),
 		})
 
 		rep.Results = append(rep.Results, benchResult{
@@ -195,6 +198,20 @@ func runBenchJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "bench: dispatch %s -> %s (within-best %.2fx of %s)\n",
 			tag, rec.Chosen, rec.WithinBest, rec.BestBackend)
 		rep.Dispatch = append(rep.Dispatch, rec)
+	}
+
+	// EWM-only microbenchmark rows: per Ω kernel, per block shape, fused
+	// vs unfused — kernel-tier regressions stay attributable without a
+	// full grid run. Hot-path gated like the grid rows.
+	for _, cell := range core.EWMMicroCells() {
+		name := "ewm/" + cell.Kernel + "/" + cell.Variant
+		rep.Results = append(rep.Results, benchResult{
+			Name: name, Algo: "ewm_micro", Shape: cell.Kernel,
+			NsPerOp:     measureNs(cell.Run),
+			AllocsPerOp: testing.AllocsPerRun(10, cell.Run),
+			HotPath:     true,
+			EWMKernel:   cell.Variant,
+		})
 	}
 
 	return rep.Write(path)

@@ -110,6 +110,7 @@ func main() {
 		float64(cfg.WorkspaceBytes())/(1<<20))
 	fmt.Printf("what cache         %.2f MB (transformed-dY reuse, <= (max a/r) x dY)\n",
 		float64(cfg.WHatCacheBytes())/(1<<20))
+	fmt.Printf("ewm kernel         %s (host kernel-tier selection)\n", cfg.EWMKernel())
 	blocks := 0
 	for _, s := range cfg.Segments {
 		blocks += core.BlocksPerSegment(s.K, p, *fp16)

@@ -70,6 +70,10 @@ type Result struct {
 	WHatCacheBytes int64              `json:"what_cache_bytes,omitempty"`
 	HotPath        bool               `json:"hot_path"` // gated by -compare
 	StageShares    map[string]float64 `json:"stage_shares,omitempty"`
+	// EWMKernel attributes the row to a kernel-tier variant (WinRS rows
+	// and EWM micro rows): e.g. "fused8x4", "block8x8+v3". Additive field,
+	// absent in pre-tier baselines — no schema bump.
+	EWMKernel string `json:"ewm_kernel,omitempty"`
 }
 
 // Saturation is one serving-throughput scenario: a client fleet driving a

@@ -405,7 +405,10 @@ func (c *Config) WorkspaceBytes() int64 {
 //
 //	Σ_seg Rows(seg) · (Cols(seg)/r_seg) · N · α_seg · O_C  elements,
 //
-// at 4 bytes per element in FP32 and 2 in FP16. Because α/r ≤ max_s(α_s/r_s)
+// at 4 bytes per element in FP32 and, for FP16, 2 on the legacy
+// codec-per-unit path or 4 in the default decoded-operand mode (the
+// kernel tier keeps the binary16-rounded panels stored as float32 so
+// units skip the per-use decode; see fillRowHalfRes). Because α/r ≤ max_s(α_s/r_s)
 // and Σ_seg Rows·Cols·N·O_C = |∇Y|, the cache is bounded by
 // (max_s α_s/r_s)·sizeof(∇Y) regardless of Z — it rides the "tiny
 // workspace" axis (≈3× |∇Y| for Ω₁₆(2,14), ≈2× for Ω₆(4,3)) and is not
@@ -417,7 +420,7 @@ func (c *Config) WHatCacheBytes() int64 {
 		elems += int64(seg.Rows()) * int64(seg.Cols()/seg.K.R) *
 			int64(c.Params.N) * int64(seg.K.Alpha) * int64(c.Params.OC)
 	}
-	if c.FP16 {
+	if c.FP16 && !fp16Resident {
 		return elems * 2
 	}
 	return elems * 4

@@ -31,6 +31,9 @@ type Description struct {
 	WHatCacheBytes  int64   `json:"wHatCacheBytes"`
 	WHatCacheRatio  float64 `json:"wHatCacheRatio"`
 	TotalBlocks     int     `json:"totalBlocks"`
+	// EWMKernel is the kernel-tier variant the fast kernel's units resolve
+	// to under the current process knobs (e.g. "fused8x4", "block8x8+v3").
+	EWMKernel string `json:"ewmKernel"`
 }
 
 // Describe summarizes the configuration.
@@ -62,6 +65,7 @@ func (c *Config) Describe() Description {
 	for _, s := range c.Segments {
 		d.TotalBlocks += BlocksPerSegment(s.K, p, c.FP16)
 	}
+	d.EWMKernel = c.EWMKernel()
 	return d
 }
 

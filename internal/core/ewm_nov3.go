@@ -1,0 +1,14 @@
+//go:build !amd64.v3
+
+package core
+
+// Default (non-v3) leg: the arch-dispatched 8×8 block is the portable one
+// and the attribution carries no suffix.
+
+const ewmArchSuffix = ""
+
+// ewmPanel8x8Arch aliases the portable 8×8 block when no arch variant is
+// compiled in.
+func ewmPanel8x8Arch(ve, we, xe []float32, oc, ic int) {
+	ewmPanel8x8(ve, we, xe, oc, ic)
+}

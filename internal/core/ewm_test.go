@@ -1,0 +1,293 @@
+package core
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/tensor"
+	"winrs/internal/winograd"
+)
+
+// Kernel-tier differential tests: every block-shape variant, the fused
+// transform+EWM mode and the FP16 decoded-operand mode must be
+// bit-identical to the base 4×4 unfused path (FP32) and to the serial
+// scalar-codec reference (FP16), inline and through a width-4 pool.
+
+// forceEWM overrides the kernel-tier forcing mode for the duration of the
+// test — the test-process form of the WINRS_EWM_KERNEL env knob.
+func forceEWM(t testing.TB, mode ewmMode) {
+	t.Helper()
+	prev := ewmForce
+	ewmForce = mode
+	t.Cleanup(func() { ewmForce = prev })
+}
+
+// forceResident overrides the FP16 decoded-operand knob
+// (WINRS_FP16_RESIDENT) for the duration of the test.
+func forceResident(t testing.TB, on bool) {
+	t.Helper()
+	prev := fp16Resident
+	fp16Resident = on
+	t.Cleanup(func() { fp16Resident = prev })
+}
+
+// ewmVariantModes is the force matrix of the differential sweeps: every
+// kernel-tier mode, each pinned against the base/oracle tier.
+var ewmVariantModes = []struct {
+	name string
+	mode ewmMode
+}{
+	{"auto", ewmAuto},
+	{"block4", ewmBlock4},
+	{"block8", ewmBlock8},
+	{"fused", ewmFused},
+}
+
+// randPanels builds Ŵ/X̂ panels with planted zero rows (the zero-skip
+// paths) and a sign/magnitude mix.
+func randPanels(rng *rand.Rand, alpha, oc, ic int) (wHat, xHat []float32) {
+	wHat = make([]float32, alpha*oc)
+	xHat = make([]float32, alpha*ic)
+	for i := range wHat {
+		if rng.Intn(4) == 0 {
+			continue // zeros, often in runs that zero whole 4/8-row blocks
+		}
+		wHat[i] = (rng.Float32() - 0.5) * 4
+	}
+	for i := range xHat {
+		xHat[i] = (rng.Float32() - 0.5) * 4
+	}
+	return wHat, xHat
+}
+
+// Every register-blocked panel variant must produce bit-identical
+// accumulators to the base 4×4 kernel across row/column remainders
+// (including oc < 8 tails and ic % 8 ≠ 0) and planted zero rows: each v
+// element receives exactly one fused add per e in every variant, so any
+// difference is a real indexing bug.
+func TestEWMPanelVariantsMatchBase(t *testing.T) {
+	variants := []struct {
+		name  string
+		panel ewmPanelFunc
+	}{
+		{"8x4", ewmPanel8x4},
+		{"8x8", ewmPanel8x8},
+		{"8x8arch", ewmPanel8x8Arch},
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, alpha := range []int{2, 4, 8, 16} {
+		for _, oc := range []int{1, 3, 4, 7, 8, 9, 11, 16} {
+			for _, ic := range []int{1, 3, 4, 5, 8, 9, 16} {
+				wHat, xHat := randPanels(rng, alpha, oc, ic)
+				// Accumulate into a shared random prior — variants must
+				// agree on the += behaviour, not just on fresh zeros.
+				prior := make([]float32, alpha*oc*ic)
+				for i := range prior {
+					prior[i] = rng.Float32()
+				}
+				base := make([]float32, len(prior))
+				copy(base, prior)
+				ewmPanelsSel(ewmPanel, base, wHat, xHat, alpha, oc, ic)
+				for _, vr := range variants {
+					got := make([]float32, len(prior))
+					copy(got, prior)
+					ewmPanelsSel(vr.panel, got, wHat, xHat, alpha, oc, ic)
+					for i := range base {
+						if got[i] != base[i] {
+							t.Fatalf("%s α=%d oc=%d ic=%d: element %d differs: %v vs %v",
+								vr.name, alpha, oc, ic, i, got[i], base[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// matTMulRowF32 (the FP16 fused path's row-at-a-time input transform)
+// must reproduce each row of matTMulF32 exactly: per output row the
+// ascending-k accumulation order is identical.
+func TestMatTMulRowMatchesPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kr := range []struct{ n, r int }{{3, 2}, {3, 6}, {9, 8}} {
+		k, ok := winograd.Lookup(kr.n, kr.r)
+		if !ok {
+			t.Fatalf("kernel Ω(%d,%d) missing from registry", kr.n, kr.r)
+		}
+		tr := k.Transform()
+		_, dMat, _ := halfMats(tr)
+		alpha, ic := tr.Alpha, 5
+		in := make([]float32, alpha*ic)
+		for i := range in {
+			in[i] = (rng.Float32() - 0.5) * 8
+		}
+		want := make([]float32, alpha*ic)
+		matTMulF32(dMat, in, want, alpha, ic)
+		row := make([]float32, ic)
+		for e := 0; e < alpha; e++ {
+			matTMulRowF32(dMat, in, row, e, alpha, ic)
+			for x := 0; x < ic; x++ {
+				if row[x] != want[e*ic+x] {
+					t.Fatalf("Ω%d row %d col %d: %v vs %v", alpha, e, x, row[x], want[e*ic+x])
+				}
+			}
+		}
+	}
+}
+
+// ewmSweepCases is the forced-variant differential subset: shapes chosen
+// to cover α ∈ {4, 8, 16} kernels, padding clip paths, O_C/I_C remainders
+// and multi-segment scheduling, while keeping the mode × precision ×
+// pool matrix affordable under -race.
+var ewmSweepCases = []struct {
+	name string
+	p    conv.Params
+	segs int
+}{
+	{"3x3_pad1", conv.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 3, OC: 5, PH: 1, PW: 1}, 2},
+	{"5x5_pad2", conv.Params{N: 2, IH: 14, IW: 16, FH: 5, FW: 5, IC: 2, OC: 3, PH: 2, PW: 2}, 2},
+	{"nonpow2_channels", conv.Params{N: 1, IH: 13, IW: 17, FH: 3, FW: 3, IC: 5, OC: 7, PH: 1, PW: 1}, 3},
+	{"c16_interior", conv.Params{N: 1, IH: 16, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1}, 2},
+	{"9x9_alpha16", conv.Params{N: 1, IH: 20, IW: 20, FH: 9, FW: 9, IC: 3, OC: 9, PH: 4, PW: 4}, 0},
+}
+
+// Forcing each kernel-tier mode must not change a single output bit on
+// the FP32 path: the oracle is the forced base tier (block4 = the 4×4
+// unfused kernel the pre-tier code ran), compared inline and pooled.
+func TestEWMForcedVariantsMatchBaseFP32(t *testing.T) {
+	for _, tc := range ewmSweepCases {
+		opts := []Option{}
+		if tc.segs > 0 {
+			opts = append(opts, WithSegments(tc.segs))
+		}
+		cfg, err := Configure(tc.p, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		x, dy := poolLayer(t, 43, tc.p)
+
+		var want *tensor.Float32
+		func() {
+			forceEWM(t, ewmBlock4)
+			want = Execute(cfg, x, dy)
+		}()
+
+		for _, vm := range ewmVariantModes {
+			t.Run(tc.name+"/"+vm.name, func(t *testing.T) {
+				forceEWM(t, vm.mode)
+				got := Execute(cfg, x, dy)
+				equalBits(t, "inline", got.Data, want.Data)
+				withTestPool(t, 4, func() {
+					got := Execute(cfg, x, dy)
+					equalBits(t, "pool4", got.Data, want.Data)
+				})
+			})
+		}
+	}
+}
+
+// The FP16 force matrix: every kernel-tier mode × resident/codec operand
+// mode must match the serial scalar-codec reference executor bit for bit.
+// This is the oracle pinning of the decoded-operand residency claim: the
+// float32-resident Ŵ cache and bulk-decoded operands hold exactly the
+// values the per-unit scalar codec round trips produce.
+func TestEWMForcedVariantsMatchScalarRefFP16(t *testing.T) {
+	for _, tc := range ewmSweepCases {
+		opts := []Option{WithFP16()}
+		if tc.segs > 0 {
+			opts = append(opts, WithSegments(tc.segs))
+		}
+		cfg, err := Configure(tc.p, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		xh, dyh := halfLayer(t, 44, tc.p)
+		want := executeHalfScalarRef(cfg, xh, dyh)
+
+		for _, vm := range ewmVariantModes {
+			for _, res := range []struct {
+				name string
+				on   bool
+			}{{"resident", true}, {"codec", false}} {
+				t.Run(tc.name+"/"+vm.name+"/"+res.name, func(t *testing.T) {
+					forceEWM(t, vm.mode)
+					forceResident(t, res.on)
+					got := ExecuteHalf(cfg, xh, dyh)
+					equalBits(t, "inline", got.Data, want.Data)
+					withTestPool(t, 4, func() {
+						got := ExecuteHalf(cfg, xh, dyh)
+						equalBits(t, "pool4", got.Data, want.Data)
+					})
+				})
+			}
+		}
+	}
+}
+
+// Steady-state pooled ExecuteHalfIn must allocate nothing in the default
+// decoded-operand mode: the resident Ŵ cache, the xDec/dyDec mirrors and
+// the fused-path closure all live in reused arenas or on the stack.
+func TestExecuteHalfAllocsZeroWithPool(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pinning runs without -race")
+	}
+	p := conv.Params{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1}
+	cfg, err := Configure(p, WithSegments(4), WithFP16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xh, dyh := halfLayer(t, 45, p)
+	ws := NewWorkspace(cfg)
+	dst := tensor.NewFloat32(p.DWShape())
+
+	withTestPool(t, 4, func() {
+		for i := 0; i < 8; i++ {
+			ExecuteHalfIn(cfg, ws, xh, dyh, dst)
+		}
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		allocs := testing.AllocsPerRun(50, func() { ExecuteHalfIn(cfg, ws, xh, dyh, dst) })
+		if allocs != 0 {
+			t.Errorf("steady-state pooled ExecuteHalfIn allocates %v per run, want 0", allocs)
+		}
+	})
+}
+
+// EWMKernel must report the selection the executing units actually
+// resolve, including force modes and the codec fallback tag.
+func TestEWMKernelReporting(t *testing.T) {
+	p := conv.Params{N: 1, IH: 16, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1}
+	cfg, err := Configure(p) // fast kernel Ω8(3,6): fp32 block (64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg16, err := Configure(p, WithFP16()) // fp16 block (128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forceEWM(t, ewmAuto)
+	forceResident(t, true)
+	if got, want := cfg.EWMKernel(), "fused8x4"; got != want {
+		t.Errorf("fp32 auto: %q, want %q (B_M 32 keeps the 4-wide column block)", got, want)
+	}
+	if got, want := cfg16.EWMKernel(), "fused8x8"+ewmArchSuffix; got != want {
+		t.Errorf("fp16 auto: %q, want %q (precision-aware B_M 64 widens the block)", got, want)
+	}
+
+	forceEWM(t, ewmBlock4)
+	if got, want := cfg.EWMKernel(), "block4x4"; got != want {
+		t.Errorf("forced block4: %q, want %q", got, want)
+	}
+
+	forceResident(t, false)
+	forceEWM(t, ewmAuto)
+	if got, want := cfg16.EWMKernel(), "block4x4+codec"; got != want {
+		t.Errorf("fp16 codec fallback: %q, want %q", got, want)
+	}
+
+	if d := cfg.Describe(); d.EWMKernel == "" {
+		t.Error("Describe() leaves EWMKernel empty")
+	}
+}

@@ -100,6 +100,7 @@ type execJob struct {
 	x32, dy32 *tensor.Float32
 	x16, dy16 *tensor.Half
 	half      bool
+	resident  bool // FP16 decoded-operand mode (see fp16Resident)
 	traceOn   bool
 }
 
@@ -117,10 +118,14 @@ func (j *execJob) Run(lo, hi int) {
 		jTiles := fw / seg.K.N
 		local := i - off[si]
 		fh, jt := local/jTiles, local%jTiles
-		if j.half {
+		switch {
+		case j.half && j.resident:
+			what := ws.what32[ws.whatOff[si]:ws.whatOff[si+1]]
+			tileHalfResUnit(cfg.Params, seg, fh, jt, j.x16, ws.xDec, what, ws.buckets[si], j.traceOn)
+		case j.half:
 			what := ws.what16[ws.whatOff[si]:ws.whatOff[si+1]]
 			tileHalfUnit(cfg.Params, seg, fh, jt, j.x16, what, ws.buckets[si], j.traceOn)
-		} else {
+		default:
 			what := ws.what32[ws.whatOff[si]:ws.whatOff[si+1]]
 			tile32Unit(cfg.Params, seg, fh, jt, j.x32, what, ws.buckets[si], j.traceOn)
 		}
@@ -132,11 +137,12 @@ func (j *execJob) Run(lo, hi int) {
 // every (width-tile, batch) ∇Y unit of that row into the cache. Like
 // execJob it is embedded in the Workspace and reused across calls.
 type fillJob struct {
-	cfg  *Config
-	ws   *Workspace
-	dy32 *tensor.Float32
-	dy16 *tensor.Half
-	half bool
+	cfg      *Config
+	ws       *Workspace
+	dy32     *tensor.Float32
+	dy16     *tensor.Half
+	half     bool
+	resident bool
 }
 
 // Run fills global segment rows [lo, hi).
@@ -153,11 +159,15 @@ func (f *fillJob) Run(lo, hi int) {
 		}
 		seg := cfg.Segments[si]
 		oh := seg.Row0 + (i - ws.rowOff[si])
-		if f.half {
+		switch {
+		case f.half && f.resident:
+			fillRowHalfRes(p, seg, oh, f.dy16, ws.dyDec, s,
+				ws.what32[ws.whatOff[si]:ws.whatOff[si+1]])
+		case f.half:
 			fillRowHalf(p, seg, oh, f.dy16, s,
 				ws.what16[ws.whatOff[si]:ws.whatOff[si+1]])
-		} else {
-			fillRow32(p, seg, oh, f.dy32, s,
+		default:
+			fillRow32(p, seg, oh, f.dy32,
 				ws.what32[ws.whatOff[si]:ws.whatOff[si+1]])
 		}
 	}
@@ -170,23 +180,23 @@ func (f *fillJob) Run(lo, hi int) {
 // (oh, ow0, nb); computing them exactly once here keeps the execution
 // bit-identical while amortizing the transform.
 func fillRow32(p conv.Params, seg Segment, oh int, dy *tensor.Float32,
-	s *tileScratch, what []float32) {
+	what []float32) {
 	tr := seg.K.Transform().Balanced()
 	gPlan, _ := tr.PanelPlans()
 	r, alpha, oc := tr.R, tr.Alpha, p.OC
-	wRaw := growF32(&s.wRaw, r*oc)
 	entry := alpha * oc
 	tiles := seg.Cols() / r
 	rowBase := (oh - seg.Row0) * tiles
 
 	for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
 		for nb := 0; nb < p.N; nb++ {
-			for u := 0; u < r; u++ {
-				base := dy.Shape.Index(nb, oh, ow0+u, 0)
-				copy(wRaw[u*oc:(u+1)*oc], dy.Data[base:base+oc])
-			}
+			// In the (N,H,W,C) layout the r unit rows are one contiguous
+			// [r][O_C] block — ∇Y is unpadded and segments tile O_W exactly,
+			// so the unit never clips. Transform straight from the tensor;
+			// the gather copy the pre-tier code paid per unit is free.
+			base := dy.Shape.Index(nb, oh, ow0, 0)
 			dst := what[((rowBase+t)*p.N+nb)*entry:]
-			gPlan.MulPanel(wRaw, dst[:entry], r, oc)
+			gPlan.MulPanel(dy.Data[base:base+r*oc], dst[:entry], r, oc)
 		}
 	}
 }
@@ -234,6 +244,32 @@ func fillRowHalf(p conv.Params, seg Segment, oh int, dy *tensor.Half,
 	}
 }
 
+// fillRowHalfRes is the decoded-operand variant of fillRowHalf: the ∇Y
+// unit reads straight from the bulk-decoded dyDec mirror (one contiguous
+// [r][O_C] block, like fillRow32), and the transformed panel is rounded
+// through binary16 while being stored in float32 form (fp16.RoundInto).
+// Cache values are bit-identical to decode(encode(panel)), so every
+// execution-side use skips the per-unit decode without changing a bit.
+func fillRowHalfRes(p conv.Params, seg Segment, oh int, dy *tensor.Half,
+	dyDec []float32, s *tileScratch, what []float32) {
+	tr := seg.K.Transform()
+	gMat, _, _ := halfMats(tr)
+	r, alpha, oc := tr.R, tr.Alpha, p.OC
+	wHatF := growF32(&s.wHatF, alpha*oc)
+	entry := alpha * oc
+	tiles := seg.Cols() / r
+	rowBase := (oh - seg.Row0) * tiles
+
+	for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
+		for nb := 0; nb < p.N; nb++ {
+			base := dy.Shape.Index(nb, oh, ow0, 0)
+			matMulF32(gMat, dyDec[base:base+r*oc], wHatF, r, oc)
+			dst := what[((rowBase+t)*p.N+nb)*entry:]
+			fp16.RoundInto(dst[:entry], wHatF)
+		}
+	}
+}
+
 // traceSampleEvery is the 1-in-N sampling stride of the intra-unit stage
 // timers: with tracing on, only every N-th (oh, ow0, nb) iteration is
 // timed and the sampled durations are scaled by the realized iteration/
@@ -257,7 +293,7 @@ func tile32Unit(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
 	obs.RecordUnit(time.Since(t0), ut)
 }
 
-// tileHalfUnit is tile32Unit for the FP16 path.
+// tileHalfUnit is tile32Unit for the legacy (codec-per-unit) FP16 path.
 func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
 	what []fp16.Bits, bucket []float32, traceOn bool) {
 	if !traceOn {
@@ -267,6 +303,19 @@ func tileHalfUnit(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
 	var ut obs.UnitTimes
 	t0 := time.Now()
 	segmentTileHalf(p, seg, fh, j, x, what, bucket, &ut)
+	obs.RecordUnit(time.Since(t0), ut)
+}
+
+// tileHalfResUnit is tile32Unit for the decoded-operand FP16 path.
+func tileHalfResUnit(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
+	xDec []float32, what []float32, bucket []float32, traceOn bool) {
+	if !traceOn {
+		segmentTileHalfRes(p, seg, fh, j, x, xDec, what, bucket, nil)
+		return
+	}
+	var ut obs.UnitTimes
+	t0 := time.Now()
+	segmentTileHalfRes(p, seg, fh, j, x, xDec, what, bucket, &ut)
 	obs.RecordUnit(time.Since(t0), ut)
 }
 
@@ -345,6 +394,7 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
 	_, dtPlan := tr.PanelPlans()
 	n, r, alpha := tr.N, tr.R, tr.Alpha
 	oc, ic := p.OC, p.IC
+	sel := selectEWM(k, false, oc, ic)
 
 	s := getTileScratch()
 	defer putTileScratch(s)
@@ -357,6 +407,22 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
 	tiles := seg.Cols() / r
 
 	var smp unitSampler
+	var wHat []float32
+	// emit multiplies each X̂ row into the accumulators the moment the
+	// input transform finalizes it — the fused transform+EWM mode, which
+	// consumes rows while they are still cache-hot instead of storing the
+	// whole panel and reloading it. Each v element still receives exactly
+	// one fused add per e, so fusion is bit-identical to the unfused order.
+	// MulPanelEmit never retains the closure, so it stays on the stack.
+	emit := func(u, w int) {
+		sel.panel(v[u*oc*ic:(u+1)*oc*ic], wHat[u*oc:(u+1)*oc], xHat[u*ic:(u+1)*ic], oc, ic)
+		if w >= 0 {
+			sel.panel(v[w*oc*ic:(w+1)*oc*ic], wHat[w*oc:(w+1)*oc], xHat[w*ic:(w+1)*ic], oc, ic)
+		}
+	}
+	if !sel.fused {
+		emit = nil
+	}
 	for oh := seg.Row0; oh < seg.Row1; oh++ {
 		ih := oh + fh - p.PH
 		if ih < 0 || ih >= p.IH {
@@ -367,25 +433,41 @@ func segmentTile32(p conv.Params, seg Segment, fh, j int, x *tensor.Float32,
 			for nb := 0; nb < p.N; nb++ {
 				smp.begin(ut)
 				// Cached Ŵ panel (filled once per (oh, ow0, nb)).
-				wHat := what[((rowBase+t)*p.N+nb)*entry:]
+				wHat = what[((rowBase+t)*p.N+nb)*entry:]
 				wHat = wHat[:entry]
-				// Gather (with implicit width zero padding) + input
-				// transform: X̂ = Dᵀ·X.
-				for u := 0; u < alpha; u++ {
-					iw := ow0 + colBase + u - p.PW
-					dst := xRaw[u*ic : (u+1)*ic]
-					if iw < 0 || iw >= p.IW {
-						for i := range dst {
-							dst[i] = 0
+				// X source: an interior tile is one contiguous [α][I_C]
+				// block in the (N,H,W,C) layout and feeds the transform
+				// in place; only width-clipped tiles gather through xRaw
+				// (with implicit zero padding).
+				iw0 := ow0 + colBase - p.PW
+				xSrc := xRaw
+				if iw0 >= 0 && iw0+alpha <= p.IW {
+					base := x.Shape.Index(nb, ih, iw0, 0)
+					xSrc = x.Data[base : base+alpha*ic]
+				} else {
+					for u := 0; u < alpha; u++ {
+						iw := iw0 + u
+						dst := xRaw[u*ic : (u+1)*ic]
+						if iw < 0 || iw >= p.IW {
+							for i := range dst {
+								dst[i] = 0
+							}
+							continue
 						}
-						continue
+						base := x.Shape.Index(nb, ih, iw, 0)
+						copy(dst, x.Data[base:base+ic])
 					}
-					base := x.Shape.Index(nb, ih, iw, 0)
-					copy(dst, x.Data[base:base+ic])
 				}
-				dtPlan.MulPanel(xRaw, xHat, alpha, ic)
-				smp.mark()
-				ewmPanels(v, wHat, xHat, alpha, oc, ic)
+				if emit != nil {
+					// Fused: the transform span folds into the EWM share
+					// (StageShares stays informational).
+					smp.mark()
+					dtPlan.MulPanelEmit(xSrc, xHat, alpha, ic, emit)
+				} else {
+					dtPlan.MulPanel(xSrc, xHat, alpha, ic)
+					smp.mark()
+					ewmPanelsSel(sel.panel, v, wHat, xHat, alpha, oc, ic)
+				}
 				smp.end()
 			}
 		}
@@ -452,6 +534,87 @@ func segmentTileHalf(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
 				fp16.RoundSlice(xHat)
 				smp.mark()
 				ewmPanels(v, wDec, xHat, alpha, oc, ic)
+				smp.end()
+			}
+		}
+	}
+	smp.flush(ut)
+	writeOutput(p, aMat, v, bucket, fh, colBase, n, alpha, oc, ic, growF32(&s.acc, alpha))
+}
+
+// segmentTileHalfRes is the decoded-operand FP16 unit of the kernel tier:
+// the Ŵ cache is float32-resident (binary16-rounded values stored already
+// decoded, see fillRowHalfRes) and X reads from the bulk-decoded xDec
+// mirror, so the per-unit codec work shrinks to the one mandatory X̂ "SMEM
+// storage" rounding. Operand values are bit-identical to the codec path:
+// binary16 → float32 decoding is exact, and every resident store rounded
+// through binary16 on the way in. The fused mode transforms, rounds and
+// multiplies one X̂ row at a time — matTMulRowF32 reproduces the panel
+// transform's per-row ascending-k accumulation exactly, and rounding is
+// element-wise, so the row-at-a-time order changes no bits either.
+func segmentTileHalfRes(p conv.Params, seg Segment, fh, j int, x *tensor.Half,
+	xDec []float32, what []float32, bucket []float32, ut *obs.UnitTimes) {
+	k := seg.K
+	tr := k.Transform()
+	_, dMat, aMat := halfMats(tr)
+	n, r, alpha := tr.N, tr.R, tr.Alpha
+	oc, ic := p.OC, p.IC
+	sel := selectEWM(k, true, oc, ic)
+
+	s := getTileScratch()
+	defer putTileScratch(s)
+	v := growF32Zero(&s.v, alpha*oc*ic)
+	xRaw := growF32(&s.xRaw, alpha*ic)
+	xHat := growF32(&s.xHatF, alpha*ic)
+	colBase := j * n
+	entry := alpha * oc
+	tiles := seg.Cols() / r
+
+	var smp unitSampler
+	for oh := seg.Row0; oh < seg.Row1; oh++ {
+		ih := oh + fh - p.PH
+		if ih < 0 || ih >= p.IH {
+			continue
+		}
+		rowBase := (oh - seg.Row0) * tiles
+		for t, ow0 := 0, seg.Col0; ow0 < seg.Col1; t, ow0 = t+1, ow0+r {
+			for nb := 0; nb < p.N; nb++ {
+				smp.begin(ut)
+				wHat := what[((rowBase+t)*p.N+nb)*entry:]
+				wHat = wHat[:entry]
+				iw0 := ow0 + colBase - p.PW
+				xSrc := xRaw
+				if iw0 >= 0 && iw0+alpha <= p.IW {
+					base := x.Shape.Index(nb, ih, iw0, 0)
+					xSrc = xDec[base : base+alpha*ic]
+				} else {
+					for u := 0; u < alpha; u++ {
+						iw := iw0 + u
+						dst := xRaw[u*ic : (u+1)*ic]
+						if iw < 0 || iw >= p.IW {
+							for i := range dst {
+								dst[i] = 0
+							}
+							continue
+						}
+						base := x.Shape.Index(nb, ih, iw, 0)
+						copy(dst, xDec[base:base+ic])
+					}
+				}
+				if sel.fused {
+					smp.mark()
+					for e := 0; e < alpha; e++ {
+						row := xHat[e*ic : (e+1)*ic]
+						matTMulRowF32(dMat, xSrc, row, e, alpha, ic)
+						fp16.RoundSlice(row)
+						sel.panel(v[e*oc*ic:(e+1)*oc*ic], wHat[e*oc:(e+1)*oc], row, oc, ic)
+					}
+				} else {
+					matTMulF32(dMat, xSrc, xHat, alpha, ic)
+					fp16.RoundSlice(xHat)
+					smp.mark()
+					ewmPanelsSel(sel.panel, v, wHat, xHat, alpha, oc, ic)
+				}
 				smp.end()
 			}
 		}

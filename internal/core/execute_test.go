@@ -224,6 +224,25 @@ func BenchmarkExecuteWinRS(b *testing.B) {
 	}
 }
 
+func BenchmarkExecuteHalfWinRS(b *testing.B) {
+	p := conv.Params{N: 4, IH: 32, IW: 32, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewFloat32(p.XShape())
+	dy := tensor.NewFloat32(p.DYShape())
+	x.FillUniform(rng, 0, 1)
+	dy.FillUniform(rng, 0, 1)
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	cfg, err := Configure(p, WithFP16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(p.DataBytes32())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExecuteHalf(cfg, xh, dyh)
+	}
+}
+
 // The reusable Executor must produce the same bits as the allocating path
 // and keep steady-state allocations flat.
 func TestExecutorMatchesExecute(t *testing.T) {

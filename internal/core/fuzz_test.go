@@ -76,6 +76,9 @@ func FuzzExecuteMatchesDirect(f *testing.F) {
 	f.Add(int64(1), uint8(10), uint8(3), uint8(1))
 	f.Add(int64(7), uint8(16), uint8(5), uint8(2))
 	f.Add(int64(42), uint8(13), uint8(2), uint8(0))
+	// IH=IW=8, F=3, pad 1 → OW=8 pairs Ω8(3,6)+Ω4(3,2): both α ≤ 8, so
+	// this seed drives the fused transform+EWM small-α path.
+	f.Add(int64(8), uint8(16), uint8(2), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, hwB, fB, padB uint8) {
 		p := conv.Params{
 			N:  1,

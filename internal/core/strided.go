@@ -88,6 +88,26 @@ func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, q
 			if ih < 0 || ih >= p.IH {
 				continue
 			}
+			if sw == 1 {
+				// Unit width stride: the in-bounds run of phase columns is
+				// one contiguous [cols][I_C] block in both layouts — copy
+				// it wholesale instead of per column. Pure copy, so the
+				// gathered plane is bit-identical to the scalar walk.
+				b0 := 0
+				if qw < p.PW {
+					b0 = p.PW - qw
+				}
+				b1 := pq.IW
+				if max := p.IW + p.PW - qw; b1 > max {
+					b1 = max
+				}
+				if b0 < b1 {
+					src := x.Shape.Index(n, ih, b0+qw-p.PW, 0)
+					dst := xq.Shape.Index(n, a, b0, 0)
+					copy(xq.Data[dst:dst+(b1-b0)*p.IC], x.Data[src:src+(b1-b0)*p.IC])
+				}
+				continue
+			}
 			for b := 0; b < pq.IW; b++ {
 				iw := sw*b + qw - p.PW
 				if iw < 0 || iw >= p.IW {

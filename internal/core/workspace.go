@@ -35,9 +35,17 @@ type Workspace struct {
 	rowOff  []int
 
 	// Ŵ cache arenas, grown lazily per executed precision (one workspace
-	// may serve both ExecuteIn and ExecuteHalfIn).
+	// may serve both ExecuteIn and ExecuteHalfIn). In the decoded-operand
+	// FP16 mode (fp16Resident) the Ŵ cache lives in what32 as
+	// binary16-rounded float32 values; what16 is used only by the legacy
+	// codec-per-unit path.
 	what32 []float32
 	what16 []fp16.Bits
+
+	// Decoded-operand mirrors of the binary16 inputs (fp16Resident mode):
+	// X and ∇Y bulk-decode once per execution, replacing the per-unit
+	// row decodes of the legacy path. Grown lazily like the Ŵ arenas.
+	xDec, dyDec []float32
 
 	// Reusable pool tasks: rewritten per call so the steady-state dispatch
 	// passes a pointer-to-field as sched.Task without boxing allocations.
@@ -92,7 +100,8 @@ func (ws *Workspace) Fits(cfg *Config) bool {
 // analytic bound documented on Config.WHatCacheBytes.
 func (ws *Workspace) Bytes() int64 {
 	return int64(ws.z)*int64(ws.elems)*4 +
-		int64(cap(ws.what32))*4 + int64(cap(ws.what16))*2
+		int64(cap(ws.what32))*4 + int64(cap(ws.what16))*2 +
+		int64(cap(ws.xDec))*4 + int64(cap(ws.dyDec))*4
 }
 
 func (ws *Workspace) zero() {
@@ -207,11 +216,21 @@ func executeHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.F
 	ws = ensureWorkspace(cfg, ws)
 	traceOn := obs.TraceEnabled()
 
-	growHalf(&ws.what16, ws.whatOff[len(ws.whatOff)-1])
-	ws.fill = fillJob{cfg: cfg, ws: ws, dy16: dy, half: true}
+	resident := fp16Resident
+	if resident {
+		// Decoded-operand mode: the Ŵ cache is float32-resident and the
+		// binary16 inputs bulk-decode once up front (exact, so values
+		// match the legacy per-unit decodes bit for bit).
+		growF32(&ws.what32, ws.whatOff[len(ws.whatOff)-1])
+		fp16.DecodeSlice(growF32(&ws.xDec, len(x.Data)), x.Data)
+		fp16.DecodeSlice(growF32(&ws.dyDec, len(dy.Data)), dy.Data)
+	} else {
+		growHalf(&ws.what16, ws.whatOff[len(ws.whatOff)-1])
+	}
+	ws.fill = fillJob{cfg: cfg, ws: ws, dy16: dy, half: true, resident: resident}
 	fillWHat(ws, traceOn, cancel)
 
-	ws.job = execJob{cfg: cfg, ws: ws, x16: x, half: true, traceOn: traceOn}
+	ws.job = execJob{cfg: cfg, ws: ws, x16: x, half: true, resident: resident, traceOn: traceOn}
 	execPool().RunBatch(ws.unitOff[len(ws.unitOff)-1], 0, &ws.job, cancel)
 	ws.job = execJob{}
 	ws.fill = fillJob{}

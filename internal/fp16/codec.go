@@ -13,7 +13,10 @@ package fp16
 //   - Decoding uses a 65536-entry float32 LUT (256 KiB): every binary16
 //     pattern maps to exactly one float32, so ToFloat32 becomes a single
 //     indexed load. The LUT is built lazily, once, on first use — an
-//     FP32-only process never pays the 256 KiB or the build.
+//     FP32-only process never pays the 256 KiB or the build. The rounding
+//     kernels instead decode arithmetically (decodeBits): their half
+//     patterns are data-dependent transform outputs, where the indexed
+//     load misses L1 and a handful of ALU ops wins.
 //   - Encoding uses the Giesen-style class-table scheme: the 9-bit
 //     sign+exponent field of the float32 picks a base pattern, a mantissa
 //     shift and an implicit-bit OR from three 512-entry tables, followed by
@@ -158,21 +161,47 @@ func EncodeSlice(dst []Bits, src []float32) {
 	}
 }
 
+// decodeBits is the arithmetic form of ToFloat32: normals re-bias in pure
+// bit operations, subnormals reconstruct as the exact product frac·2⁻²⁴
+// (both factors and the result are exactly representable), Inf/NaN shift
+// the payload. Bit-identical to the scalar oracle and the LUT — the
+// rounding kernels below use it instead of the 256 KiB decode table
+// because their half patterns arrive data-dependent (transform outputs),
+// where a per-element LUT load misses L1 while these few ALU ops stay in
+// registers. The equivalence is pinned by the exhaustive decode test plus
+// the RoundSlice/RoundInto scalar round-trip sweeps.
+func decodeBits(h uint32) float32 {
+	sign := (h & 0x8000) << 16
+	exp := h >> 10 & 0x1F
+	frac := h & 0x3FF
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+	case exp == 0: // signed zero / subnormal
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		return math.Float32frombits(math.Float32bits(float32(frac)*0x1p-24) | sign)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | frac<<13)
+	}
+}
+
 // RoundSlice rounds every element of vs to its nearest binary16 value in
 // place — the fused encode+decode used for the "SMEM storage" rounding
 // step, bit-identical to ToFloat32(FromFloat32(v)) per element.
 func RoundSlice(vs []float32) {
 	base, shift, or := encodeTables()
-	lut := decodeTable()
 	for i, v := range vs {
 		b := math.Float32bits(v)
 		if b&0x7F800000 == 0x7F800000 {
-			sign := uint16(b>>16) & signMask
+			h := uint32(b>>16) & 0x8000
 			if frac := b & 0x7FFFFF; frac != 0 {
-				vs[i] = lut[sign|expMask|0x0200|uint16(frac>>13)]
+				h |= uint32(expMask) | 0x0200 | frac>>13
 			} else {
-				vs[i] = lut[sign|expMask]
+				h |= uint32(expMask)
 			}
+			vs[i] = decodeBits(h)
 			continue
 		}
 		c := b >> 23
@@ -183,6 +212,42 @@ func RoundSlice(vs []float32) {
 		if rem+(h&1) > 1<<(sh-1) {
 			h++
 		}
-		vs[i] = lut[h]
+		vs[i] = decodeBits(h)
+	}
+}
+
+// RoundInto writes the nearest binary16 value of every src element into
+// dst — RoundSlice fused with the copy, bit-identical to
+// ToFloat32(FromFloat32(v)) per element. It is the one-pass kernel behind
+// the decoded-operand Ŵ cache: the transformed panel is rounded through
+// binary16 while being stored in float32 form, so later uses skip the
+// decode entirely without changing a single bit of the cached values.
+// len(dst) must equal len(src); dst and src may alias only exactly.
+func RoundInto(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("fp16: RoundInto length mismatch")
+	}
+	base, shift, or := encodeTables()
+	for i, v := range src {
+		b := math.Float32bits(v)
+		if b&0x7F800000 == 0x7F800000 {
+			h := uint32(b>>16) & 0x8000
+			if frac := b & 0x7FFFFF; frac != 0 {
+				h |= uint32(expMask) | 0x0200 | frac>>13
+			} else {
+				h |= uint32(expMask)
+			}
+			dst[i] = decodeBits(h)
+			continue
+		}
+		c := b >> 23
+		m := b&0x7FFFFF | or[c]
+		sh := uint32(shift[c])
+		h := uint32(base[c]) + m>>sh
+		rem := m & (1<<sh - 1)
+		if rem+(h&1) > 1<<(sh-1) {
+			h++
+		}
+		dst[i] = decodeBits(h)
 	}
 }

@@ -170,6 +170,7 @@ func TestSliceKernelLengthMismatchPanics(t *testing.T) {
 	}
 	mustPanic("DecodeSlice", func() { DecodeSlice(make([]float32, 2), make([]Bits, 3)) })
 	mustPanic("EncodeSlice", func() { EncodeSlice(make([]Bits, 3), make([]float32, 2)) })
+	mustPanic("RoundInto", func() { RoundInto(make([]float32, 2), make([]float32, 3)) })
 }
 
 // The allocating wrappers must stay equivalent to the kernels.
@@ -271,6 +272,52 @@ func BenchmarkRoundSliceScalar(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for j, v := range vs {
 			vs[j] = ToFloat32(FromFloat32(v))
+		}
+	}
+}
+
+// RoundInto is RoundSlice fused with the copy (the decoded-operand Ŵ-cache
+// store): same scalar round-trip oracle, separate destination, and the
+// source must come through untouched.
+func TestRoundIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := []float32{0, float32(math.Copysign(0, -1)), 1, -1, 2049, 2051,
+		65504, 65520, 1e-9, -1e-9, 6.103515625e-05, 5.960464477539063e-08,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN())}
+	for i := 0; i < 1<<16; i++ {
+		vals = append(vals, math.Float32frombits(rng.Uint32()))
+	}
+	src := append([]float32(nil), vals...)
+	got := make([]float32, len(vals))
+	RoundInto(got, src)
+	for i, v := range vals {
+		if !sameF32(src[i], v) {
+			t.Fatalf("RoundInto mutated src[%d]: %x -> %x",
+				i, math.Float32bits(v), math.Float32bits(src[i]))
+		}
+		want := ToFloat32(FromFloat32(v))
+		if !sameF32(got[i], want) {
+			t.Fatalf("RoundInto(%x) = %x, scalar round trip = %x",
+				math.Float32bits(v), math.Float32bits(got[i]), math.Float32bits(want))
+		}
+	}
+	// Exact aliasing is allowed and must equal RoundSlice.
+	alias := append([]float32(nil), vals...)
+	RoundInto(alias, alias)
+	for i := range alias {
+		if !sameF32(alias[i], got[i]) {
+			t.Fatalf("aliased RoundInto differs at %d", i)
+		}
+	}
+}
+
+// Exhaustive decodeBits equivalence: the arithmetic decode behind the
+// rounding kernels must match the scalar oracle on all 65536 patterns.
+func TestDecodeBitsMatchesScalarExhaustive(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		if got, want := decodeBits(uint32(i)), ToFloat32(Bits(i)); !sameF32(got, want) {
+			t.Fatalf("decodeBits(%#04x) = %x, want %x",
+				i, math.Float32bits(got), math.Float32bits(want))
 		}
 	}
 }

@@ -42,7 +42,13 @@ func (k Kernel) Transform() *Transform { return Generate(k.N, k.R) }
 // Accel returns the kernel's time-complexity reduction factor n·r/α.
 func (k Kernel) Accel() float64 { return float64(k.N*k.R) / float64(k.Alpha) }
 
-// CacheBlock returns the B_N×B_M cache-block size for the precision.
+// CacheBlock returns the B_N×B_M cache-block size for the precision. The
+// table is precision-aware: binary16 operands occupy half the bytes, so
+// every kernel's FP16 block covers at least its FP32 block's area within
+// the same shared-memory budget (pinned by TestCacheBlockPrecisionAware;
+// the budget itself by TestCacheBlocksFitSharedMemory). Beyond the GPU
+// model, the host kernel tier keys its EWM block-shape selection off B_M
+// (see core's selectEWM).
 func (k Kernel) CacheBlock(fp16 bool) (bn, bm int) {
 	if fp16 {
 		return k.BN16, k.BM16
@@ -68,8 +74,11 @@ func newKernel(n, r int, fp16 bool) Kernel {
 	k := Kernel{N: n, R: r, Alpha: alpha, FP16: fp16}
 	switch alpha {
 	case 2:
+		// Halved element size doubles the budget: the FP16 block must never
+		// cover less area than the FP32 one (it holds the same values in
+		// half the bytes), so α = 2 keeps the full 128×128 block at FP16 too.
 		k.BN32, k.BM32 = 128, 128
-		k.BN16, k.BM16 = 128, 64
+		k.BN16, k.BM16 = 128, 128
 	case 4:
 		k.BN32, k.BM32 = 64, 64
 		k.BN16, k.BM16 = 128, 64

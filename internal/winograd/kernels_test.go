@@ -165,3 +165,26 @@ func TestCacheBlocksFitSharedMemory(t *testing.T) {
 		t.Errorf("largest FP32 SMEM footprint %d suspiciously small", maxB)
 	}
 }
+
+// The cache-block table must be precision-aware: binary16 operands occupy
+// half the bytes, so every kernel's FP16 block must cover at least its
+// FP32 block's area (more reuse from the same shared-memory budget) while
+// its SMEM footprint stays within the FP32 one. A kernel that returns its
+// FP32 block unchanged for FP16 wastes half the budget; one that shrinks
+// area regresses intensity. Pinned for the registry and the direct
+// fallback, per the CacheBlock doc comment.
+func TestCacheBlockPrecisionAware(t *testing.T) {
+	ks := append([]Kernel{DirectKernel(3), DirectKernel(11)}, Kernels...)
+	for _, k := range ks {
+		bn32, bm32 := k.CacheBlock(false)
+		bn16, bm16 := k.CacheBlock(true)
+		if bn16*bm16 < bn32*bm32 {
+			t.Errorf("%v: FP16 block %dx%d covers less area than FP32 %dx%d",
+				k, bn16, bm16, bn32, bm32)
+		}
+		if f16, f32 := k.SMEMBytes(true), k.SMEMBytes(false); f16 > f32 {
+			t.Errorf("%v: FP16 SMEM footprint %d exceeds FP32 footprint %d",
+				k, f16, f32)
+		}
+	}
+}

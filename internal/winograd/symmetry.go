@@ -161,6 +161,20 @@ func MaxPairableRows(alpha int) int {
 // pairs — the panel form of the Figure 8 optimization used by the fused
 // kernels' filter and input transforms.
 func (sp *SymPlan) MulPanel(in, out []float32, rows, width int) {
+	sp.MulPanelEmit(in, out, rows, width, nil)
+}
+
+// MulPanelEmit is MulPanel with a row-consumption callback: emit(u, v) runs
+// right after the two rows of a symmetric pair are finalized, and emit(i, -1)
+// after each single row. The per-row arithmetic — shared even/odd product
+// accumulation in ascending column order, zero coefficients skipped, then the
+// ±combine — is exactly MulPanel's, so consumers that fold further work into
+// the emission (the fused transform+EWM kernel tier) stay bit-identical to
+// the transform-then-consume path. A nil emit degrades to MulPanel.
+//
+// Row emission order is plan order (pairs first, then singles), not row
+// order; callers must only depend on each row being complete when emitted.
+func (sp *SymPlan) MulPanelEmit(in, out []float32, rows, width int, emit func(u, v int)) {
 	m := sp.m
 	if rows != m.Cols {
 		panic("winograd: MulPanel dimension mismatch")
@@ -168,25 +182,45 @@ func (sp *SymPlan) MulPanel(in, out []float32, rows, width int) {
 	for _, pr := range sp.pairs {
 		u := pr[0]
 		row := m.Data[u*m.Cols : (u+1)*m.Cols]
-		dstU := out[pr[0]*width : (pr[0]+1)*width]
-		dstV := out[pr[1]*width : (pr[1]+1)*width]
+		dstU := out[pr[0]*width : (pr[0]+1)*width : (pr[0]+1)*width]
+		dstV := out[pr[1]*width : (pr[1]+1)*width : (pr[1]+1)*width]
 		for x := range dstU {
 			dstU[x] = 0
 			dstV[x] = 0 // reused below as the odd accumulator
 		}
-		for c, v := range row {
-			cv := float32(v)
-			if cv == 0 {
-				continue
-			}
-			src := in[c*width : (c+1)*width]
-			if c%2 == 0 {
-				for x, sv := range src {
-					dstU[x] += cv * sv
+		// Even columns feed dstU, odd columns dstV: two independent
+		// accumulation chains, so one pass can carry an (even, odd) column
+		// pair at a time — same per-chain ascending-column order, so the
+		// bits match the one-column-at-a-time walk exactly, at twice the
+		// FMA-level parallelism.
+		c := 0
+		for ; c+2 <= len(row); c += 2 {
+			c0, c1 := float32(row[c]), float32(row[c+1])
+			s0 := in[c*width : (c+1)*width : (c+1)*width]
+			switch {
+			case c0 != 0 && c1 != 0:
+				s1 := in[(c+1)*width : (c+2)*width : (c+2)*width]
+				dU, dV := dstU[:len(s0)], dstV[:len(s0)]
+				s1 = s1[:len(s0)]
+				for x, sv := range s0 {
+					dU[x] += c0 * sv
+					dV[x] += c1 * s1[x]
 				}
-			} else {
-				for x, sv := range src {
-					dstV[x] += cv * sv
+			case c0 != 0:
+				for x, sv := range s0 {
+					dstU[x] += c0 * sv
+				}
+			case c1 != 0:
+				s1 := in[(c+1)*width : (c+2)*width : (c+2)*width]
+				for x, sv := range s1 {
+					dstV[x] += c1 * sv
+				}
+			}
+		}
+		if c < len(row) {
+			if cv := float32(row[c]); cv != 0 {
+				for x, sv := range in[c*width : (c+1)*width] {
+					dstU[x] += cv * sv
 				}
 			}
 		}
@@ -196,22 +230,51 @@ func (sp *SymPlan) MulPanel(in, out []float32, rows, width int) {
 			dstU[x] = even + odd
 			dstV[x] = even - odd
 		}
+		if emit != nil {
+			emit(pr[0], pr[1])
+		}
 	}
 	for _, i := range sp.singles {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		dst := out[i*width : (i+1)*width]
+		dst := out[i*width : (i+1)*width : (i+1)*width]
 		for x := range dst {
 			dst[x] = 0
 		}
-		for c, v := range row {
-			cv := float32(v)
-			if cv == 0 {
-				continue
+		// Single rows own one accumulator; a two-column pass keeps the
+		// per-element operation sequence (column c, then c+1) identical to
+		// the one-column walk, so the bits are unchanged.
+		c := 0
+		for ; c+2 <= len(row); c += 2 {
+			c0, c1 := float32(row[c]), float32(row[c+1])
+			switch {
+			case c0 != 0 && c1 != 0:
+				s0 := in[c*width : (c+1)*width : (c+1)*width]
+				s1 := in[(c+1)*width : (c+2)*width : (c+2)*width]
+				d := dst[:len(s0)]
+				s1 = s1[:len(s0)]
+				for x, sv := range s0 {
+					d[x] += c0 * sv
+					d[x] += c1 * s1[x]
+				}
+			case c0 != 0:
+				for x, sv := range in[c*width : (c+1)*width] {
+					dst[x] += c0 * sv
+				}
+			case c1 != 0:
+				for x, sv := range in[(c+1)*width : (c+2)*width] {
+					dst[x] += c1 * sv
+				}
 			}
-			src := in[c*width : (c+1)*width]
-			for x, sv := range src {
-				dst[x] += cv * sv
+		}
+		if c < len(row) {
+			if cv := float32(row[c]); cv != 0 {
+				for x, sv := range in[c*width : (c+1)*width] {
+					dst[x] += cv * sv
+				}
 			}
+		}
+		if emit != nil {
+			emit(i, -1)
 		}
 	}
 }

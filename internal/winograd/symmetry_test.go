@@ -193,3 +193,60 @@ func TestMulPanelDimensionPanics(t *testing.T) {
 	}()
 	sp.MulPanel(make([]float32, 8), make([]float32, 8), 2, 4)
 }
+
+// MulPanelEmit is the fusion seam of the kernel tier: the emission must
+// visit every output row exactly once, each emitted row must already hold
+// its final bits (so work folded into the callback sees exactly what a
+// transform-then-consume pass would read), and the emitting run must leave
+// the same output as MulPanel bit for bit.
+func TestMulPanelEmitRowsFinalAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	const width = 4
+	for _, k := range Kernels {
+		tr := Generate(k.N, k.R).Balanced()
+		gPlan, dtPlan := tr.PanelPlans()
+		for _, tc := range []struct {
+			plan *SymPlan
+			rows int
+		}{
+			{gPlan, tr.R},
+			{dtPlan, tr.Alpha},
+		} {
+			in := make([]float32, tc.rows*width)
+			for i := range in {
+				in[i] = rng.Float32()*2 - 1
+			}
+			outRows := tc.plan.m.Rows
+			want := make([]float32, outRows*width)
+			tc.plan.MulPanel(in, want, tc.rows, width)
+
+			got := make([]float32, len(want))
+			seen := make([]int, outRows)
+			check := func(r int) {
+				seen[r]++
+				for x := 0; x < width; x++ {
+					if got[r*width+x] != want[r*width+x] {
+						t.Fatalf("%v: row %d not final at emission: col %d %v vs %v",
+							k, r, x, got[r*width+x], want[r*width+x])
+					}
+				}
+			}
+			tc.plan.MulPanelEmit(in, got, tc.rows, width, func(u, v int) {
+				check(u)
+				if v >= 0 {
+					check(v)
+				}
+			})
+			for r, n := range seen {
+				if n != 1 {
+					t.Errorf("%v: row %d emitted %d times, want exactly once", k, r, n)
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: emitting run differs from MulPanel at %d", k, i)
+				}
+			}
+		}
+	}
+}
