@@ -6,7 +6,7 @@ BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_THRESHOLD ?= 0.15
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults dispatch-smoke batch-smoke saturate v3-smoke
+.PHONY: ci build test vet race bench serve bench-json bench-gate fuzz-smoke faults dispatch-smoke batch-smoke saturate v3-smoke grouped-smoke
 
 ci: vet build race
 
@@ -77,6 +77,15 @@ SATURATE_OUT ?= /tmp/bench_saturate.json
 saturate:
 	$(GO) run ./cmd/winrs-bench -saturate $(SATURATE_OUT)
 	WINRS_LOADTEST_BENCH=$(SATURATE_OUT) $(GO) test -tags loadtest -count 1 -timeout 600s -v ./internal/loadtest
+
+# grouped-smoke runs the grouped/depthwise differential suites under the
+# race detector: every grouped path (FP32, FP16, strided, forward, data
+# gradient, serve round-trip) pinned against the grouped float64 direct
+# oracle, at pool widths 1 and 4, plus the depthwise planned-path and
+# workspace-shrinkage acceptance check.
+grouped-smoke:
+	$(GO) test -race -count 1 -run 'TestGrouped|TestDepthwise' \
+		./internal/conv ./internal/core ./internal/serve
 
 # v3-smoke builds the tree with GOAMD64=v3 — compiling in the arch-tuned
 # EWM panel variant behind the amd64.v3 build tag — and runs the

@@ -41,9 +41,23 @@ var benchShapes = []conv.Params{
 	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1},
 }
 
+// benchGroupedShapes extends the gate to grouped and depthwise BFC: the
+// channel-heavy grid shape split four ways, and the same shape fully
+// depthwise (G == IC). Tagged with a _G suffix, so they land as NEW
+// (warn-only) against pre-grouping baselines and gate normally once a
+// baseline containing them is committed.
+var benchGroupedShapes = []conv.Params{
+	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1, Groups: 4},
+	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1, Groups: 16},
+}
+
 func shapeTag(p conv.Params) string {
-	return fmt.Sprintf("N%d_I%dx%d_F%dx%d_C%dx%d_P%d%d",
+	tag := fmt.Sprintf("N%d_I%dx%d_F%dx%d_C%dx%d_P%d%d",
 		p.N, p.IH, p.IW, p.FH, p.FW, p.IC, p.OC, p.PH, p.PW)
+	if p.G() > 1 {
+		tag += fmt.Sprintf("_G%d", p.G())
+	}
+	return tag
 }
 
 // measureNs times fn as min-of-batches: reps are sized so one batch runs
@@ -198,6 +212,57 @@ func runBenchJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "bench: dispatch %s -> %s (within-best %.2fx of %s)\n",
 			tag, rec.Chosen, rec.WithinBest, rec.BestBackend)
 		rep.Dispatch = append(rep.Dispatch, rec)
+	}
+
+	// Grouped and depthwise rows: the WinRS path runs the per-group plan
+	// over channel-sliced operands with one shared group-sized workspace,
+	// so these rows also pin the paper's headline quantity (workspace
+	// shrinkage) into the report. The direct baseline is the grouped
+	// float64-oracle's float32 sibling.
+	for _, p := range benchGroupedShapes {
+		rng := rand.New(rand.NewSource(13))
+		x := tensor.NewFloat32(p.XShape())
+		dy := tensor.NewFloat32(p.DYShape())
+		x.FillUniform(rng, 0, 1)
+		dy.FillUniform(rng, 0, 1)
+		tag := shapeTag(p)
+
+		cfg32, err := core.Configure(p)
+		if err != nil {
+			return fmt.Errorf("configure %s: %w", tag, err)
+		}
+		ws32 := core.NewWorkspace(cfg32)
+		dst := tensor.NewFloat32(p.DWShape())
+		run32 := func() { core.ExecuteIn(cfg32, ws32, x, dy, dst) }
+		rep.Results = append(rep.Results, benchResult{
+			Name: "winrs_fp32/" + tag, Algo: "winrs_fp32", Shape: tag,
+			NsPerOp:        measureNs(run32),
+			WorkspaceBytes: cfg32.WorkspaceBytes(),
+			WHatCacheBytes: cfg32.WHatCacheBytes(),
+			HotPath:        true,
+			EWMKernel:      cfg32.EWMKernel(),
+		})
+
+		cfg16, err := core.Configure(p, core.WithFP16())
+		if err != nil {
+			return fmt.Errorf("configure fp16 %s: %w", tag, err)
+		}
+		ws16 := core.NewWorkspace(cfg16)
+		xh, dyh := x.ToHalf(), dy.ToHalf()
+		run16 := func() { core.ExecuteHalfIn(cfg16, ws16, xh, dyh, dst) }
+		rep.Results = append(rep.Results, benchResult{
+			Name: "winrs_fp16/" + tag, Algo: "winrs_fp16", Shape: tag,
+			NsPerOp:        measureNs(run16),
+			WorkspaceBytes: cfg16.WorkspaceBytes(),
+			WHatCacheBytes: cfg16.WHatCacheBytes(),
+			HotPath:        true,
+			EWMKernel:      cfg16.EWMKernel(),
+		})
+
+		rep.Results = append(rep.Results, benchResult{
+			Name: "direct/" + tag, Algo: "direct", Shape: tag,
+			NsPerOp: measureNs(func() { conv.BackwardFilterDirect32(p, x, dy) }),
+		})
 	}
 
 	// EWM-only microbenchmark rows: per Ω kernel, per block shape, fused

@@ -41,6 +41,7 @@ func main() {
 	c := flag.Int("c", 64, "channels (IC = OC)")
 	ic := flag.Int("ic", 0, "input channels (overrides -c)")
 	oc := flag.Int("oc", 0, "output channels (overrides -c)")
+	groups := flag.Int("groups", 1, "channel groups (IC and OC must divide; IC = depthwise)")
 	fp16 := flag.Bool("fp16", false, "FP16 Tensor-Core path")
 	gpu := flag.String("gpu", "4090", "device model: 4090, 3090, l40s, a5000")
 	tune := flag.Bool("tune", false, "microbenchmark kernel coefficients on this host")
@@ -57,7 +58,7 @@ func main() {
 
 	p := conv.Params{N: *n, IH: pick(*ih, *hw), IW: pick(*iw, *hw),
 		FH: pick(*fh, *f), FW: pick(*fw, *f),
-		IC: pick(*ic, *c), OC: pick(*oc, *c)}
+		IC: pick(*ic, *c), OC: pick(*oc, *c), Groups: *groups}
 	p.PH, p.PW = p.FH/2, p.FW/2
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -106,14 +107,36 @@ func main() {
 	fmt.Printf("segment target     %d (Algorithm 1)\n", cfg.ZTarget)
 	fmt.Printf("segment shape      %dx%d (Algorithm 2)\n", cfg.SegH, cfg.SegW)
 	fmt.Printf("segments realized  %d\n", cfg.Z())
-	fmt.Printf("workspace          %.2f MB ((Z-1) x dW)\n",
-		float64(cfg.WorkspaceBytes())/(1<<20))
+	if p.G() > 1 {
+		fmt.Printf("groups             %d (%d ic x %d oc per group; depthwise=%v)\n",
+			p.G(), p.ICG(), p.OCG(), p.G() == p.IC)
+		fmt.Printf("workspace          %.3f MB ((Z-1) x per-group dW slab)\n",
+			float64(cfg.WorkspaceBytes())/(1<<20))
+		// The paper's headline quantity under grouping: the shared
+		// workspace is sized for ONE group, so it shrinks vs the ungrouped
+		// plan of the same outer geometry.
+		pu := p
+		pu.Groups = 0
+		if ucfg, err := core.Configure(pu, append(opts, core.WithSegments(cfg.Z()))...); err == nil {
+			if ub := ucfg.WorkspaceBytes(); ub > 0 {
+				fmt.Printf("  vs ungrouped     %.3f MB at equal Z — %.1fx smaller\n",
+					float64(ub)/(1<<20), float64(ub)/float64(maxI64(1, cfg.WorkspaceBytes())))
+			}
+		}
+	} else {
+		fmt.Printf("workspace          %.2f MB ((Z-1) x dW)\n",
+			float64(cfg.WorkspaceBytes())/(1<<20))
+	}
 	fmt.Printf("what cache         %.2f MB (transformed-dY reuse, <= (max a/r) x dY)\n",
 		float64(cfg.WHatCacheBytes())/(1<<20))
 	fmt.Printf("ewm kernel         %s (host kernel-tier selection)\n", cfg.EWMKernel())
+	blocksP := p
+	if g := cfg.GroupConfig(); g != nil {
+		blocksP = g.Params
+	}
 	blocks := 0
 	for _, s := range cfg.Segments {
-		blocks += core.BlocksPerSegment(s.K, p, *fp16)
+		blocks += core.BlocksPerSegment(s.K, blocksP, *fp16) * p.G()
 	}
 	fmt.Printf("total blocks       %d on %d SMs\n", blocks, d.NSM)
 
@@ -198,6 +221,13 @@ func pick(override, def int) int {
 		return override
 	}
 	return def
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func device(name string) (gpusim.Device, error) {

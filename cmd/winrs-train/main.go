@@ -28,7 +28,13 @@ func main() {
 	lr := flag.Float64("lr", 0.5, "learning rate")
 	lossScale := flag.Float64("loss-scale", 128, "FP16 loss scale")
 	seed := flag.Int64("seed", 7, "dataset and init seed")
+	groups := flag.Int("groups", 1, "channel groups of the second conv layer (must divide 4 and 6; e.g. 2)")
 	flag.Parse()
+
+	if *groups < 1 || 4%*groups != 0 || 6%*groups != 0 {
+		fmt.Fprintf(os.Stderr, "-groups %d must divide both conv widths (4 and 6)\n", *groups)
+		os.Exit(2)
+	}
 
 	type run struct {
 		name string
@@ -45,7 +51,7 @@ func main() {
 	for i, r := range runs {
 		// Identical data stream and initialization for every variant.
 		ds := train.NewDataset(3, 8, 8, 2, *seed)
-		net := train.NewNet(8, 8, 2, 4, 6, 3, r.bfc, *seed+91)
+		net := train.NewNetGrouped(8, 8, 2, 4, 6, *groups, 3, r.bfc, *seed+91)
 		net.LR = float32(*lr)
 		losses, err := train.Run(net, ds, *steps, *batch)
 		if err != nil {

@@ -114,11 +114,33 @@ func (gemmBackend) Supports(p conv.Params, prec Precision) bool {
 	return p.Validate() == nil
 }
 
+// WorkspaceBytes reports the per-group im2col scratch: grouped execution
+// runs Algo1 one group at a time, so only one group's chunk buffer is live.
 func (gemmBackend) WorkspaceBytes(p conv.Params, prec Precision) int64 {
 	if p.Validate() != nil {
 		return 0
 	}
-	return gemm.Algo1Workspace(p)
+	return gemm.Algo1Workspace(groupParams(p))
+}
+
+// groupParams returns the single-group geometry of p (p itself when
+// ungrouped).
+func groupParams(p conv.Params) conv.Params {
+	if p.G() <= 1 {
+		return p
+	}
+	pg := p
+	pg.IC, pg.OC, pg.Groups = p.ICG(), p.OCG(), 0
+	return pg
+}
+
+// gatherChans copies channels [off, off+width) of every row of src
+// (rows × srcC) into dst (rows × width); the grouped adapters' operand
+// slicer (NHWC keeps channels innermost).
+func gatherChans[E any](dst, src []E, rows, srcC, off, width int) {
+	for r := 0; r < rows; r++ {
+		copy(dst[r*width:(r+1)*width], src[r*srcC+off:r*srcC+off+width])
+	}
 }
 
 func (gemmBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *tensor.Float32) error {
@@ -126,7 +148,20 @@ func (gemmBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *te
 		return err
 	}
 	return observe(ctx, "gemm", func() error {
-		copy(dst.Data, gemm.Algo1(p, x, dy).Data)
+		if p.G() <= 1 {
+			copy(dst.Data, gemm.Algo1(p, x, dy).Data)
+			return nil
+		}
+		g, icg, ocg := p.G(), p.ICG(), p.OCG()
+		pg := groupParams(p)
+		xg := tensor.NewFloat32(pg.XShape())
+		dyg := tensor.NewFloat32(pg.DYShape())
+		slab := pg.DWShape().Elems()
+		for gi := 0; gi < g; gi++ {
+			gatherChans(xg.Data, x.Data, p.N*p.IH*p.IW, p.IC, gi*icg, icg)
+			gatherChans(dyg.Data, dy.Data, p.N*p.OH()*p.OW(), p.OC, gi*ocg, ocg)
+			copy(dst.Data[gi*slab:(gi+1)*slab], gemm.Algo1(pg, xg, dyg).Data)
+		}
 		return nil
 	})
 }
@@ -136,7 +171,20 @@ func (gemmBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *ten
 		return err
 	}
 	return observe(ctx, "gemm", func() error {
-		copy(dst.Data, gemm.Algo1Half(p, x, dy).Data)
+		if p.G() <= 1 {
+			copy(dst.Data, gemm.Algo1Half(p, x, dy).Data)
+			return nil
+		}
+		g, icg, ocg := p.G(), p.ICG(), p.OCG()
+		pg := groupParams(p)
+		xg := tensor.NewHalf(pg.XShape())
+		dyg := tensor.NewHalf(pg.DYShape())
+		slab := pg.DWShape().Elems()
+		for gi := 0; gi < g; gi++ {
+			gatherChans(xg.Data, x.Data, p.N*p.IH*p.IW, p.IC, gi*icg, icg)
+			gatherChans(dyg.Data, dy.Data, p.N*p.OH()*p.OW(), p.OC, gi*ocg, ocg)
+			copy(dst.Data[gi*slab:(gi+1)*slab], gemm.Algo1Half(pg, xg, dyg).Data)
+		}
 		return nil
 	})
 }
@@ -184,7 +232,9 @@ type fftBackend struct{}
 func (fftBackend) Name() string { return "fft" }
 
 func (fftBackend) Supports(p conv.Params, prec Precision) bool {
-	return prec == FP32 && p.Validate() == nil
+	// Declines grouped layers: the spectral path has no channel-sliced
+	// variant.
+	return prec == FP32 && p.Validate() == nil && p.G() == 1
 }
 
 // WorkspaceBytes reports the Go implementation's actual scratch — the
@@ -204,6 +254,9 @@ func (fftBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *ten
 	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
 		return err
 	}
+	if p.G() != 1 {
+		return fmt.Errorf("backend: fft does not support grouped %v", p)
+	}
 	return observe(ctx, "fft", func() error {
 		copy(dst.Data, fftconv.BackwardFilter(p, x, dy).Data)
 		return nil
@@ -221,7 +274,8 @@ type winnfBackend struct{}
 func (winnfBackend) Name() string { return "winnf" }
 
 func (winnfBackend) Supports(p conv.Params, prec Precision) bool {
-	if p.Validate() != nil || !winnf.Supported(p) {
+	// Declines grouped layers, mirroring the Cu-WinNF coverage.
+	if p.Validate() != nil || p.G() != 1 || !winnf.Supported(p) {
 		return false
 	}
 	if prec == FP16 {
@@ -245,7 +299,7 @@ func (winnfBackend) ExecuteCtx(ctx context.Context, p conv.Params, x, dy, dst *t
 	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
 		return err
 	}
-	if !winnf.Supported(p) {
+	if p.G() != 1 || !winnf.Supported(p) {
 		return fmt.Errorf("backend: winnf does not support %v", p)
 	}
 	return observe(ctx, "winnf", func() error {
@@ -258,8 +312,8 @@ func (winnfBackend) ExecuteHalfCtx(ctx context.Context, p conv.Params, x, dy *te
 	if err := checkOperands(p, x.Shape, dy.Shape, dst.Shape); err != nil {
 		return err
 	}
-	if !(p.FH == 3 && p.FW == 3) {
-		return fmt.Errorf("backend: winnf FP16 supports only 3x3, got %v", p)
+	if !(p.FH == 3 && p.FW == 3) || p.G() != 1 {
+		return fmt.Errorf("backend: winnf FP16 supports only ungrouped 3x3, got %v", p)
 	}
 	return observe(ctx, "winnf", func() error {
 		copy(dst.Data, winnf.BackwardFilterHalf(p, x, dy).Data)

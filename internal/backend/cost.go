@@ -76,12 +76,17 @@ func (b *winrsBackend) Cost(p conv.Params, prec Precision) Cost {
 	var flops float64
 	var grains int
 	for _, s := range cfg.Segments {
+		// Per-group plan segments: each of the G sequential passes reduces
+		// O_C/G × I_C/G channels, so the total across passes is O_C × I_C/G.
+		// Grains stay per pass — that is the parallelism live at any instant.
 		segElems := float64(s.Rows()) * float64(s.Cols()) * float64(p.N)
 		direct := 2 * segElems * float64(p.FH) * float64(p.FW) *
-			float64(p.OC) * float64(p.IC)
+			float64(p.OC) * float64(p.ICG())
 		flops += direct / s.K.Accel() * 1.10
 		grains += s.Rows() * (s.Cols() / s.K.R) * p.N
 	}
+	// Z × the full ∇W: the per-group buckets are 1/G of it and are swept
+	// once per each of the G passes.
 	dwBytes := float64(p.DWShape().Elems()) * 4
 	bytes := operandBytes32(p) + float64(cfg.Z())*dwBytes
 	// Larger transforms spend more non-GEMM instructions (the footnote-3
@@ -104,19 +109,22 @@ func (b *winrsBackend) Cost(p conv.Params, prec Precision) Cost {
 }
 
 func (gemmBackend) Cost(p conv.Params, prec Precision) Cost {
+	// Grouped layers run one Algo1 per group; n shrinks to the per-group
+	// reduction F_H·F_W·(I_C/G), and m = O_C totals the G sequential
+	// passes (O_C/G rows each).
 	m := float64(p.OC)
-	n := float64(p.FH) * float64(p.FW) * float64(p.IC)
+	n := float64(p.FH) * float64(p.FW) * float64(p.ICG())
 	k := float64(p.N) * float64(p.OH()) * float64(p.OW())
 	flops := 2 * m * n * k
-	// The im2col chunk is written once and re-read by the GEMM.
-	bytes := operandBytes32(p) + 2*k*n*4
+	// The im2col chunk is written once and re-read by the GEMM, per group.
+	bytes := operandBytes32(p) + 2*k*n*4*float64(p.G())
 	eff := 0.55
-	grains := (p.OC + 31) / 32 // the GEMM's M-block parallelism
+	grains := (p.OCG() + 31) / 32 // one pass's M-block parallelism
 	if prec == FP16 {
 		// Algo1Half runs a scalar table-FMA per multiply-accumulate —
 		// an order of magnitude below the float32 GEMM loop.
 		eff = 0.05
-		grains = p.OC
+		grains = p.OCG()
 	}
 	return Cost{FLOPs: flops, Bytes: bytes, Eff: eff, Grains: grains}
 }

@@ -30,7 +30,30 @@ type Params struct {
 	FH, FW int // filter (gradient) height/width
 	IC, OC int // input/output channels
 	PH, PW int // zero padding along height/width
+
+	// Groups partitions the channels into G independent convolutions:
+	// group g connects input channels [g·I_C/G, (g+1)·I_C/G) to output
+	// channels [g·O_C/G, (g+1)·O_C/G), and each filter carries only
+	// I_C/G channels. Zero means 1 (ungrouped — the legacy geometry);
+	// G == I_C is depthwise (one input channel per group). The json tag
+	// keeps the serve wire format byte-identical for ungrouped layers.
+	Groups int `json:"groups,omitempty"`
 }
+
+// G returns the effective group count (≥1).
+func (p Params) G() int {
+	if p.Groups < 1 {
+		return 1
+	}
+	return p.Groups
+}
+
+// ICG returns the per-group input-channel count I_C/G — the channel depth
+// of each filter.
+func (p Params) ICG() int { return p.IC / p.G() }
+
+// OCG returns the per-group output-channel count O_C/G.
+func (p Params) OCG() int { return p.OC / p.G() }
 
 // OH returns the output-gradient height O_H = I_H + 2·p_H − F_H + 1.
 func (p Params) OH() int { return p.IH + 2*p.PH - p.FH + 1 }
@@ -49,6 +72,11 @@ func (p Params) Validate() error {
 		return fmt.Errorf("conv: negative padding in %+v", p)
 	case p.OH() < 1 || p.OW() < 1:
 		return fmt.Errorf("conv: empty output %dx%d in %+v", p.OH(), p.OW(), p)
+	case p.Groups < 0:
+		return fmt.Errorf("conv: negative group count in %+v", p)
+	case p.IC%p.G() != 0 || p.OC%p.G() != 0:
+		return fmt.Errorf("conv: groups %d must divide IC %d and OC %d",
+			p.G(), p.IC, p.OC)
 	}
 	return nil
 }
@@ -63,16 +91,18 @@ func (p Params) DYShape() tensor.Shape {
 	return tensor.Shape{N: p.N, H: p.OH(), W: p.OW(), C: p.OC}
 }
 
-// DWShape returns the filter-gradient shape O_C×F_H×F_W×I_C (stored with N
-// standing in for O_C in the generic Shape type).
+// DWShape returns the filter-gradient shape O_C×F_H×F_W×(I_C/G) (stored
+// with N standing in for O_C in the generic Shape type). Each filter sees
+// only its own group's input channels, so the channel depth is I_C/G.
 func (p Params) DWShape() tensor.Shape {
-	return tensor.Shape{N: p.OC, H: p.FH, W: p.FW, C: p.IC}
+	return tensor.Shape{N: p.OC, H: p.FH, W: p.FW, C: p.ICG()}
 }
 
-// FLOPs returns the BFC time complexity 2·O_C·F_H·F_W·I_C·O_H·O_W·N used by
-// the paper's throughput formula.
+// FLOPs returns the BFC time complexity 2·O_C·F_H·F_W·(I_C/G)·O_H·O_W·N
+// used by the paper's throughput formula; grouping divides the C-reduction
+// by G.
 func (p Params) FLOPs() int64 {
-	return 2 * int64(p.OC) * int64(p.FH) * int64(p.FW) * int64(p.IC) *
+	return 2 * int64(p.OC) * int64(p.FH) * int64(p.FW) * int64(p.ICG()) *
 		int64(p.OH()) * int64(p.OW()) * int64(p.N)
 }
 
@@ -89,10 +119,16 @@ func (p Params) DataBytes16() int64 {
 		tensor.Bytes16(p.DWShape())
 }
 
-// String formats the layer compactly.
+// String formats the layer compactly. Grouped layers carry a G suffix;
+// ungrouped layers keep the legacy format so existing bench/report keys
+// are unchanged.
 func (p Params) String() string {
-	return fmt.Sprintf("N%d X%dx%dx%d F%dx%d OC%d P%d,%d",
+	s := fmt.Sprintf("N%d X%dx%dx%d F%dx%d OC%d P%d,%d",
 		p.N, p.IH, p.IW, p.IC, p.FH, p.FW, p.OC, p.PH, p.PW)
+	if p.G() > 1 {
+		s += fmt.Sprintf(" G%d", p.G())
+	}
+	return s
 }
 
 // xAt reads X with implicit zero padding: coordinates outside the input
@@ -118,10 +154,12 @@ func BackwardFilterDirect64(p Params, x *tensor.Float64, dy *tensor.Float64) *te
 	checkShapes(p, x.Shape, dy.Shape)
 	dw := tensor.NewFloat64(p.DWShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	for oc := 0; oc < p.OC; oc++ {
+		icBase := oc / ocg * icg // first input channel of oc's group
 		for fh := 0; fh < p.FH; fh++ {
 			for fw := 0; fw < p.FW; fw++ {
-				for ic := 0; ic < p.IC; ic++ {
+				for cg := 0; cg < icg; cg++ {
 					var s float64
 					for n := 0; n < p.N; n++ {
 						for y := 0; y < oh; y++ {
@@ -134,11 +172,11 @@ func BackwardFilterDirect64(p Params, x *tensor.Float64, dy *tensor.Float64) *te
 								if iw < 0 || iw >= p.IW {
 									continue
 								}
-								s += x.At(n, ih, iw, ic) * dy.At(n, y, xw, oc)
+								s += x.At(n, ih, iw, icBase+cg) * dy.At(n, y, xw, oc)
 							}
 						}
 					}
-					dw.Set(oc, fh, fw, ic, s)
+					dw.Set(oc, fh, fw, cg, s)
 				}
 			}
 		}
@@ -152,10 +190,12 @@ func BackwardFilterDirect32(p Params, x *tensor.Float32, dy *tensor.Float32) *te
 	checkShapes(p, x.Shape, dy.Shape)
 	dw := tensor.NewFloat32(p.DWShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	parallelFor(p.OC, func(oc int) {
+		icBase := oc / ocg * icg
 		for fh := 0; fh < p.FH; fh++ {
 			for fw := 0; fw < p.FW; fw++ {
-				for ic := 0; ic < p.IC; ic++ {
+				for cg := 0; cg < icg; cg++ {
 					var s float32
 					for n := 0; n < p.N; n++ {
 						for y := 0; y < oh; y++ {
@@ -168,11 +208,11 @@ func BackwardFilterDirect32(p Params, x *tensor.Float32, dy *tensor.Float32) *te
 								if iw < 0 || iw >= p.IW {
 									continue
 								}
-								s += x.At(n, ih, iw, ic) * dy.At(n, y, xw, oc)
+								s += x.At(n, ih, iw, icBase+cg) * dy.At(n, y, xw, oc)
 							}
 						}
 					}
-					dw.Set(oc, fh, fw, ic, s)
+					dw.Set(oc, fh, fw, cg, s)
 				}
 			}
 		}
@@ -190,16 +230,18 @@ func Forward64(p Params, x *tensor.Float64, w *tensor.Float64) *tensor.Float64 {
 	}
 	y := tensor.NewFloat64(p.DYShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	for n := 0; n < p.N; n++ {
 		for yy := 0; yy < oh; yy++ {
 			for xx := 0; xx < ow; xx++ {
 				for oc := 0; oc < p.OC; oc++ {
+					icBase := oc / ocg * icg
 					var s float64
 					for fh := 0; fh < p.FH; fh++ {
 						for fw := 0; fw < p.FW; fw++ {
-							for ic := 0; ic < p.IC; ic++ {
-								s += xAt(x, n, yy+fh-p.PH, xx+fw-p.PW, ic) *
-									w.At(oc, fh, fw, ic)
+							for cg := 0; cg < icg; cg++ {
+								s += xAt(x, n, yy+fh-p.PH, xx+fw-p.PW, icBase+cg) *
+									w.At(oc, fh, fw, cg)
 							}
 						}
 					}
@@ -219,16 +261,18 @@ func Forward32(p Params, x *tensor.Float32, w *tensor.Float32) *tensor.Float32 {
 	}
 	y := tensor.NewFloat32(p.DYShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	parallelFor(p.N, func(n int) {
 		for yy := 0; yy < oh; yy++ {
 			for xx := 0; xx < ow; xx++ {
 				for oc := 0; oc < p.OC; oc++ {
+					icBase := oc / ocg * icg
 					var s float32
 					for fh := 0; fh < p.FH; fh++ {
 						for fw := 0; fw < p.FW; fw++ {
-							for ic := 0; ic < p.IC; ic++ {
-								s += xAt32(x, n, yy+fh-p.PH, xx+fw-p.PW, ic) *
-									w.At(oc, fh, fw, ic)
+							for cg := 0; cg < icg; cg++ {
+								s += xAt32(x, n, yy+fh-p.PH, xx+fw-p.PW, icBase+cg) *
+									w.At(oc, fh, fw, cg)
 							}
 						}
 					}
@@ -252,10 +296,12 @@ func BackwardData32(p Params, dy *tensor.Float32, w *tensor.Float32) *tensor.Flo
 	}
 	dx := tensor.NewFloat32(p.XShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	parallelFor(p.N, func(n int) {
 		for ih := 0; ih < p.IH; ih++ {
 			for iw := 0; iw < p.IW; iw++ {
 				for ic := 0; ic < p.IC; ic++ {
+					ocBase, cg := ic/icg*ocg, ic%icg
 					var s float32
 					for fh := 0; fh < p.FH; fh++ {
 						y := ih - fh + p.PH
@@ -267,8 +313,8 @@ func BackwardData32(p Params, dy *tensor.Float32, w *tensor.Float32) *tensor.Flo
 							if x < 0 || x >= ow {
 								continue
 							}
-							for oc := 0; oc < p.OC; oc++ {
-								s += dy.At(n, y, x, oc) * w.At(oc, fh, fw, ic)
+							for oc := ocBase; oc < ocBase+ocg; oc++ {
+								s += dy.At(n, y, x, oc) * w.At(oc, fh, fw, cg)
 							}
 						}
 					}

@@ -1,0 +1,184 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"winrs/internal/tensor"
+)
+
+func randF64(rng *rand.Rand, s tensor.Shape) *tensor.Float64 {
+	t := tensor.NewFloat64(s)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// sliceC64 extracts channels [off, off+width) of every NHWC row.
+func sliceC64(src *tensor.Float64, off, width int) *tensor.Float64 {
+	s := src.Shape
+	out := tensor.NewFloat64(tensor.Shape{N: s.N, H: s.H, W: s.W, C: width})
+	for n := 0; n < s.N; n++ {
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < width; c++ {
+					out.Set(n, h, w, c, src.At(n, h, w, off+c))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// The grouped float64 oracle must agree with G independent ungrouped
+// oracles over channel-sliced operands — grouping is by definition a
+// block-diagonal restriction of the dense convolution.
+func TestGroupedOracleMatchesPerGroupSlices(t *testing.T) {
+	for _, p := range []Params{
+		{N: 2, IH: 10, IW: 10, FH: 3, FW: 3, IC: 6, OC: 4, PH: 1, PW: 1, Groups: 2},
+		{N: 1, IH: 8, IW: 12, FH: 3, FW: 3, IC: 4, OC: 4, Groups: 4}, // depthwise
+		{N: 1, IH: 12, IW: 9, FH: 5, FW: 5, IC: 6, OC: 9, PH: 2, PW: 2, Groups: 3},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		rng := rand.New(rand.NewSource(71))
+		x := randF64(rng, p.XShape())
+		dy := randF64(rng, p.DYShape())
+		got := BackwardFilterDirect64(p, x, dy)
+		if got.Shape.C != p.ICG() {
+			t.Fatalf("%v: ∇W channel depth %d, want I_C/G = %d", p, got.Shape.C, p.ICG())
+		}
+		icg, ocg := p.ICG(), p.OCG()
+		for gi := 0; gi < p.G(); gi++ {
+			pg := p
+			pg.IC, pg.OC, pg.Groups = icg, ocg, 0
+			want := BackwardFilterDirect64(pg, sliceC64(x, gi*icg, icg), sliceC64(dy, gi*ocg, ocg))
+			for oc := 0; oc < ocg; oc++ {
+				for fh := 0; fh < p.FH; fh++ {
+					for fw := 0; fw < p.FW; fw++ {
+						for c := 0; c < icg; c++ {
+							g := got.At(gi*ocg+oc, fh, fw, c)
+							w := want.At(oc, fh, fw, c)
+							if g != w {
+								t.Fatalf("%v group %d: ∇W[%d,%d,%d,%d] = %v, per-group oracle %v",
+									p, gi, oc, fh, fw, c, g, w)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Grouped forward/backward-data must likewise reduce to per-group slices.
+func TestGroupedForwardBackwardDataOracle(t *testing.T) {
+	p := Params{N: 1, IH: 9, IW: 11, FH: 3, FW: 3, IC: 4, OC: 6, PH: 1, PW: 1, Groups: 2}
+	rng := rand.New(rand.NewSource(72))
+	x := randF64(rng, p.XShape())
+	w := randF64(rng, p.DWShape())
+	y := Forward64(p, x, w)
+	icg, ocg := p.ICG(), p.OCG()
+	for gi := 0; gi < p.G(); gi++ {
+		pg := p
+		pg.IC, pg.OC, pg.Groups = icg, ocg, 0
+		wg := tensor.NewFloat64(pg.DWShape())
+		for oc := 0; oc < ocg; oc++ {
+			for fh := 0; fh < p.FH; fh++ {
+				for fw := 0; fw < p.FW; fw++ {
+					for c := 0; c < icg; c++ {
+						wg.Set(oc, fh, fw, c, w.At(gi*ocg+oc, fh, fw, c))
+					}
+				}
+			}
+		}
+		want := Forward64(pg, sliceC64(x, gi*icg, icg), wg)
+		for n := 0; n < p.N; n++ {
+			for oh := 0; oh < p.OH(); oh++ {
+				for ow := 0; ow < p.OW(); ow++ {
+					for oc := 0; oc < ocg; oc++ {
+						if y.At(n, oh, ow, gi*ocg+oc) != want.At(n, oh, ow, oc) {
+							t.Fatalf("group %d: forward mismatch at (%d,%d,%d,%d)", gi, n, oh, ow, oc)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// ∇X of the grouped forward, against a central-difference probe.
+	dy32 := randF64(rng, p.DYShape()).ToFloat32()
+	w32 := w.ToFloat32()
+	dx := BackwardData32(p, dy32, w32)
+	if dx.Shape != p.XShape() {
+		t.Fatalf("∇X shape %v, want %v", dx.Shape, p.XShape())
+	}
+	x32 := x.ToFloat32()
+	const eps = 1e-2
+	probe := func(n, ih, iw, ic int) float32 {
+		orig := x32.At(n, ih, iw, ic)
+		x32.Set(n, ih, iw, ic, orig+eps)
+		yp := Forward32(p, x32, w32)
+		x32.Set(n, ih, iw, ic, orig-eps)
+		ym := Forward32(p, x32, w32)
+		x32.Set(n, ih, iw, ic, orig)
+		var s float32
+		for i := range yp.Data {
+			s += (yp.Data[i] - ym.Data[i]) / (2 * eps) * dy32.Data[i]
+		}
+		return s
+	}
+	for _, site := range [][4]int{{0, 0, 0, 0}, {0, 4, 5, 1}, {0, 8, 10, 3}} {
+		want := probe(site[0], site[1], site[2], site[3])
+		got := dx.At(site[0], site[1], site[2], site[3])
+		if d := got - want; d < -2e-2 || d > 2e-2 {
+			t.Errorf("∇X[%v] = %v, finite-difference %v", site, got, want)
+		}
+	}
+}
+
+// Grouped geometry validation and derived quantities.
+func TestGroupedValidate(t *testing.T) {
+	base := Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 6, OC: 4, PH: 1, PW: 1}
+	for _, bad := range []int{-1, 4, 5} { // 4 does not divide IC=6; 5 divides neither
+		p := base
+		p.Groups = bad
+		if err := p.Validate(); err == nil {
+			t.Errorf("Groups=%d accepted, want rejection", bad)
+		}
+	}
+	p := base
+	p.Groups = 2
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ICG() != 3 || p.OCG() != 2 {
+		t.Errorf("per-group channels %d×%d, want 3×2", p.ICG(), p.OCG())
+	}
+	if p.DWShape().C != 3 {
+		t.Errorf("∇W channel depth %d, want I_C/G = 3", p.DWShape().C)
+	}
+	pu := base
+	if p.FLOPs()*int64(p.G()) != pu.FLOPs() {
+		t.Errorf("grouped FLOPs %d, want ungrouped/G = %d", p.FLOPs(), pu.FLOPs()/int64(p.G()))
+	}
+
+	sp := StridedParams{N: 1, IH: 9, IW: 9, FH: 3, FW: 3, IC: 4, OC: 4, SH: 2, SW: 2, Groups: 3}
+	if err := sp.Validate(); err == nil {
+		t.Error("strided Groups=3 with IC=OC=4 accepted, want rejection")
+	}
+	sp.Groups = 4
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp.SH, sp.SW = 1, 1
+	u, ok := sp.Unit()
+	if !ok {
+		t.Fatal("unit-stride params did not short-circuit to Params")
+	}
+	if u.Groups != 4 {
+		t.Errorf("Unit() dropped Groups: %+v", u)
+	}
+}

@@ -18,7 +18,24 @@ type StridedParams struct {
 	IC, OC int
 	PH, PW int
 	SH, SW int // strides; 0 is treated as 1
+
+	// Groups partitions channels exactly as Params.Groups: 0 means 1.
+	Groups int `json:"groups,omitempty"`
 }
+
+// G returns the effective group count (≥1).
+func (p StridedParams) G() int {
+	if p.Groups < 1 {
+		return 1
+	}
+	return p.Groups
+}
+
+// ICG returns the per-group input-channel count I_C/G.
+func (p StridedParams) ICG() int { return p.IC / p.G() }
+
+// OCG returns the per-group output-channel count O_C/G.
+func (p StridedParams) OCG() int { return p.OC / p.G() }
 
 // StrideH returns the effective height stride (≥1).
 func (p StridedParams) StrideH() int {
@@ -57,6 +74,11 @@ func (p StridedParams) Validate() error {
 		return fmt.Errorf("conv: negative padding or stride in %+v", p)
 	case p.IH+2*p.PH < p.FH || p.IW+2*p.PW < p.FW:
 		return fmt.Errorf("conv: filter larger than padded input in %+v", p)
+	case p.Groups < 0:
+		return fmt.Errorf("conv: negative group count in %+v", p)
+	case p.IC%p.G() != 0 || p.OC%p.G() != 0:
+		return fmt.Errorf("conv: groups %d must divide IC %d and OC %d",
+			p.G(), p.IC, p.OC)
 	}
 	return nil
 }
@@ -71,9 +93,9 @@ func (p StridedParams) DYShape() tensor.Shape {
 	return tensor.Shape{N: p.N, H: p.OH(), W: p.OW(), C: p.OC}
 }
 
-// DWShape returns O_C×F_H×F_W×I_C.
+// DWShape returns O_C×F_H×F_W×(I_C/G).
 func (p StridedParams) DWShape() tensor.Shape {
-	return tensor.Shape{N: p.OC, H: p.FH, W: p.FW, C: p.IC}
+	return tensor.Shape{N: p.OC, H: p.FH, W: p.FW, C: p.ICG()}
 }
 
 // Unit returns the equivalent stride-1 Params when both strides are 1.
@@ -82,7 +104,7 @@ func (p StridedParams) Unit() (Params, bool) {
 		return Params{}, false
 	}
 	return Params{N: p.N, IH: p.IH, IW: p.IW, FH: p.FH, FW: p.FW,
-		IC: p.IC, OC: p.OC, PH: p.PH, PW: p.PW}, true
+		IC: p.IC, OC: p.OC, PH: p.PH, PW: p.PW, Groups: p.Groups}, true
 }
 
 // BackwardFilterStridedDirect64 is the float64 strided BFC ground truth:
@@ -99,10 +121,12 @@ func BackwardFilterStridedDirect64(p StridedParams, x, dy *tensor.Float64) *tens
 	sh, sw := p.StrideH(), p.StrideW()
 	dw := tensor.NewFloat64(p.DWShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	for oc := 0; oc < p.OC; oc++ {
+		icBase := oc / ocg * icg
 		for fh := 0; fh < p.FH; fh++ {
 			for fw := 0; fw < p.FW; fw++ {
-				for ic := 0; ic < p.IC; ic++ {
+				for cg := 0; cg < icg; cg++ {
 					var s float64
 					for n := 0; n < p.N; n++ {
 						for y := 0; y < oh; y++ {
@@ -115,11 +139,11 @@ func BackwardFilterStridedDirect64(p StridedParams, x, dy *tensor.Float64) *tens
 								if iw < 0 || iw >= p.IW {
 									continue
 								}
-								s += x.At(n, ih, iw, ic) * dy.At(n, y, xw, oc)
+								s += x.At(n, ih, iw, icBase+cg) * dy.At(n, y, xw, oc)
 							}
 						}
 					}
-					dw.Set(oc, fh, fw, ic, s)
+					dw.Set(oc, fh, fw, cg, s)
 				}
 			}
 		}
@@ -140,10 +164,12 @@ func ForwardStridedDirect64(p StridedParams, x, w *tensor.Float64) *tensor.Float
 	sh, sw := p.StrideH(), p.StrideW()
 	y := tensor.NewFloat64(p.DYShape())
 	oh, ow := p.OH(), p.OW()
+	icg, ocg := p.ICG(), p.OCG()
 	for n := 0; n < p.N; n++ {
 		for yy := 0; yy < oh; yy++ {
 			for xx := 0; xx < ow; xx++ {
 				for oc := 0; oc < p.OC; oc++ {
+					icBase := oc / ocg * icg
 					var s float64
 					for fh := 0; fh < p.FH; fh++ {
 						ih := sh*yy + fh - p.PH
@@ -155,8 +181,8 @@ func ForwardStridedDirect64(p StridedParams, x, w *tensor.Float64) *tensor.Float
 							if iw < 0 || iw >= p.IW {
 								continue
 							}
-							for ic := 0; ic < p.IC; ic++ {
-								s += x.At(n, ih, iw, ic) * w.At(oc, fh, fw, ic)
+							for cg := 0; cg < icg; cg++ {
+								s += x.At(n, ih, iw, icBase+cg) * w.At(oc, fh, fw, cg)
 							}
 						}
 					}

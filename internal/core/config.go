@@ -385,7 +385,28 @@ type Config struct {
 	// built by Configure so executions need not re-derive it. Hand-built
 	// configs may leave it nil; schedule then derives it per call.
 	unitOff []int
+
+	// group is the per-group execution plan when Params.Groups > 1: the
+	// WinRS pipeline for one group's channel slice (I_C/G inputs, O_C/G
+	// outputs). Execution runs it G times over channel-sliced operands
+	// sharing one group-sized workspace; Pair/Segments/unitOff above
+	// mirror it so inspection of the outer config reports the plan that
+	// actually runs. Nil for ungrouped layers.
+	group *Config
 }
+
+// exec returns the plan execution operates on: the per-group plan for
+// grouped layers, the config itself otherwise.
+func (c *Config) exec() *Config {
+	if c.group != nil {
+		return c.group
+	}
+	return c
+}
+
+// GroupConfig returns the per-group plan for grouped layers (nil for
+// ungrouped ones).
+func (c *Config) GroupConfig() *Config { return c.group }
 
 // Z returns the realized segment count.
 func (c *Config) Z() int { return len(c.Segments) }
@@ -393,9 +414,14 @@ func (c *Config) Z() int { return len(c.Segments) }
 // WorkspaceBytes returns the bucket workspace: (Z−1) × sizeof(∇W). The
 // final gradient itself is not workspace (bucket 0 aliases it). Buckets are
 // FP32 on both precision paths: accumulators and the Kahan reduction run in
-// FP32 (paper §5.2).
+// FP32 (paper §5.2). Grouped layers run the pipeline one group at a time
+// through a single group-sized workspace, so the report is (Z−1) × the
+// per-group ∇W slab — it shrinks by G² vs the ungrouped layer of the same
+// outer geometry (1/G from the sliced C-reduction, 1/G from the sliced
+// O_C), the paper's tiny-workspace regime at its most favorable.
 func (c *Config) WorkspaceBytes() int64 {
-	return int64(c.Z()-1) * int64(c.Params.DWShape().Elems()) * 4
+	e := c.exec()
+	return int64(e.Z()-1) * int64(e.Params.DWShape().Elems()) * 4
 }
 
 // WHatCacheBytes returns the exact footprint of the Ŵ cache — the
@@ -415,10 +441,11 @@ func (c *Config) WorkspaceBytes() int64 {
 // counted against WithWorkspaceLimit, which budgets the Z-dependent
 // buckets.
 func (c *Config) WHatCacheBytes() int64 {
+	e := c.exec()
 	var elems int64
-	for _, seg := range c.Segments {
+	for _, seg := range e.Segments {
 		elems += int64(seg.Rows()) * int64(seg.Cols()/seg.K.R) *
-			int64(c.Params.N) * int64(seg.K.Alpha) * int64(c.Params.OC)
+			int64(e.Params.N) * int64(seg.K.Alpha) * int64(e.Params.OC)
 	}
 	if c.FP16 && !fp16Resident {
 		return elems * 2
@@ -469,6 +496,23 @@ func WithWorkspaceLimit(bytes int64) Option {
 func Configure(p conv.Params, opts ...Option) (*Config, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.G() > 1 {
+		// Grouped layer: adapt the pipeline for one group's channel slice
+		// and wrap it. Execution iterates the per-group plan G times over
+		// channel-sliced operands, reusing one group-sized workspace.
+		pg := p
+		pg.IC, pg.OC, pg.Groups = p.ICG(), p.OCG(), 0
+		gcfg, err := Configure(pg, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: grouped plan (G=%d): %w", p.G(), err)
+		}
+		return &Config{
+			Params: p, FP16: gcfg.FP16, Pair: gcfg.Pair,
+			ZTarget: gcfg.ZTarget, SegH: gcfg.SegH, SegW: gcfg.SegW,
+			Segments: gcfg.Segments, Hardware: gcfg.Hardware,
+			unitOff: gcfg.unitOff, group: gcfg,
+		}, nil
 	}
 	o := configOpts{hw: DefaultHardware}
 	for _, f := range opts {

@@ -8,6 +8,7 @@ type Description struct {
 	Layer struct {
 		N, IH, IW, FH, FW, IC, OC, PH, PW int
 		OH, OW                            int
+		Groups                            int `json:",omitempty"`
 		DirectGFLOPs                      float64
 		DataMB                            float64
 	} `json:"layer"`
@@ -45,6 +46,9 @@ func (c *Config) Describe() Description {
 	d.Layer.IC, d.Layer.OC = p.IC, p.OC
 	d.Layer.PH, d.Layer.PW = p.PH, p.PW
 	d.Layer.OH, d.Layer.OW = p.OH(), p.OW()
+	if p.G() > 1 {
+		d.Layer.Groups = p.G()
+	}
 	d.Layer.DirectGFLOPs = float64(p.FLOPs()) / 1e9
 	d.Layer.DataMB = float64(p.DataBytes32()) / (1 << 20)
 	d.FP16 = c.FP16
@@ -62,8 +66,10 @@ func (c *Config) Describe() Description {
 		d.WorkspaceRatio = float64(c.WorkspaceBytes()) / float64(data)
 		d.WHatCacheRatio = float64(c.WHatCacheBytes()) / float64(data)
 	}
-	for _, s := range c.Segments {
-		d.TotalBlocks += BlocksPerSegment(s.K, p, c.FP16)
+	// Grouped plans launch the per-group block grid once per group.
+	e := c.exec()
+	for _, s := range e.Segments {
+		d.TotalBlocks += BlocksPerSegment(s.K, e.Params, c.FP16) * p.G()
 	}
 	d.EWMKernel = c.EWMKernel()
 	return d

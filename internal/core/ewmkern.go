@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 
 	"winrs/internal/winograd"
@@ -36,10 +37,22 @@ var ewmForce = parseEWMMode(os.Getenv("WINRS_EWM_KERNEL"))
 // round-tripping through the binary16 codec per use. Identical bits either
 // way (binary16→float32 decode is exact); WINRS_FP16_RESIDENT=0 forces the
 // legacy codec-per-unit path.
-var fp16Resident = os.Getenv("WINRS_FP16_RESIDENT") != "0"
+var fp16Resident = parseFP16Resident(os.Getenv("WINRS_FP16_RESIDENT"))
 
+// envWarnf reports a malformed environment knob; tests swap it to capture
+// the diagnostics.
+var envWarnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// parseEWMMode maps WINRS_EWM_KERNEL to a forcing mode. An unrecognized
+// value warns and falls back to auto — silently treating a typoed forcing
+// as auto would make a differential run that believes it pinned a variant
+// test nothing.
 func parseEWMMode(s string) ewmMode {
 	switch s {
+	case "", "auto":
+		return ewmAuto
 	case "block4":
 		return ewmBlock4
 	case "block8":
@@ -47,7 +60,23 @@ func parseEWMMode(s string) ewmMode {
 	case "fused":
 		return ewmFused
 	default:
+		envWarnf("winrs: unrecognized WINRS_EWM_KERNEL=%q; valid values are auto, block4, block8, fused — using auto", s)
 		return ewmAuto
+	}
+}
+
+// parseFP16Resident maps WINRS_FP16_RESIDENT to the decoded-operand flag:
+// unset/"1" selects the resident mode, "0" the legacy codec-per-unit path.
+// Anything else warns and keeps the default.
+func parseFP16Resident(s string) bool {
+	switch s {
+	case "", "1":
+		return true
+	case "0":
+		return false
+	default:
+		envWarnf("winrs: unrecognized WINRS_FP16_RESIDENT=%q; valid values are 0, 1 — using 1", s)
+		return true
 	}
 }
 
@@ -116,7 +145,8 @@ func (c *Config) EWMKernel() string {
 		// kernel — it is the knob-off compatibility tier.
 		return "block4x4+codec"
 	}
-	sel := selectEWM(c.Pair.Fast, c.FP16, c.Params.OC, c.Params.IC)
+	e := c.exec() // grouped plans attribute the per-group operand shape
+	sel := selectEWM(e.Pair.Fast, c.FP16, e.Params.OC, e.Params.IC)
 	return sel.name
 }
 

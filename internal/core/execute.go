@@ -709,7 +709,10 @@ func BackwardFilter(p conv.Params, x, dy *tensor.Float32, opts ...Option) (*tens
 
 // BackwardFilterHalf is the one-call FP16 path.
 func BackwardFilterHalf(p conv.Params, x, dy *tensor.Half, opts ...Option) (*tensor.Float32, error) {
-	opts = append(opts, WithFP16())
+	// Clone before appending: opts aliases the caller's variadic slice,
+	// and appending in place would clobber its backing array when the
+	// caller passed a shared slice with spare capacity via opts... .
+	opts = append(append([]Option(nil), opts...), WithFP16())
 	cfg, err := Configure(p, opts...)
 	if err != nil {
 		return nil, err

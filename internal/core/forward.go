@@ -55,6 +55,9 @@ func Forward(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
 	if w.Shape != p.DWShape() {
 		return nil, fmt.Errorf("core: Forward W shape %v, want %v", w.Shape, p.DWShape())
 	}
+	if p.G() > 1 {
+		return forwardGrouped(p, x, w)
+	}
 	k, err := selectForwardKernel(p.FW)
 	if err != nil {
 		return nil, err
@@ -173,11 +176,13 @@ func BackwardData(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error)
 		return nil, fmt.Errorf("core: BackwardData W shape %v, want %v", w.Shape, p.DWShape())
 	}
 	// The equivalent forward problem: input ∇Y (O_H×O_W×O_C), output
-	// ∇X (I_H×I_W×I_C), same filter extent.
+	// ∇X (I_H×I_W×I_C), same filter extent. Grouping carries over: the
+	// channel transpose keeps every (oc, ic) pair within its group.
 	pb := conv.Params{
 		N: p.N, IH: p.OH(), IW: p.OW(), FH: p.FH, FW: p.FW,
 		IC: p.OC, OC: p.IC,
 		PH: p.FH - 1 - p.PH, PW: p.FW - 1 - p.PW,
+		Groups: p.Groups,
 	}
 	if err := pb.Validate(); err != nil {
 		return nil, fmt.Errorf("core: BackwardData derived geometry invalid: %w", err)
@@ -186,12 +191,15 @@ func BackwardData(p conv.Params, dy, w *tensor.Float32) (*tensor.Float32, error)
 		return nil, fmt.Errorf("core: BackwardData geometry mismatch: got %dx%d, want %dx%d",
 			pb.OH(), pb.OW(), p.IH, p.IW)
 	}
-	flipped := tensor.NewFloat32(pb.DWShape()) // I_C×F_H×F_W×O_C
+	icg, ocg := p.ICG(), p.OCG()
+	flipped := tensor.NewFloat32(pb.DWShape()) // I_C×F_H×F_W×(O_C/G)
 	for a := 0; a < p.OC; a++ {
+		gi := a / ocg
 		for fh := 0; fh < p.FH; fh++ {
 			for fw := 0; fw < p.FW; fw++ {
-				for b := 0; b < p.IC; b++ {
-					flipped.Set(b, p.FH-1-fh, p.FW-1-fw, a, w.At(a, fh, fw, b))
+				for b := gi * icg; b < (gi+1)*icg; b++ {
+					flipped.Set(b, p.FH-1-fh, p.FW-1-fw, a-gi*ocg,
+						w.At(a, fh, fw, b-gi*icg))
 				}
 			}
 		}

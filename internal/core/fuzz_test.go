@@ -79,6 +79,9 @@ func FuzzExecuteMatchesDirect(f *testing.F) {
 	// IH=IW=8, F=3, pad 1 → OW=8 pairs Ω8(3,6)+Ω4(3,2): both α ≤ 8, so
 	// this seed drives the fused transform+EWM small-α path.
 	f.Add(int64(8), uint8(16), uint8(2), uint8(1))
+	// fB ≥ 32 flips the group bit: G=2 with IC=OC=2 is the depthwise
+	// grouped pipeline (per-group planning, channel-sliced operands).
+	f.Add(int64(5), uint8(12), uint8(35), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, hwB, fB, padB uint8) {
 		p := conv.Params{
 			N:  1,
@@ -88,6 +91,9 @@ func FuzzExecuteMatchesDirect(f *testing.F) {
 			FW: 1 + int(fB%6),
 			IC: 2, OC: 2,
 			PH: int(padB % 3), PW: int(padB % 3),
+			// The filter byte's unused high bits select grouping, so the
+			// existing corpus keeps its meaning (high bits were zero).
+			Groups: 1 + int(fB>>5)%2,
 		}
 		if p.Validate() != nil {
 			return

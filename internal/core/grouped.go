@@ -1,0 +1,134 @@
+package core
+
+import (
+	"winrs/internal/conv"
+	"winrs/internal/sched"
+	"winrs/internal/tensor"
+)
+
+// Grouped execution (G > 1) runs the adapted per-group plan (Config.group)
+// G times, once per channel group. NHWC keeps channels innermost, so one
+// group's operands are strided row-gathers (rows of width I_C/G at stride
+// I_C); the per-group ∇W block, by contrast, is a contiguous slab of the
+// full gradient (∇W is O_C-major and each group owns a contiguous O_C/G
+// range), so outputs are written through zero-copy views. All G passes
+// share a single group-sized workspace — the tiny-workspace property the
+// paper's reduce-split buys shrinks by another factor of G² under
+// grouping, and depthwise (G == I_C) is its limiting case.
+
+// sliceChannels gathers channels [off, off+width) of every row of src
+// (rows × srcC, dense) into dst (rows × width, dense).
+func sliceChannels[E any](dst, src []E, rows, srcC, off, width int) {
+	for r := 0; r < rows; r++ {
+		copy(dst[r*width:(r+1)*width], src[r*srcC+off:r*srcC+off+width])
+	}
+}
+
+// scatterChannels writes src (rows × width, dense) into channels
+// [off, off+width) of every row of dst (rows × dstC, dense) — the inverse
+// of sliceChannels.
+func scatterChannels[E any](dst, src []E, rows, dstC, off, width int) {
+	for r := 0; r < rows; r++ {
+		copy(dst[r*dstC+off:r*dstC+off+width], src[r*width:(r+1)*width])
+	}
+}
+
+// groupSlab returns the zero-copy view of group gi's contiguous ∇W block.
+func groupSlab(dst *tensor.Float32, shape tensor.Shape, gi int) *tensor.Float32 {
+	n := shape.Elems()
+	return &tensor.Float32{Shape: shape, Data: dst.Data[gi*n : (gi+1)*n : (gi+1)*n]}
+}
+
+// executeGroupedIn is the FP32 grouped BFC driver behind executeIn.
+func executeGroupedIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32, cancel *sched.Batch) (*tensor.Float32, bool) {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: Execute operand shape mismatch")
+	}
+	if dst == nil {
+		dst = tensor.NewFloat32(p.DWShape())
+	} else if dst.Shape != p.DWShape() {
+		panic("core: reduce destination shape mismatch")
+	}
+	gcfg := cfg.group
+	if ws == nil {
+		ws = NewWorkspace(cfg) // group-sized, shared by all G passes
+	}
+	g, icg, ocg := p.G(), p.ICG(), p.OCG()
+	pg := gcfg.Params
+	xRows := p.N * p.IH * p.IW
+	dyRows := p.N * p.OH() * p.OW()
+	xg := &tensor.Float32{Shape: pg.XShape(), Data: growF32(&ws.xg32, xRows*icg)}
+	dyg := &tensor.Float32{Shape: pg.DYShape(), Data: growF32(&ws.dyg32, dyRows*ocg)}
+	for gi := 0; gi < g; gi++ {
+		if cancel.Cancelled() {
+			return nil, false
+		}
+		sliceChannels(xg.Data, x.Data, xRows, p.IC, gi*icg, icg)
+		sliceChannels(dyg.Data, dy.Data, dyRows, p.OC, gi*ocg, ocg)
+		if _, ok := executeIn(gcfg, ws, xg, dyg, groupSlab(dst, pg.DWShape(), gi), cancel); !ok {
+			return nil, false
+		}
+	}
+	return dst, true
+}
+
+// executeGroupedHalfIn is the FP16 grouped BFC driver behind executeHalfIn.
+// Gathers stay in binary16 (bit-exact channel copies); each per-group pass
+// then runs the regular FP16 pipeline, so the eq.(7) error model applies
+// per group with the reduced C = I_C/G reduction depth.
+func executeGroupedHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32, cancel *sched.Batch) (*tensor.Float32, bool) {
+	p := cfg.Params
+	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
+		panic("core: ExecuteHalf operand shape mismatch")
+	}
+	if dst == nil {
+		dst = tensor.NewFloat32(p.DWShape())
+	} else if dst.Shape != p.DWShape() {
+		panic("core: reduce destination shape mismatch")
+	}
+	gcfg := cfg.group
+	if ws == nil {
+		ws = NewWorkspace(cfg)
+	}
+	g, icg, ocg := p.G(), p.ICG(), p.OCG()
+	pg := gcfg.Params
+	xRows := p.N * p.IH * p.IW
+	dyRows := p.N * p.OH() * p.OW()
+	xg := &tensor.Half{Shape: pg.XShape(), Data: growHalf(&ws.xg16, xRows*icg)}
+	dyg := &tensor.Half{Shape: pg.DYShape(), Data: growHalf(&ws.dyg16, dyRows*ocg)}
+	for gi := 0; gi < g; gi++ {
+		if cancel.Cancelled() {
+			return nil, false
+		}
+		sliceChannels(xg.Data, x.Data, xRows, p.IC, gi*icg, icg)
+		sliceChannels(dyg.Data, dy.Data, dyRows, p.OC, gi*ocg, ocg)
+		if _, ok := executeHalfIn(gcfg, ws, xg, dyg, groupSlab(dst, pg.DWShape(), gi), cancel); !ok {
+			return nil, false
+		}
+	}
+	return dst, true
+}
+
+// forwardGrouped runs the fused forward pass per group: gather the group's
+// input channels, run the ungrouped kernel against the group's contiguous
+// filter slab, scatter its output channels back.
+func forwardGrouped(p conv.Params, x, w *tensor.Float32) (*tensor.Float32, error) {
+	g, icg, ocg := p.G(), p.ICG(), p.OCG()
+	pg := p
+	pg.IC, pg.OC, pg.Groups = icg, ocg, 0
+	xRows := p.N * p.IH * p.IW
+	yRows := p.N * p.OH() * p.OW()
+	xg := &tensor.Float32{Shape: pg.XShape(), Data: make([]float32, xRows*icg)}
+	y := tensor.NewFloat32(p.DYShape())
+	slab := pg.DWShape()
+	for gi := 0; gi < g; gi++ {
+		sliceChannels(xg.Data, x.Data, xRows, p.IC, gi*icg, icg)
+		yg, err := Forward(pg, xg, groupSlab(w, slab, gi))
+		if err != nil {
+			return nil, err
+		}
+		scatterChannels(y.Data, yg.Data, yRows, p.OC, gi*ocg, ocg)
+	}
+	return y, nil
+}

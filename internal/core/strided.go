@@ -48,12 +48,14 @@ func BackwardFilterStrided(p conv.StridedParams, x, dy *tensor.Float32, opts ...
 				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
 			}
 			// Interleave the phase gradient back: ∇W[s·m+q] = ∇W_q[m].
+			// Filter rows carry I_C/G channels under grouping.
+			icg := p.ICG()
 			for oc := 0; oc < p.OC; oc++ {
 				for mh := 0; mh < fqh; mh++ {
 					for mw := 0; mw < fqw; mw++ {
 						src := dwq.Shape.Index(oc, mh, mw, 0)
 						dst := dw.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
-						copy(dw.Data[dst:dst+p.IC], dwq.Data[src:src+p.IC])
+						copy(dw.Data[dst:dst+icg], dwq.Data[src:src+icg])
 					}
 				}
 			}
@@ -73,15 +75,18 @@ func phaseGeometry(p conv.StridedParams, qh, qw int) (conv.Params, int, int) {
 		IH: p.OH() + fqh - 1, IW: p.OW() + fqw - 1,
 		FH: fqh, FW: fqw,
 		IC: p.IC, OC: p.OC,
+		Groups: p.Groups,
 	}
 	return pq, fqh, fqw
 }
 
-// gatherPhaseInput materializes X_q: the stride-decimated input plane with
-// the original zero padding folded in.
-func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, qh, qw int) *tensor.Float32 {
+// gatherPhasePlane materializes X_q: the stride-decimated input plane with
+// the original zero padding folded in. Generic over the element type so
+// the FP32 and binary16 paths share one gather — including the s_W = 1
+// contiguous-run fast path — and cannot drift apart.
+func gatherPhasePlane[E any](p conv.StridedParams, pq conv.Params,
+	srcShape tensor.Shape, src []E, dstShape tensor.Shape, dst []E, qh, qw int) {
 	sh, sw := p.StrideH(), p.StrideW()
-	xq := tensor.NewFloat32(pq.XShape())
 	for n := 0; n < p.N; n++ {
 		for a := 0; a < pq.IH; a++ {
 			ih := sh*a + qh - p.PH
@@ -102,9 +107,9 @@ func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, q
 					b1 = max
 				}
 				if b0 < b1 {
-					src := x.Shape.Index(n, ih, b0+qw-p.PW, 0)
-					dst := xq.Shape.Index(n, a, b0, 0)
-					copy(xq.Data[dst:dst+(b1-b0)*p.IC], x.Data[src:src+(b1-b0)*p.IC])
+					s := srcShape.Index(n, ih, b0+qw-p.PW, 0)
+					d := dstShape.Index(n, a, b0, 0)
+					copy(dst[d:d+(b1-b0)*p.IC], src[s:s+(b1-b0)*p.IC])
 				}
 				continue
 			}
@@ -113,25 +118,37 @@ func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, q
 				if iw < 0 || iw >= p.IW {
 					continue
 				}
-				src := x.Shape.Index(n, ih, iw, 0)
-				dst := xq.Shape.Index(n, a, b, 0)
-				copy(xq.Data[dst:dst+p.IC], x.Data[src:src+p.IC])
+				s := srcShape.Index(n, ih, iw, 0)
+				d := dstShape.Index(n, a, b, 0)
+				copy(dst[d:d+p.IC], src[s:s+p.IC])
 			}
 		}
 	}
+}
+
+func gatherPhaseInput(p conv.StridedParams, pq conv.Params, x *tensor.Float32, qh, qw int) *tensor.Float32 {
+	xq := tensor.NewFloat32(pq.XShape())
+	gatherPhasePlane(p, pq, x.Shape, x.Data, xq.Shape, xq.Data, qh, qw)
+	return xq
+}
+
+func gatherPhaseInputHalf(p conv.StridedParams, pq conv.Params, x *tensor.Half, qh, qw int) *tensor.Half {
+	xq := tensor.NewHalf(pq.XShape())
+	gatherPhasePlane(p, pq, x.Shape, x.Data, xq.Shape, xq.Data, qh, qw)
 	return xq
 }
 
 // decimateFilter extracts W_q[oc, m_h, m_w, ic] = W[oc, s·m_h+q_h, s·m_w+q_w, ic].
 func decimateFilter(p conv.StridedParams, pq conv.Params, w *tensor.Float32, qh, qw int) *tensor.Float32 {
 	sh, sw := p.StrideH(), p.StrideW()
+	icg := p.ICG() // filter channel depth under grouping
 	wq := tensor.NewFloat32(pq.DWShape())
 	for oc := 0; oc < p.OC; oc++ {
 		for mh := 0; mh < pq.FH; mh++ {
 			for mw := 0; mw < pq.FW; mw++ {
 				src := w.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
 				dst := wq.Shape.Index(oc, mh, mw, 0)
-				copy(wq.Data[dst:dst+p.IC], w.Data[src:src+p.IC])
+				copy(wq.Data[dst:dst+icg], w.Data[src:src+icg])
 			}
 		}
 	}
@@ -238,8 +255,12 @@ func BackwardFilterStridedHalf(p conv.StridedParams, x, dy *tensor.Half, opts ..
 	if unit, ok := p.Unit(); ok {
 		return BackwardFilterHalf(unit, x, dy, opts...)
 	}
-	opts = append(opts, WithFP16())
+	// Clone before appending: opts aliases the caller's variadic slice, and
+	// appending in place would clobber its backing array when the caller
+	// passed a shared slice with spare capacity via opts... .
+	opts = append(append([]Option(nil), opts...), WithFP16())
 	sh, sw := p.StrideH(), p.StrideW()
+	icg := p.ICG()
 	dw := tensor.NewFloat32(p.DWShape())
 	for qh := 0; qh < sh && qh < p.FH; qh++ {
 		for qw := 0; qw < sw && qw < p.FW; qw++ {
@@ -247,24 +268,7 @@ func BackwardFilterStridedHalf(p conv.StridedParams, x, dy *tensor.Half, opts ..
 			if err := pq.Validate(); err != nil {
 				return nil, fmt.Errorf("core: phase (%d,%d) geometry: %w", qh, qw, err)
 			}
-			xq := tensor.NewHalf(pq.XShape())
-			for n := 0; n < p.N; n++ {
-				for a := 0; a < pq.IH; a++ {
-					ih := sh*a + qh - p.PH
-					if ih < 0 || ih >= p.IH {
-						continue
-					}
-					for b := 0; b < pq.IW; b++ {
-						iw := sw*b + qw - p.PW
-						if iw < 0 || iw >= p.IW {
-							continue
-						}
-						src := x.Shape.Index(n, ih, iw, 0)
-						dst := xq.Shape.Index(n, a, b, 0)
-						copy(xq.Data[dst:dst+p.IC], x.Data[src:src+p.IC])
-					}
-				}
-			}
+			xq := gatherPhaseInputHalf(p, pq, x, qh, qw)
 			dwq, err := BackwardFilterHalf(pq, xq, dy, opts...)
 			if err != nil {
 				return nil, fmt.Errorf("core: phase (%d,%d): %w", qh, qw, err)
@@ -274,7 +278,7 @@ func BackwardFilterStridedHalf(p conv.StridedParams, x, dy *tensor.Half, opts ..
 					for mw := 0; mw < fqw; mw++ {
 						src := dwq.Shape.Index(oc, mh, mw, 0)
 						dst := dw.Shape.Index(oc, sh*mh+qh, sw*mw+qw, 0)
-						copy(dw.Data[dst:dst+p.IC], dwq.Data[src:src+p.IC])
+						copy(dw.Data[dst:dst+icg], dwq.Data[src:src+icg])
 					}
 				}
 			}

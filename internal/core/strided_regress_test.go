@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"winrs/internal/conv"
+	"winrs/internal/fp16"
+	"winrs/internal/tensor"
+)
+
+// scalarGatherRef is the plain per-column walk that defines X_q: the shared
+// production gather (with its s_W = 1 contiguous-run fast path) must be
+// bit-identical to it for both element types.
+func scalarGatherRef[E any](p conv.StridedParams, pq conv.Params,
+	srcShape tensor.Shape, src []E, dstShape tensor.Shape, dst []E, qh, qw int) {
+	sh, sw := p.StrideH(), p.StrideW()
+	for n := 0; n < p.N; n++ {
+		for a := 0; a < pq.IH; a++ {
+			ih := sh*a + qh - p.PH
+			if ih < 0 || ih >= p.IH {
+				continue
+			}
+			for b := 0; b < pq.IW; b++ {
+				iw := sw*b + qw - p.PW
+				if iw < 0 || iw >= p.IW {
+					continue
+				}
+				s := srcShape.Index(n, ih, iw, 0)
+				d := dstShape.Index(n, a, b, 0)
+				copy(dst[d:d+p.IC], src[s:s+p.IC])
+			}
+		}
+	}
+}
+
+// The shared generic phase gather must match the scalar walk bit for bit in
+// FP32 and binary16, across every phase — including s_W = 1, where the
+// contiguous-run fast path replaces the per-column copies.
+func TestGatherPhasePlaneMatchesScalarWalk(t *testing.T) {
+	cases := []conv.StridedParams{
+		{N: 2, IH: 11, IW: 13, FH: 3, FW: 3, IC: 3, OC: 2, PH: 1, PW: 1, SH: 2, SW: 1}, // fast path
+		{N: 1, IH: 9, IW: 17, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 2, SH: 3, SW: 1},  // fast path, pad > stride
+		{N: 1, IH: 12, IW: 12, FH: 5, FW: 5, IC: 4, OC: 2, PH: 2, PW: 2, SH: 2, SW: 2},
+		{N: 2, IH: 10, IW: 14, FH: 3, FW: 3, IC: 2, OC: 2, SH: 1, SW: 3},
+	}
+	rng := rand.New(rand.NewSource(81))
+	for _, p := range cases {
+		x := tensor.NewFloat32(p.XShape())
+		x.FillUniform(rng, -1, 1)
+		xh := tensor.NewHalf(p.XShape())
+		for i := range xh.Data {
+			xh.Data[i] = fp16.Bits(rng.Intn(1<<16) &^ 0x7c00) // finite bit patterns
+		}
+		for qh := 0; qh < p.StrideH() && qh < p.FH; qh++ {
+			for qw := 0; qw < p.StrideW() && qw < p.FW; qw++ {
+				pq, _, _ := phaseGeometry(p, qh, qw)
+				got := gatherPhaseInput(p, pq, x, qh, qw)
+				want := tensor.NewFloat32(pq.XShape())
+				scalarGatherRef(p, pq, x.Shape, x.Data, want.Shape, want.Data, qh, qw)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("%v phase (%d,%d): fp32 gather differs at %d", p, qh, qw, i)
+					}
+				}
+
+				gotH := gatherPhaseInputHalf(p, pq, xh, qh, qw)
+				wantH := tensor.NewHalf(pq.XShape())
+				scalarGatherRef(p, pq, xh.Shape, xh.Data, wantH.Shape, wantH.Data, qh, qw)
+				for i := range wantH.Data {
+					if gotH.Data[i] != wantH.Data[i] {
+						t.Fatalf("%v phase (%d,%d): fp16 gather differs at %d", p, qh, qw, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Regression: the FP16 entry points append WithFP16 to the caller's opts.
+// Passing a shared slice with spare capacity must not clobber the caller's
+// backing array — the append must go to a clone.
+func TestHalfEntryPointsDoNotClobberSharedOpts(t *testing.T) {
+	backing := make([]Option, 1, 4)
+	backing[0] = WithSegments(2)
+	backing = append(backing, WithHardware(Hardware{NSM: 64}))
+	sentinel := reflect.ValueOf(backing[1]).Pointer()
+	shared := backing[:1] // spare capacity: an in-place append would overwrite backing[1]
+
+	p := conv.Params{N: 1, IH: 10, IW: 10, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1}
+	x, dy := poolLayer(t, 82, p)
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	if _, err := BackwardFilterHalf(p, xh, dyh, shared...); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(backing[1]).Pointer() != sentinel {
+		t.Fatal("BackwardFilterHalf clobbered the caller's opts backing array")
+	}
+
+	sp := conv.StridedParams{N: 1, IH: 11, IW: 11, FH: 3, FW: 3, IC: 2, OC: 2, PH: 1, PW: 1, SH: 2, SW: 2}
+	xs := tensor.NewFloat32(sp.XShape())
+	dys := tensor.NewFloat32(sp.DYShape())
+	rng := rand.New(rand.NewSource(83))
+	xs.FillUniform(rng, 0, 1)
+	dys.FillUniform(rng, 0, 1)
+	xsh, dysh := xs.ToHalf(), dys.ToHalf()
+	a, err := BackwardFilterStridedHalf(sp, xsh, dysh, shared...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(backing[1]).Pointer() != sentinel {
+		t.Fatal("BackwardFilterStridedHalf clobbered the caller's opts backing array")
+	}
+	// The same shared slice must keep producing identical results.
+	b, err := BackwardFilterStridedHalf(sp, xsh, dysh, shared...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "shared-opts-repeat", b.Data, a.Data)
+}

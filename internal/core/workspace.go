@@ -47,6 +47,14 @@ type Workspace struct {
 	// row decodes of the legacy path. Grown lazily like the Ŵ arenas.
 	xDec, dyDec []float32
 
+	// Channel-sliced operand copies for grouped execution: one group's
+	// I_C/G input and O_C/G output-gradient channels gathered contiguously
+	// (NHWC keeps channels innermost, so a group slice is a strided
+	// row-gather). Reused across the G per-group passes and across
+	// executions. Empty for ungrouped plans.
+	xg32, dyg32 []float32
+	xg16, dyg16 []fp16.Bits
+
 	// Reusable pool tasks: rewritten per call so the steady-state dispatch
 	// passes a pointer-to-field as sched.Task without boxing allocations.
 	job  execJob
@@ -54,14 +62,17 @@ type Workspace struct {
 }
 
 // NewWorkspace allocates the bucket arena for cfg and binds its schedule
-// tables.
+// tables. For a grouped plan the arena is sized for ONE group's ∇W slab —
+// the per-group passes share it — which is exactly the shrinkage
+// Config.WorkspaceBytes reports.
 func NewWorkspace(cfg *Config) *Workspace {
-	elems := cfg.Params.DWShape().Elems()
-	ws := &Workspace{z: cfg.Z(), elems: elems, buckets: make([][]float32, cfg.Z())}
+	e := cfg.exec()
+	elems := e.Params.DWShape().Elems()
+	ws := &Workspace{z: e.Z(), elems: elems, buckets: make([][]float32, e.Z())}
 	for i := range ws.buckets {
 		ws.buckets[i] = make([]float32, elems)
 	}
-	ws.rebind(cfg)
+	ws.rebind(e)
 	return ws
 }
 
@@ -90,9 +101,11 @@ func (ws *Workspace) rebind(cfg *Config) {
 }
 
 // Fits reports whether the workspace matches cfg's bucket geometry (same
-// segment count and gradient size). Schedule tables rebind automatically.
+// segment count and gradient size; the per-group geometry for grouped
+// plans). Schedule tables rebind automatically.
 func (ws *Workspace) Fits(cfg *Config) bool {
-	return ws != nil && ws.z == cfg.Z() && ws.elems == cfg.Params.DWShape().Elems()
+	e := cfg.exec()
+	return ws != nil && ws.z == e.Z() && ws.elems == e.Params.DWShape().Elems()
 }
 
 // Bytes returns the arena footprint: buckets plus whatever Ŵ-cache arenas
@@ -101,7 +114,9 @@ func (ws *Workspace) Fits(cfg *Config) bool {
 func (ws *Workspace) Bytes() int64 {
 	return int64(ws.z)*int64(ws.elems)*4 +
 		int64(cap(ws.what32))*4 + int64(cap(ws.what16))*2 +
-		int64(cap(ws.xDec))*4 + int64(cap(ws.dyDec))*4
+		int64(cap(ws.xDec))*4 + int64(cap(ws.dyDec))*4 +
+		int64(cap(ws.xg32))*4 + int64(cap(ws.dyg32))*4 +
+		int64(cap(ws.xg16))*2 + int64(cap(ws.dyg16))*2
 }
 
 func (ws *Workspace) zero() {
@@ -178,6 +193,9 @@ func ExecuteIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32) *tensor.F
 // pool participant still touches it — but its buckets hold partial sums,
 // and no result is produced.
 func executeIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32, cancel *sched.Batch) (out *tensor.Float32, ok bool) {
+	if cfg.group != nil {
+		return executeGroupedIn(cfg, ws, x, dy, dst, cancel)
+	}
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
 		panic("core: Execute operand shape mismatch")
@@ -209,6 +227,9 @@ func ExecuteHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.F
 
 // executeHalfIn is executeIn for the FP16 path.
 func executeHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *tensor.Float32, cancel *sched.Batch) (out *tensor.Float32, ok bool) {
+	if cfg.group != nil {
+		return executeGroupedHalfIn(cfg, ws, x, dy, dst, cancel)
+	}
 	p := cfg.Params
 	if x.Shape != p.XShape() || dy.Shape != p.DYShape() {
 		panic("core: ExecuteHalf operand shape mismatch")

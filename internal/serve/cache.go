@@ -72,7 +72,7 @@ func (k PlanKey) hash() uint32 {
 		h *= 16777619
 	}
 	p := k.Params
-	for _, v := range []int{p.N, p.IH, p.IW, p.FH, p.FW, p.IC, p.OC, p.PH, p.PW, k.NSM, k.Segments} {
+	for _, v := range []int{p.N, p.IH, p.IW, p.FH, p.FW, p.IC, p.OC, p.PH, p.PW, p.Groups, k.NSM, k.Segments} {
 		mix(v)
 	}
 	if k.FP16 {

@@ -1,0 +1,122 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"winrs"
+	"winrs/internal/serve"
+)
+
+// Grouped layers through the wire format and the serving path: the new
+// optional "groups" field round-trips (zero stays off the wire for legacy
+// clients), the plan cache keys grouped and ungrouped geometries apart,
+// and the served grouped gradient is bit-identical to the library path.
+func TestGroupedServeRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := winrs.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1, Groups: 4}
+	x, dy := randLayer(t, 41, p)
+	want, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out := postBackwardFilter(t, ts.URL, p, x, dy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Cache"); got != "miss" {
+		t.Errorf("first grouped request: cache header %q, want miss", got)
+	}
+	got := make([]float32, p.DWShape().Elems())
+	if err := serve.DecodeF32(out, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got[i] != want.Data[i] {
+			t.Fatalf("served grouped gradient differs from library at %d", i)
+		}
+	}
+
+	// The ungrouped twin of the same outer geometry is a DIFFERENT plan:
+	// it must miss the cache, not alias the grouped entry.
+	pu := p
+	pu.Groups = 0
+	xu, dyu := randLayer(t, 41, pu)
+	resp, out = postBackwardFilter(t, ts.URL, pu, xu, dyu)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ungrouped twin: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Winrs-Cache"); got != "miss" {
+		t.Errorf("ungrouped twin aliased the grouped plan: cache header %q, want miss", got)
+	}
+
+	// And the grouped key itself is cached.
+	resp, _ = postBackwardFilter(t, ts.URL, p, x, dy)
+	if got := resp.Header.Get("X-Winrs-Cache"); got != "hit" {
+		t.Errorf("repeat grouped request: cache header %q, want hit", got)
+	}
+}
+
+// The groups field is optional on the wire: zero serializes to nothing
+// (legacy requests are byte-identical), non-zero round-trips.
+func TestGroupedWireFieldOptional(t *testing.T) {
+	p := winrs.Params{N: 1, IH: 8, IW: 8, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	legacy, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(legacy), "groups") {
+		t.Errorf("ungrouped params leak a groups field onto the wire: %s", legacy)
+	}
+	p.Groups = 2
+	grouped, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(grouped), `"groups":2`) {
+		t.Errorf("grouped params missing groups field: %s", grouped)
+	}
+
+	body, err := serve.EncodeRequest(serve.RequestHeader{Op: "backward_filter", Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := serve.DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Params != p {
+		t.Errorf("grouped header round-trip: %+v, want %+v", hdr.Params, p)
+	}
+}
+
+// Plan-cache keys differing only in Groups resolve to distinct entries.
+func TestGroupedPlanKeyDistinct(t *testing.T) {
+	c := serve.NewPlanCache(64)
+	p := winrs.Params{N: 1, IH: 12, IW: 12, FH: 3, FW: 3, IC: 4, OC: 4, PH: 1, PW: 1}
+	pg := p
+	pg.Groups = 4
+	a, hit, err := c.Get(serve.PlanKey{Params: p})
+	if err != nil || hit {
+		t.Fatalf("ungrouped: hit=%v err=%v", hit, err)
+	}
+	b, hit, err := c.Get(serve.PlanKey{Params: pg})
+	if err != nil || hit {
+		t.Fatalf("grouped: hit=%v err=%v", hit, err)
+	}
+	if a == b {
+		t.Fatal("grouped and ungrouped keys share one cache entry")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	// The grouped entry's workspace is the per-group-sized arena; at equal
+	// geometry it must not exceed the ungrouped entry's.
+	if aw, bw := a.Cfg.WorkspaceBytes(), b.Cfg.WorkspaceBytes(); bw > aw {
+		t.Errorf("grouped workspace %d B > ungrouped %d B", bw, aw)
+	}
+}

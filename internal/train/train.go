@@ -155,12 +155,15 @@ func (d *Dataset) Batch(n int) (*tensor.Float32, []int) {
 }
 
 // Net is a two-conv CNN: conv3x3 → ReLU → conv3x3 → ReLU → global average
-// pool → dense → softmax.
+// pool → dense → softmax. The second conv layer can be grouped (Groups2),
+// exercising the grouped/depthwise gradient paths inside a real training
+// loop.
 type Net struct {
 	H, W, InC  int
 	C1, C2     int
+	Groups2    int // channel groups of the second conv (0/1 = ungrouped)
 	Classes    int
-	W1, W2     *tensor.Float32 // conv filters, O_C×3×3×I_C
+	W1, W2     *tensor.Float32 // conv filters, O_C×3×3×(I_C/G)
 	Dense      []float32       // Classes×C2
 	DenseBias  []float32
 	LR         float32
@@ -181,11 +184,21 @@ func (n *Net) UseWinRSEverywhere() {
 
 // NewNet initializes a network with He-style scaled random weights.
 func NewNet(h, w, inC, c1, c2, classes int, bfc BFC, seed int64) *Net {
+	return NewNetGrouped(h, w, inC, c1, c2, 1, classes, bfc, seed)
+}
+
+// NewNetGrouped is NewNet with a grouped second conv layer: groups2 must
+// divide both c1 and c2 (groups2 == c1 with c2 == c1 is depthwise). The
+// second filter then carries c1/groups2 channels per output.
+func NewNetGrouped(h, w, inC, c1, c2, groups2, classes int, bfc BFC, seed int64) *Net {
+	if groups2 < 1 {
+		groups2 = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	n := &Net{
-		H: h, W: w, InC: inC, C1: c1, C2: c2, Classes: classes,
+		H: h, W: w, InC: inC, C1: c1, C2: c2, Groups2: groups2, Classes: classes,
 		W1:         tensor.NewFloat32(tensor.Shape{N: c1, H: 3, W: 3, C: inC}),
-		W2:         tensor.NewFloat32(tensor.Shape{N: c2, H: 3, W: 3, C: c1}),
+		W2:         tensor.NewFloat32(tensor.Shape{N: c2, H: 3, W: 3, C: c1 / groups2}),
 		Dense:      make([]float32, classes*c2),
 		DenseBias:  make([]float32, classes),
 		LR:         0.1,
@@ -200,7 +213,7 @@ func NewNet(h, w, inC, c1, c2, classes int, bfc BFC, seed int64) *Net {
 	for i := range n.W1.Data {
 		n.W1.Data[i] = float32(rng.NormFloat64()) * s1
 	}
-	s2 := initScale(9 * c1)
+	s2 := initScale(9 * c1 / groups2)
 	for i := range n.W2.Data {
 		n.W2.Data[i] = float32(rng.NormFloat64()) * s2
 	}
@@ -211,9 +224,18 @@ func NewNet(h, w, inC, c1, c2, classes int, bfc BFC, seed int64) *Net {
 	return n
 }
 
-func (n *Net) convParams(batch, ic, oc int) conv.Params {
+func (n *Net) convParams(batch, ic, oc, groups int) conv.Params {
 	return conv.Params{N: batch, IH: n.H, IW: n.W, FH: 3, FW: 3,
-		IC: ic, OC: oc, PH: 1, PW: 1}
+		IC: ic, OC: oc, PH: 1, PW: 1, Groups: groups}
+}
+
+// params12 returns the two layers' geometries for a batch.
+func (n *Net) params12(batch int) (p1, p2 conv.Params) {
+	g2 := n.Groups2
+	if g2 < 1 {
+		g2 = 1
+	}
+	return n.convParams(batch, n.InC, n.C1, 1), n.convParams(batch, n.C1, n.C2, g2)
 }
 
 // Step runs one SGD step on a batch and returns the cross-entropy loss. The
@@ -221,8 +243,7 @@ func (n *Net) convParams(batch, ic, oc int) conv.Params {
 // come from the pluggable BFC (the quantity under test in Fig 13).
 func (n *Net) Step(x *tensor.Float32, labels []int) (float64, error) {
 	batch := x.Shape.N
-	p1 := n.convParams(batch, n.InC, n.C1)
-	p2 := n.convParams(batch, n.C1, n.C2)
+	p1, p2 := n.params12(batch)
 
 	// Forward.
 	a1, err := n.Forward(p1, x, n.W1)
@@ -313,8 +334,7 @@ func (n *Net) Step(x *tensor.Float32, labels []int) (float64, error) {
 // Accuracy evaluates classification accuracy on a batch.
 func (n *Net) Accuracy(x *tensor.Float32, labels []int) float64 {
 	batch := x.Shape.N
-	p1 := n.convParams(batch, n.InC, n.C1)
-	p2 := n.convParams(batch, n.C1, n.C2)
+	p1, p2 := n.params12(batch)
 	a1, err := n.Forward(p1, x, n.W1)
 	if err != nil {
 		return 0

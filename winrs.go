@@ -184,7 +184,9 @@ func BackwardFilter(p Params, x, dy *Tensor, opts ...PlanOption) (*Tensor, error
 
 // BackwardFilterHalf is the one-shot FP16 path.
 func BackwardFilterHalf(p Params, x, dy *HalfTensor, opts ...PlanOption) (*Tensor, error) {
-	opts = append(opts, WithFP16())
+	// Clone before appending: appending to the caller's variadic slice in
+	// place would clobber its backing array when it has spare capacity.
+	opts = append(append([]PlanOption(nil), opts...), WithFP16())
 	plan, err := NewPlan(p, opts...)
 	if err != nil {
 		return nil, err
