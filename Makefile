@@ -79,13 +79,23 @@ saturate:
 	WINRS_LOADTEST_BENCH=$(SATURATE_OUT) $(GO) test -tags loadtest -count 1 -timeout 600s -v ./internal/loadtest
 
 # grouped-smoke runs the grouped/depthwise differential suites under the
-# race detector: every grouped path (FP32, FP16, strided, forward, data
-# gradient, serve round-trip) pinned against the grouped float64 direct
-# oracle, at pool widths 1 and 4, plus the depthwise planned-path and
-# workspace-shrinkage acceptance check.
+# race detector across the dispatch × parallelism matrix: both group
+# dispatch modes (WINRS_GROUP_DISPATCH seq and interleaved) at GOMAXPROCS
+# 1 and 4. Every grouped path (FP32, FP16, strided, forward, data
+# gradient, serve round-trip, mid-interleave cancellation) is pinned
+# against the grouped float64 direct oracle and the sequential baseline,
+# plus the depthwise planned-path and workspace-shrinkage acceptance
+# checks. The in-test width-{1,4} pools cover pool shape; the GOMAXPROCS
+# legs cover the unforced default pool the serve tests run on.
 grouped-smoke:
-	$(GO) test -race -count 1 -run 'TestGrouped|TestDepthwise' \
-		./internal/conv ./internal/core ./internal/serve
+	@for disp in seq interleaved; do \
+		for procs in 1 4; do \
+			echo "grouped-smoke: WINRS_GROUP_DISPATCH=$$disp GOMAXPROCS=$$procs"; \
+			WINRS_GROUP_DISPATCH=$$disp GOMAXPROCS=$$procs \
+				$(GO) test -race -count 1 -run 'TestGrouped|TestDepthwise|TestFaultGroupedCancel' \
+				./internal/conv ./internal/core ./internal/serve || exit 1; \
+		done; \
+	done
 
 # v3-smoke builds the tree with GOAMD64=v3 — compiling in the arch-tuned
 # EWM panel variant behind the amd64.v3 build tag — and runs the

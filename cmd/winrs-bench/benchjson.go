@@ -49,6 +49,11 @@ var benchShapes = []conv.Params{
 var benchGroupedShapes = []conv.Params{
 	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1, Groups: 4},
 	{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1, Groups: 16},
+	// Production depthwise-separable trunk shapes (MobileNet-style 56×56
+	// stages): per-group work is a single channel, so these rows are the
+	// occupancy stress the interleaved group dispatch exists for.
+	{N: 1, IH: 56, IW: 56, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1, Groups: 64},
+	{N: 1, IH: 56, IW: 56, FH: 3, FW: 3, IC: 128, OC: 128, PH: 1, PW: 1, Groups: 128},
 }
 
 func shapeTag(p conv.Params) string {
@@ -215,10 +220,10 @@ func runBenchJSON(path string) error {
 	}
 
 	// Grouped and depthwise rows: the WinRS path runs the per-group plan
-	// over channel-sliced operands with one shared group-sized workspace,
-	// so these rows also pin the paper's headline quantity (workspace
-	// shrinkage) into the report. The direct baseline is the grouped
-	// float64-oracle's float32 sibling.
+	// over channel-sliced operands — by default interleaved across all
+	// groups through a small ring of staging slots — so these rows also pin
+	// the paper's headline quantity (workspace shrinkage) into the report.
+	// The direct baseline is the grouped float64-oracle's float32 sibling.
 	for _, p := range benchGroupedShapes {
 		rng := rand.New(rand.NewSource(13))
 		x := tensor.NewFloat32(p.XShape())
@@ -237,6 +242,7 @@ func runBenchJSON(path string) error {
 		rep.Results = append(rep.Results, benchResult{
 			Name: "winrs_fp32/" + tag, Algo: "winrs_fp32", Shape: tag,
 			NsPerOp:        measureNs(run32),
+			AllocsPerOp:    testing.AllocsPerRun(10, run32),
 			WorkspaceBytes: cfg32.WorkspaceBytes(),
 			WHatCacheBytes: cfg32.WHatCacheBytes(),
 			HotPath:        true,
@@ -253,6 +259,7 @@ func runBenchJSON(path string) error {
 		rep.Results = append(rep.Results, benchResult{
 			Name: "winrs_fp16/" + tag, Algo: "winrs_fp16", Shape: tag,
 			NsPerOp:        measureNs(run16),
+			AllocsPerOp:    testing.AllocsPerRun(10, run16),
 			WorkspaceBytes: cfg16.WorkspaceBytes(),
 			WHatCacheBytes: cfg16.WHatCacheBytes(),
 			HotPath:        true,

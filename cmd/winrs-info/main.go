@@ -110,11 +110,17 @@ func main() {
 	if p.G() > 1 {
 		fmt.Printf("groups             %d (%d ic x %d oc per group; depthwise=%v)\n",
 			p.G(), p.ICG(), p.OCG(), p.G() == p.IC)
-		fmt.Printf("workspace          %.3f MB ((Z-1) x per-group dW slab)\n",
-			float64(cfg.WorkspaceBytes())/(1<<20))
-		// The paper's headline quantity under grouping: the shared
-		// workspace is sized for ONE group, so it shrinks vs the ungrouped
-		// plan of the same outer geometry.
+		gd := cfg.Describe()
+		fmt.Printf("group dispatch     %s (ring of %d staging slots; WINRS_GROUP_DISPATCH)\n",
+			gd.GroupDispatch, gd.GroupRing)
+		fmt.Printf("workspace          %.3f MB (per-group arena x %d-slot ring)\n",
+			float64(cfg.WorkspaceBytes())/(1<<20), gd.GroupRing)
+		fmt.Printf("  per-group arena  %.3f MB ((Z-1) x per-group dW slab; the sequential dispatch)\n",
+			float64(cfg.WorkspaceSeqBytes())/(1<<20))
+		// The paper's headline quantity under grouping: the in-flight
+		// arenas are sized for single groups, so even with the ring the
+		// workspace shrinks vs the ungrouped plan of the same outer
+		// geometry.
 		pu := p
 		pu.Groups = 0
 		if ucfg, err := core.Configure(pu, append(opts, core.WithSegments(cfg.Z()))...); err == nil {

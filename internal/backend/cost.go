@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"winrs/internal/conv"
+	"winrs/internal/core"
 	"winrs/internal/fftconv"
 	"winrs/internal/winnf"
 )
@@ -76,14 +77,21 @@ func (b *winrsBackend) Cost(p conv.Params, prec Precision) Cost {
 	var flops float64
 	var grains int
 	for _, s := range cfg.Segments {
-		// Per-group plan segments: each of the G sequential passes reduces
+		// Per-group plan segments: each of the G per-group passes reduces
 		// O_C/G × I_C/G channels, so the total across passes is O_C × I_C/G.
-		// Grains stay per pass — that is the parallelism live at any instant.
 		segElems := float64(s.Rows()) * float64(s.Cols()) * float64(p.N)
 		direct := 2 * segElems * float64(p.FH) * float64(p.FW) *
 			float64(p.OC) * float64(p.ICG())
 		flops += direct / s.K.Accel() * 1.10
 		grains += s.Rows() * (s.Cols() / s.K.R) * p.N
+	}
+	if p.G() > 1 && core.InterleavedGroups() {
+		// The interleaved dispatch fuses all G groups into one sched batch,
+		// so every group's units are live in the same grain pool (up to the
+		// staging-ring pipelining limit, which host procs never reach).
+		// Under the sequential forcing grains stay per pass — the
+		// parallelism live at any instant between the G barriers.
+		grains *= p.G()
 	}
 	// Z × the full ∇W: the per-group buckets are 1/G of it and are swept
 	// once per each of the G passes.
@@ -104,6 +112,13 @@ func (b *winrsBackend) Cost(p conv.Params, prec Precision) Cost {
 		// and the arithmetic rounding decode narrowed the gap to fp32
 		// (measured ~0.58× its throughput on the bench grid).
 		eff *= 0.60
+	}
+	if p.G() > 1 && p.ICG() == 1 {
+		// Depthwise regime: the dw1 EWM panel drops the channel-reduction
+		// loop, but its single-column accumulators sustain a lower fraction
+		// of FMA peak than the register blocks (measured on the 56×56
+		// G = I_C winrs-bench rows).
+		eff *= 0.85
 	}
 	return Cost{FLOPs: flops, Bytes: bytes, Eff: eff, Grains: grains}
 }

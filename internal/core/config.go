@@ -411,17 +411,41 @@ func (c *Config) GroupConfig() *Config { return c.group }
 // Z returns the realized segment count.
 func (c *Config) Z() int { return len(c.Segments) }
 
-// WorkspaceBytes returns the bucket workspace: (Z−1) × sizeof(∇W). The
-// final gradient itself is not workspace (bucket 0 aliases it). Buckets are
-// FP32 on both precision paths: accumulators and the Kahan reduction run in
-// FP32 (paper §5.2). Grouped layers run the pipeline one group at a time
-// through a single group-sized workspace, so the report is (Z−1) × the
-// per-group ∇W slab — it shrinks by G² vs the ungrouped layer of the same
-// outer geometry (1/G from the sliced C-reduction, 1/G from the sliced
-// O_C), the paper's tiny-workspace regime at its most favorable.
+// WorkspaceBytes returns the bucket workspace the plan executes with.
+// Ungrouped: (Z−1) × sizeof(∇W) — the final gradient itself is not
+// workspace (bucket 0 aliases it). Buckets are FP32 on both precision
+// paths: accumulators and the Kahan reduction run in FP32 (paper §5.2).
+// Grouped layers report GroupRing() × the per-group arena: the default
+// interleaved dispatch keeps a bounded ring of in-flight per-group bucket
+// sets (≤ groupRingSlots, i.e. at most 2× the sequential dispatch's single
+// shared arena, which WorkspaceSeqBytes reports) — still ~G²/ring below
+// the ungrouped layer of the same outer geometry (1/G from the sliced
+// C-reduction, 1/G from the sliced O_C), the paper's tiny-workspace regime
+// at its most favorable.
 func (c *Config) WorkspaceBytes() int64 {
+	return c.WorkspaceSeqBytes() * int64(c.GroupRing())
+}
+
+// WorkspaceSeqBytes returns one per-group bucket arena, (Z−1) × the
+// per-group ∇W slab — the whole workspace of the sequential grouped
+// dispatch (and of ungrouped plans, where it equals WorkspaceBytes).
+func (c *Config) WorkspaceSeqBytes() int64 {
 	e := c.exec()
 	return int64(e.Z()-1) * int64(e.Params.DWShape().Elems()) * 4
+}
+
+// GroupRing returns the staging-slot ring depth the plan's grouped
+// dispatch budgets: min(G, groupRingSlots) under the interleaved dispatch
+// (an upper bound — execution additionally clamps to the pool width), 1
+// for ungrouped plans or forced sequential dispatch.
+func (c *Config) GroupRing() int {
+	if c.group == nil || !InterleavedGroups() {
+		return 1
+	}
+	if g := c.Params.G(); g < groupRingSlots {
+		return g
+	}
+	return groupRingSlots
 }
 
 // WHatCacheBytes returns the exact footprint of the Ŵ cache — the

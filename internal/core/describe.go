@@ -29,6 +29,13 @@ type Description struct {
 	Segments        int     `json:"segments"`
 	WorkspaceBytes  int64   `json:"workspaceBytes"`
 	WorkspaceRatio  float64 `json:"workspaceRatio"`
+	// Grouped-dispatch attribution (grouped plans only): the dispatch mode
+	// under the current process knobs, the budgeted staging-slot ring depth,
+	// and the single per-group arena of the sequential dispatch —
+	// WorkspaceBytes is WorkspaceSeqBytes × GroupRing.
+	GroupDispatch     string `json:"groupDispatch,omitempty"`
+	GroupRing         int    `json:"groupRing,omitempty"`
+	WorkspaceSeqBytes int64  `json:"workspaceSeqBytes,omitempty"`
 	WHatCacheBytes  int64   `json:"wHatCacheBytes"`
 	WHatCacheRatio  float64 `json:"wHatCacheRatio"`
 	TotalBlocks     int     `json:"totalBlocks"`
@@ -48,6 +55,13 @@ func (c *Config) Describe() Description {
 	d.Layer.OH, d.Layer.OW = p.OH(), p.OW()
 	if p.G() > 1 {
 		d.Layer.Groups = p.G()
+		if InterleavedGroups() {
+			d.GroupDispatch = "interleaved"
+		} else {
+			d.GroupDispatch = "sequential"
+		}
+		d.GroupRing = c.GroupRing()
+		d.WorkspaceSeqBytes = c.WorkspaceSeqBytes()
 	}
 	d.Layer.DirectGFLOPs = float64(p.FLOPs()) / 1e9
 	d.Layer.DataMB = float64(p.DataBytes32()) / (1 << 20)

@@ -43,6 +43,7 @@ var ewmVariantModes = []struct {
 	{"block4", ewmBlock4},
 	{"block8", ewmBlock8},
 	{"fused", ewmFused},
+	{"dw1", ewmDW1},
 }
 
 // randPanels builds Ŵ/X̂ panels with planted zero rows (the zero-skip

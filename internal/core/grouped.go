@@ -2,23 +2,37 @@ package core
 
 import (
 	"winrs/internal/conv"
+	"winrs/internal/fp16"
 	"winrs/internal/sched"
 	"winrs/internal/tensor"
 )
 
 // Grouped execution (G > 1) runs the adapted per-group plan (Config.group)
-// G times, once per channel group. NHWC keeps channels innermost, so one
-// group's operands are strided row-gathers (rows of width I_C/G at stride
-// I_C); the per-group ∇W block, by contrast, is a contiguous slab of the
-// full gradient (∇W is O_C-major and each group owns a contiguous O_C/G
-// range), so outputs are written through zero-copy views. All G passes
-// share a single group-sized workspace — the tiny-workspace property the
-// paper's reduce-split buys shrinks by another factor of G² under
-// grouping, and depthwise (G == I_C) is its limiting case.
+// once per channel group. NHWC keeps channels innermost, so one group's
+// operands are strided row-gathers (rows of width I_C/G at stride I_C);
+// the per-group ∇W block, by contrast, is a contiguous slab of the full
+// gradient (∇W is O_C-major and each group owns a contiguous O_C/G range),
+// so outputs are written through zero-copy views.
+//
+// Two dispatch modes exist (WINRS_GROUP_DISPATCH, groupedinterleave.go):
+// the default interleaved dispatch fuses all G groups into ONE sched batch
+// over a (group, unit) index space with a small ring of in-flight staging
+// slots, recovering pool occupancy when per-group work is tiny (depthwise);
+// the sequential mode below runs the G passes one after another through a
+// single group-sized workspace — the PR 9 baseline the interleaved path is
+// pinned bit-identical to. Either way the tiny-workspace property the
+// paper's reduce-split buys shrinks by ~G²/ring vs the ungrouped plan, and
+// depthwise (G == I_C) is its limiting case.
 
 // sliceChannels gathers channels [off, off+width) of every row of src
-// (rows × srcC, dense) into dst (rows × width, dense).
+// (rows × srcC, dense) into dst (rows × width, dense). A full-width slice
+// (width == srcC, the G == 1 fallthrough and full-width staging) is one
+// contiguous block, so it collapses to a single bulk copy.
 func sliceChannels[E any](dst, src []E, rows, srcC, off, width int) {
+	if width == srcC {
+		copy(dst[:rows*width], src[off:off+rows*width])
+		return
+	}
 	for r := 0; r < rows; r++ {
 		copy(dst[r*width:(r+1)*width], src[r*srcC+off:r*srcC+off+width])
 	}
@@ -26,10 +40,28 @@ func sliceChannels[E any](dst, src []E, rows, srcC, off, width int) {
 
 // scatterChannels writes src (rows × width, dense) into channels
 // [off, off+width) of every row of dst (rows × dstC, dense) — the inverse
-// of sliceChannels.
+// of sliceChannels, with the same full-width bulk-copy fast path.
 func scatterChannels[E any](dst, src []E, rows, dstC, off, width int) {
+	if width == dstC {
+		copy(dst[off:off+rows*width], src[:rows*width])
+		return
+	}
 	for r := 0; r < rows; r++ {
 		copy(dst[r*dstC+off:r*dstC+off+width], src[r*width:(r+1)*width])
+	}
+}
+
+// sliceDecodeChannels is sliceChannels fused with the binary16 → float32
+// bulk decode: the gathered group slice lands directly in its decoded
+// float32 mirror (the fp16Resident operand form). Decoding is exact, so
+// the values are bit-identical to gather-then-decode.
+func sliceDecodeChannels(dst []float32, src []fp16.Bits, rows, srcC, off, width int) {
+	if width == srcC {
+		fp16.DecodeSlice(dst[:rows*width], src[off:off+rows*width])
+		return
+	}
+	for r := 0; r < rows; r++ {
+		fp16.DecodeSlice(dst[r*width:(r+1)*width], src[r*srcC+off:r*srcC+off+width])
 	}
 }
 
@@ -53,6 +85,12 @@ func executeGroupedIn(cfg *Config, ws *Workspace, x, dy, dst *tensor.Float32, ca
 	gcfg := cfg.group
 	if ws == nil {
 		ws = NewWorkspace(cfg) // group-sized, shared by all G passes
+	}
+	if InterleavedGroups() {
+		if ok := runGroupedInterleaved(cfg, ws, x, dy, nil, nil, dst, cancel); !ok {
+			return nil, false
+		}
+		return dst, true
 	}
 	g, icg, ocg := p.G(), p.ICG(), p.OCG()
 	pg := gcfg.Params
@@ -90,6 +128,12 @@ func executeGroupedHalfIn(cfg *Config, ws *Workspace, x, dy *tensor.Half, dst *t
 	gcfg := cfg.group
 	if ws == nil {
 		ws = NewWorkspace(cfg)
+	}
+	if InterleavedGroups() {
+		if ok := runGroupedInterleaved(cfg, ws, nil, nil, x, dy, dst, cancel); !ok {
+			return nil, false
+		}
+		return dst, true
 	}
 	g, icg, ocg := p.G(), p.ICG(), p.OCG()
 	pg := gcfg.Params

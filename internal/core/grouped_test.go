@@ -186,10 +186,19 @@ func TestDepthwisePlannedPathWorkspaceShrinks(t *testing.T) {
 	if gw >= uw {
 		t.Errorf("grouped workspace %d B >= ungrouped %d B; want per-group shrinkage", gw, uw)
 	}
-	// Per-group ∇W slab is (O_C/G)·F_H·F_W·(I_C/G): shrinkage is G² at
-	// equal Z (both sides round Z the same way under WithSegments).
-	if cfg.Z() == ucfg.Z() && uw != gw*int64(p.G())*int64(p.G()) {
-		t.Errorf("workspace shrink %d/%d, want exactly G²=%d at equal Z", uw, gw, p.G()*p.G())
+	// Per-group ∇W slab is (O_C/G)·F_H·F_W·(I_C/G): the single sequential
+	// arena shrinks exactly G² at equal Z (both sides round Z the same way
+	// under WithSegments), and the executed workspace grows by at most the
+	// interleaved dispatch's ring factor — the ISSUE 10 ≤ 2× budget.
+	sw := cfg.WorkspaceSeqBytes()
+	if cfg.Z() == ucfg.Z() && uw != sw*int64(p.G())*int64(p.G()) {
+		t.Errorf("workspace shrink %d/%d, want exactly G²=%d at equal Z", uw, sw, p.G()*p.G())
+	}
+	if gw > 2*sw {
+		t.Errorf("interleaved workspace %d B > 2× the sequential per-group arena %d B", gw, sw)
+	}
+	if ring := cfg.GroupRing(); gw != sw*int64(ring) {
+		t.Errorf("WorkspaceBytes %d != WorkspaceSeqBytes %d × ring %d", gw, sw, ring)
 	}
 	if d := cfg.Describe(); d.Layer.Groups != p.G() {
 		t.Errorf("Describe reports groups %d, want %d", d.Layer.Groups, p.G())

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"winrs/internal/kahan"
+	"winrs/internal/obs"
+	"winrs/internal/sched"
+	"winrs/internal/tensor"
+)
+
+// Interleaved group dispatch: instead of G sequential per-group WinRS
+// passes (each paying its own gather, two pool barriers and a serial
+// reduce — ruinous when per-group work is tiny, i.e. depthwise), ALL
+// groups' work units are fused into one sched batch over an interleaved
+// (group, unit) index space. One chunk-self-scheduling run, one
+// cancellation poll domain.
+//
+// Per group the unit stream is: 1 prep unit (zero the slot's buckets),
+// 2 gather units (sliceChannels of X and ∇Y into the slot's staging
+// slabs), the Ŵ-cache fill rows, then the fused execution units; the last
+// execution unit to finish reduces the slot's buckets into the group's
+// contiguous ∇W slab. Groups are assigned round-robin to a bounded ring of
+// min(G, pool width, groupRingSlots) staging slots, so group gi+1's gather
+// overlaps group gi's compute (double buffering) while the workspace grows
+// only by the ring factor — still G²/ring below the ungrouped plan.
+//
+// Ordering is enforced with per-group atomic phase counters and bounded
+// spin waits. Deadlock freedom rests on the sched contract: chunks are
+// claimed in strictly increasing index order, and every wait condition
+// depends only on lower-indexed units, so the earliest incomplete unit is
+// always runnable and its (already determined) owner is positioned at or
+// before it. The inline pool path runs chunks in index order, where every
+// wait is pre-satisfied. Waits poll the cancellation handle because a
+// cancelled batch drains chunks without running them — a dependency
+// counter may then never complete, and the waiter must bail instead.
+//
+// Bit-identity with the sequential dispatch: each (segment, f_h, j) unit
+// writes a disjoint element range of its segment's bucket, segments use
+// distinct buckets, and the per-group Kahan reduce visits buckets in the
+// same order as reduceInto — so the interleaving changes no accumulation
+// order within any group.
+
+// groupDispatchMode is the WINRS_GROUP_DISPATCH forcing knob.
+type groupDispatchMode uint8
+
+const (
+	groupDispatchAuto        groupDispatchMode = iota
+	groupDispatchSeq                           // force the PR 9 sequential per-group passes
+	groupDispatchInterleaved                   // force the fused single-batch dispatch (the auto choice)
+)
+
+// groupDispatchForce is the process-wide dispatch mode; tests swap it via
+// forceGroupDispatch.
+var groupDispatchForce = parseGroupDispatch(os.Getenv("WINRS_GROUP_DISPATCH"))
+
+// groupWidthForce, when positive, overrides the effective co-scheduling
+// width (still capped at the pool's width). Tests set it to drive the
+// pooled pipeline — phase gates, ring hand-off, chunked claims — on
+// machines whose CPU count would otherwise select the inline path.
+var groupWidthForce = 0
+
+// parseGroupDispatch maps WINRS_GROUP_DISPATCH to a dispatch mode. Like
+// parseEWMMode, unknown values warn and fall back to auto so a typoed
+// forcing never silently tests the wrong path.
+func parseGroupDispatch(s string) groupDispatchMode {
+	switch s {
+	case "", "auto":
+		return groupDispatchAuto
+	case "seq", "sequential":
+		return groupDispatchSeq
+	case "interleaved":
+		return groupDispatchInterleaved
+	default:
+		envWarnf("winrs: unrecognized WINRS_GROUP_DISPATCH=%q; valid values are auto, interleaved, seq — using auto", s)
+		return groupDispatchAuto
+	}
+}
+
+// InterleavedGroups reports whether grouped plans dispatch interleaved
+// (the default; WINRS_GROUP_DISPATCH=seq selects the sequential passes).
+// The backend cost model keys its grain accounting off this.
+func InterleavedGroups() bool { return groupDispatchForce != groupDispatchSeq }
+
+// groupRingSlots bounds the staging-slot ring: two slots double-buffer the
+// pipeline (group gi+1 stages and fills while gi executes and reduces) and
+// cap the workspace at 2× the sequential per-group arena — the growth
+// budget Config.WorkspaceBytes reports.
+const groupRingSlots = 2
+
+// groupRing returns the realized ring depth: min(G, pool width,
+// groupRingSlots). A width-1 pool cannot overlap anything, so it keeps
+// the single sequential-sized slot.
+func groupRing(g, width int) int {
+	r := groupRingSlots
+	if width < r {
+		r = width
+	}
+	if g < r {
+		r = g
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// groupPhase is the per-group progress ledger of one interleaved run.
+// Plain atomics (no mutex, no channel): completions count down, waiters
+// poll with backoff. Reset by the driver before each batch. Padded to a
+// cache line so one group's waiters polling and the neighbor group's
+// count-downs never ping-pong the same line.
+type groupPhase struct {
+	prep   atomic.Int32 // 1 once the group's slot buckets are zeroed
+	gather atomic.Int32 // staging gathers outstanding (X and ∇Y)
+	fill   atomic.Int32 // Ŵ-cache rows outstanding
+	exec   atomic.Int32 // fused units outstanding
+	done   atomic.Int32 // 1 once reduced into the ∇W slab (slot is free)
+	_      [44]byte     // pad to 64 B
+}
+
+// groupJob is the pooled sched.Task of one interleaved grouped execution.
+// Like execJob it is embedded in the Workspace, so steady-state dispatch
+// allocates nothing.
+type groupJob struct {
+	cfg, gcfg *Config
+	ws        *Workspace
+	x32, dy32 *tensor.Float32
+	x16, dy16 *tensor.Half
+	dst       *tensor.Float32
+	cancel    *sched.Batch
+	half      bool
+	resident  bool
+	traceOn   bool
+
+	ring          int
+	perGroup      int // units per group: 3 + fillRows + execUnits
+	fillRows      int
+	execUnits     int
+	slabElems     int // one group's ∇W slab size
+	xRows, dyRows int
+}
+
+// Run executes interleaved units [lo, hi) — the sched.Task contract.
+func (j *groupJob) Run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		gi := i / j.perGroup
+		j.runUnit(gi, i-gi*j.perGroup)
+	}
+}
+
+// wait polls until c reaches want, with staged backoff: a short busy
+// poll catches the µs-scale intra-group handoffs (prep → gather →
+// fill → exec resolve almost immediately once claims track the runnable
+// frontier), an occasional Gosched covers oversubscription, and waits
+// that are genuinely long (a ring slot still held by a group two behind)
+// fall back to brief sleeps. Tight Gosched loops are specifically what
+// this avoids: each Gosched round-trips the global scheduler lock, and
+// several workers spinning there starve the productive ones — profiled
+// at >90% of batch CPU before the backoff. Returns false when the batch
+// was cancelled — the counter may then never complete because cancelled
+// chunks are drained without running.
+func (j *groupJob) wait(c *atomic.Int32, want int32) bool {
+	for spins := 0; c.Load() != want; spins++ {
+		if j.cancel.Cancelled() {
+			return false
+		}
+		switch {
+		case spins < 256:
+			// busy poll: the load above is the whole body
+		case spins < 1024:
+			runtime.Gosched()
+		default:
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	return true
+}
+
+// runUnit executes local unit `local` of group gi. The per-group unit
+// order (prep → gathers → fill rows → exec units) carries the intra-group
+// dependencies; the ring hand-off (prep waits for group gi−ring to
+// retire) carries the cross-group one.
+func (j *groupJob) runUnit(gi, local int) {
+	ws := j.ws
+	st := &ws.gphase[gi]
+	slot := &ws.ring[gi%j.ring]
+	switch {
+	case local == 0:
+		// Prep: claim the slot once its previous occupant has reduced,
+		// then zero its buckets (fresh slots and slots left dirty by a
+		// cancelled run are handled alike).
+		if gi >= j.ring && !j.wait(&ws.gphase[gi-j.ring].done, 1) {
+			return
+		}
+		for _, b := range slot.buckets {
+			for i := range b {
+				b[i] = 0
+			}
+		}
+		st.prep.Store(1)
+	case local <= 2:
+		if !j.wait(&st.prep, 1) {
+			return
+		}
+		j.gatherUnit(gi, local == 1, slot)
+		st.gather.Add(-1)
+	case local < 3+j.fillRows:
+		if !j.wait(&st.gather, 0) {
+			return
+		}
+		j.fillRowUnit(local-3, slot)
+		st.fill.Add(-1)
+	default:
+		if !j.wait(&st.fill, 0) {
+			return
+		}
+		j.execUnit(local-3-j.fillRows, slot)
+		if st.exec.Add(-1) == 0 {
+			// Last fused unit of the group: reduce the slot into the
+			// group's ∇W slab and retire the slot. The reduce only ever
+			// runs when EVERY unit of the group actually executed, so a
+			// cancelled run never writes a partial group.
+			j.reduceGroup(gi, slot)
+			st.done.Store(1)
+		}
+	}
+}
+
+// gatherUnit stages one operand of group gi into the slot: the
+// channel-sliced copy (FP32/legacy FP16) or the gather fused with the
+// binary16 decode (resident FP16 — exact, so bits match the sequential
+// gather-then-decode).
+func (j *groupJob) gatherUnit(gi int, isX bool, slot *groupSlot) {
+	var t0 time.Time
+	if j.traceOn {
+		t0 = time.Now()
+	}
+	p := j.cfg.Params
+	icg, ocg := p.ICG(), p.OCG()
+	switch {
+	case !j.half:
+		if isX {
+			sliceChannels(slot.xT.Data, j.x32.Data, j.xRows, p.IC, gi*icg, icg)
+		} else {
+			sliceChannels(slot.dyT.Data, j.dy32.Data, j.dyRows, p.OC, gi*ocg, ocg)
+		}
+	case j.resident:
+		if isX {
+			sliceDecodeChannels(slot.xDec, j.x16.Data, j.xRows, p.IC, gi*icg, icg)
+		} else {
+			sliceDecodeChannels(slot.dyDec, j.dy16.Data, j.dyRows, p.OC, gi*ocg, ocg)
+		}
+	default:
+		if isX {
+			sliceChannels(slot.xTH.Data, j.x16.Data, j.xRows, p.IC, gi*icg, icg)
+		} else {
+			sliceChannels(slot.dyTH.Data, j.dy16.Data, j.dyRows, p.OC, gi*ocg, ocg)
+		}
+	}
+	if j.traceOn {
+		obs.RecordStage(obs.StageGroupGather, time.Since(t0))
+	}
+}
+
+// fillRowUnit is one Ŵ-cache row of the group — fillJob.Run for a single
+// row, against the slot's staging operands and cache arena. Recorded per
+// row under what_transform when tracing (the sequential dispatch records
+// the whole pre-pass once; the histograms label the granularity).
+func (j *groupJob) fillRowUnit(row int, slot *groupSlot) {
+	cfg, ws := j.gcfg, j.ws
+	p := cfg.Params
+	si := 0
+	for row >= ws.rowOff[si+1] {
+		si++
+	}
+	seg := cfg.Segments[si]
+	oh := seg.Row0 + (row - ws.rowOff[si])
+	switch {
+	case j.half && j.resident:
+		s := getTileScratch()
+		fillRowHalfRes(p, seg, oh, &slot.dyTH, slot.dyDec, s,
+			slot.what32[ws.whatOff[si]:ws.whatOff[si+1]])
+		putTileScratch(s)
+	case j.half:
+		s := getTileScratch()
+		fillRowHalf(p, seg, oh, &slot.dyTH, s,
+			slot.what16[ws.whatOff[si]:ws.whatOff[si+1]])
+		putTileScratch(s)
+	default:
+		fillRow32(p, seg, oh, &slot.dyT,
+			slot.what32[ws.whatOff[si]:ws.whatOff[si+1]])
+	}
+}
+
+// execUnit is one fused (segment, f_h, width-tile) unit of the group —
+// execJob.Run for a single global unit, against the slot's arenas.
+func (j *groupJob) execUnit(u int, slot *groupSlot) {
+	cfg, ws := j.gcfg, j.ws
+	off := ws.unitOff
+	fw := cfg.Params.FW
+	si := 0
+	for u >= off[si+1] {
+		si++
+	}
+	seg := cfg.Segments[si]
+	jTiles := fw / seg.K.N
+	local := u - off[si]
+	fh, jt := local/jTiles, local%jTiles
+	switch {
+	case j.half && j.resident:
+		what := slot.what32[ws.whatOff[si]:ws.whatOff[si+1]]
+		tileHalfResUnit(cfg.Params, seg, fh, jt, &slot.xTH, slot.xDec, what, slot.buckets[si], j.traceOn)
+	case j.half:
+		what := slot.what16[ws.whatOff[si]:ws.whatOff[si+1]]
+		tileHalfUnit(cfg.Params, seg, fh, jt, &slot.xTH, what, slot.buckets[si], j.traceOn)
+	default:
+		what := slot.what32[ws.whatOff[si]:ws.whatOff[si+1]]
+		tile32Unit(cfg.Params, seg, fh, jt, &slot.xT, what, slot.buckets[si], j.traceOn)
+	}
+}
+
+// reduceGroup is phase 3 for one group: Kahan-reduce the slot's buckets
+// into the group's contiguous ∇W slab — the same bucket order and copy
+// fast path as reduceInto, so the result is bit-identical to the
+// sequential dispatch.
+func (j *groupJob) reduceGroup(gi int, slot *groupSlot) {
+	var t0 time.Time
+	if j.traceOn {
+		t0 = time.Now()
+	}
+	n := j.slabElems
+	dst := j.dst.Data[gi*n : (gi+1)*n : (gi+1)*n]
+	if len(slot.buckets) == 1 {
+		copy(dst, slot.buckets[0])
+	} else {
+		kahan.ReduceBuckets(dst, slot.buckets)
+	}
+	if j.traceOn {
+		obs.RecordStage(obs.StageReduce, time.Since(t0))
+	}
+}
+
+// runGroupedInterleaved executes a grouped plan as one interleaved sched
+// batch. Exactly one operand pair is non-nil: (x32, dy32) for FP32,
+// (x16, dy16) for FP16. Reports ok=false when cancellation stopped the
+// run; groups then either hold their complete gradient slab or were never
+// written — no partial-group bytes.
+func runGroupedInterleaved(cfg *Config, ws *Workspace, x32, dy32 *tensor.Float32, x16, dy16 *tensor.Half, dst *tensor.Float32, cancel *sched.Batch) bool {
+	gcfg := cfg.group
+	if !ws.Fits(cfg) {
+		panic("core: workspace does not fit configuration")
+	}
+	ws.rebind(gcfg)
+	p := cfg.Params
+	pg := gcfg.Params
+	half := x16 != nil
+	resident := half && fp16Resident
+	traceOn := obs.TraceEnabled()
+
+	pool := execPool()
+	g := p.G()
+	// Effective co-scheduling width: the pool's width clamped by both
+	// GOMAXPROCS (a runtime drop degrades wide pools, mirroring
+	// sched.RunBatch) and the machine's actual CPU count. The interleave's
+	// phase gates assume a wait resolves on another core; when only one
+	// hardware thread exists (GOMAXPROCS oversubscription, cgroup-pinned
+	// containers), every wait is a forced reschedule and the pipeline runs
+	// strictly better inline.
+	width := pool.Workers()
+	if n := runtime.GOMAXPROCS(0); width > n {
+		width = n
+	}
+	if n := runtime.NumCPU(); width > n {
+		width = n
+	}
+	if groupWidthForce > 0 {
+		width = groupWidthForce
+		if w := pool.Workers(); width > w {
+			width = w
+		}
+	}
+	ring := groupRing(g, width)
+	fillRows := ws.rowOff[len(ws.rowOff)-1]
+	execUnits := ws.unitOff[len(ws.unitOff)-1]
+	perGroup := 3 + fillRows + execUnits
+	icg, ocg := p.ICG(), p.OCG()
+	xRows := p.N * p.IH * p.IW
+	dyRows := p.N * p.OH() * p.OW()
+	whatElems := ws.whatOff[len(ws.whatOff)-1]
+
+	// Size the slot ring: buckets (zeroed by each group's prep unit) plus
+	// the precision's staging and Ŵ-cache arenas, with operand tensor views
+	// bound so units allocate nothing.
+	ws.ensureRing(ring)
+	for s := 0; s < ring; s++ {
+		slot := &ws.ring[s]
+		slot.ensureBuckets(ws.z, ws.elems)
+		switch {
+		case !half:
+			slot.xT = tensor.Float32{Shape: pg.XShape(), Data: growF32(&slot.x32, xRows*icg)}
+			slot.dyT = tensor.Float32{Shape: pg.DYShape(), Data: growF32(&slot.dy32, dyRows*ocg)}
+			growF32(&slot.what32, whatElems)
+		case resident:
+			// Decoded-operand mode: staging IS the decoded mirror; the Half
+			// views carry only the per-group shape (units index through it).
+			slot.xTH = tensor.Half{Shape: pg.XShape()}
+			slot.dyTH = tensor.Half{Shape: pg.DYShape()}
+			growF32(&slot.xDec, xRows*icg)
+			growF32(&slot.dyDec, dyRows*ocg)
+			growF32(&slot.what32, whatElems)
+		default:
+			slot.xTH = tensor.Half{Shape: pg.XShape(), Data: growHalf(&slot.x16, xRows*icg)}
+			slot.dyTH = tensor.Half{Shape: pg.DYShape(), Data: growHalf(&slot.dy16, dyRows*ocg)}
+			growHalf(&slot.what16, whatElems)
+		}
+	}
+
+	if cap(ws.gphase) < g {
+		ws.gphase = make([]groupPhase, g)
+	}
+	ws.gphase = ws.gphase[:g]
+	for i := range ws.gphase {
+		st := &ws.gphase[i]
+		st.prep.Store(0)
+		st.gather.Store(2)
+		st.fill.Store(int32(fillRows))
+		st.exec.Store(int32(execUnits))
+		st.done.Store(0)
+	}
+
+	ws.gjob = groupJob{
+		cfg: cfg, gcfg: gcfg, ws: ws,
+		x32: x32, dy32: dy32, x16: x16, dy16: dy16,
+		dst: dst, cancel: cancel,
+		half: half, resident: resident, traceOn: traceOn,
+		ring: ring, perGroup: perGroup,
+		fillRows: fillRows, execUnits: execUnits,
+		slabElems: pg.DWShape().Elems(),
+		xRows:     xRows, dyRows: dyRows,
+	}
+	total := g * perGroup
+	if width == 1 {
+		// Single effective thread: run the whole unit stream in index
+		// order on this goroutine (every wait is pre-satisfied), checking
+		// cancellation at group boundaries — the same full-or-nothing
+		// granularity the pooled path has, without recruiting helpers that
+		// could only time-slice one core.
+		for lo := 0; lo < total && !cancel.Cancelled(); lo += perGroup {
+			ws.gjob.Run(lo, lo+perGroup)
+		}
+	} else {
+		// Claim unit-by-unit. The batch is a dependency pipeline, not an
+		// embarrassingly parallel grid: a multi-unit chunk hands one worker
+		// a serial span whose later units wait on the earlier ones, so its
+		// co-workers stall behind gates only the span owner can open. With
+		// chunk=1 every worker keeps converging on the runnable frontier
+		// and waits stay µs-scale. The claim cost (one atomic add per unit)
+		// is noise next to the cheapest unit.
+		pool.RunBatch(total, 1, &ws.gjob, cancel)
+	}
+	ws.gjob = groupJob{}
+	return !cancel.Cancelled()
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"winrs/internal/conv"
+	"winrs/internal/fp16"
+	"winrs/internal/tensor"
+)
+
+// forceGroupDispatch overrides the grouped-dispatch forcing mode for the
+// test's duration — the test-process form of WINRS_GROUP_DISPATCH.
+func forceGroupDispatch(t testing.TB, mode groupDispatchMode) {
+	t.Helper()
+	prev := groupDispatchForce
+	groupDispatchForce = mode
+	t.Cleanup(func() { groupDispatchForce = prev })
+}
+
+// forceGroupWidth pins the interleave's effective co-scheduling width so
+// the pooled pipeline (phase gates, ring hand-off, unit claims) runs even
+// on CI machines with fewer CPUs than the test pool's width — without it
+// the NumCPU clamp would route every run through the inline path there.
+func forceGroupWidth(t testing.TB, width int) {
+	t.Helper()
+	prev := groupWidthForce
+	groupWidthForce = width
+	t.Cleanup(func() { groupWidthForce = prev })
+}
+
+// The interleaved dispatch must be bit-identical to the sequential
+// per-group passes on every grouped sweep shape, FP32 and FP16 (both
+// operand forms), across forced segmentations, inline and through a
+// width-4 pool — and both must stay within the oracle band. Run under
+// -race this is the interleaved co-scheduling differential.
+func TestGroupedInterleavedMatchesSequential(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		withTestPool(t, width, func() {
+			forceGroupWidth(t, width)
+			for _, tc := range groupedSweepCases {
+				x64, dy64 := groupedLayer64(t, 71, tc.p)
+				want := conv.BackwardFilterDirect64(tc.p, x64, dy64)
+				x, dy := x64.ToFloat32(), dy64.ToFloat32()
+				xh, dyh := x.ToHalf(), dy.ToHalf()
+				for _, z := range tc.segs {
+					opts := []Option{}
+					if z > 0 {
+						opts = append(opts, WithSegments(z))
+					}
+					cfg, err := Configure(tc.p, opts...)
+					if err != nil {
+						t.Fatalf("%s z=%d: %v", tc.name, z, err)
+					}
+					cfg16, err := Configure(tc.p, append(opts, WithFP16())...)
+					if err != nil {
+						t.Fatalf("%s z=%d fp16: %v", tc.name, z, err)
+					}
+
+					forceGroupDispatch(t, groupDispatchSeq)
+					seq := Execute(cfg, x, dy)
+					seqH := ExecuteHalfIn(cfg16, nil, xh, dyh, nil)
+					forceResident(t, false)
+					seqHC := ExecuteHalfIn(cfg16, nil, xh, dyh, nil)
+					forceResident(t, true)
+
+					forceGroupDispatch(t, groupDispatchInterleaved)
+					il := Execute(cfg, x, dy)
+					equalBits(t, tc.name+"-fp32", il.Data, seq.Data)
+					if m := tensor.MARE(il, want); m > 1e-5 {
+						t.Errorf("%s width=%d z=%d: interleaved MARE %v > 1e-5", tc.name, width, z, m)
+					}
+					ilH := ExecuteHalfIn(cfg16, nil, xh, dyh, nil)
+					equalBits(t, tc.name+"-fp16", ilH.Data, seqH.Data)
+					forceResident(t, false)
+					ilHC := ExecuteHalfIn(cfg16, nil, xh, dyh, nil)
+					forceResident(t, true)
+					equalBits(t, tc.name+"-fp16-codec", ilHC.Data, seqHC.Data)
+				}
+			}
+		})
+	}
+}
+
+// Every EWM kernel-tier forcing must produce bit-identical gradients on
+// depthwise shapes (I_C/G == 1), where auto resolves to the dedicated dw1
+// panel — the forced-kernel differential sweep of the depthwise
+// specialization, inline and pooled.
+func TestDepthwiseEWMKernelSweep(t *testing.T) {
+	shapes := []conv.Params{
+		{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1, Groups: 8},
+		{N: 2, IH: 12, IW: 14, FH: 5, FW: 5, IC: 4, OC: 4, PH: 2, PW: 2, Groups: 4},
+	}
+	for _, width := range []int{1, 4} {
+		withTestPool(t, width, func() {
+			for _, p := range shapes {
+				x64, dy64 := groupedLayer64(t, 72, p)
+				want := conv.BackwardFilterDirect64(p, x64, dy64)
+				x, dy := x64.ToFloat32(), dy64.ToFloat32()
+				cfg, err := Configure(p, WithSegments(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k := cfg.EWMKernel(); !strings.Contains(k, "dw1") {
+					t.Errorf("depthwise auto selection is %q, want the dw1 panel", k)
+				}
+				var base *tensor.Float32
+				for _, m := range ewmVariantModes {
+					forceEWM(t, m.mode)
+					got := Execute(cfg, x, dy)
+					if mare := tensor.MARE(got, want); mare > 1e-5 {
+						t.Errorf("%v width=%d %s: MARE %v > 1e-5", p, width, m.name, mare)
+					}
+					if base == nil {
+						base = got
+						continue
+					}
+					equalBits(t, m.name, got.Data, base.Data)
+				}
+				forceEWM(t, ewmAuto)
+			}
+		})
+	}
+}
+
+// Cancellation mid-interleave must never leave partial-group bytes in the
+// destination: a group's ∇W slab is written only by the last fused unit of
+// a fully executed group, so every slab is either untouched (the sentinel
+// prefill survives) or bit-identical to the uncancelled result.
+func TestGroupedInterleavedCancelNoPartialGroups(t *testing.T) {
+	forceGroupDispatch(t, groupDispatchInterleaved)
+	p := conv.Params{N: 2, IH: 20, IW: 20, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1, Groups: 8}
+	cfg, err := Configure(p, WithSegments(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, dy := poolLayer(t, 73, p)
+	want := ExecuteIn(cfg, nil, x, dy, nil)
+	n := cfg.GroupConfig().Params.DWShape().Elems()
+	const sentinel = float32(-12345.5)
+
+	withTestPool(t, 4, func() {
+		forceGroupWidth(t, 4)
+		ws := NewWorkspace(cfg)
+		dst := tensor.NewFloat32(p.DWShape())
+		cancelled := 0
+		for attempt := 0; attempt < 40; attempt++ {
+			for i := range dst.Data {
+				dst.Data[i] = sentinel
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			go func(delay time.Duration) {
+				time.Sleep(delay)
+				cancel()
+			}(time.Duration(attempt%8) * 20 * time.Microsecond)
+			out, err := ExecuteInCtx(ctx, cfg, ws, x, dy, dst)
+			cancel()
+			if err == nil {
+				// Cancel arrived too late: the run completed and must be
+				// bit-identical to the plain path.
+				equalBits(t, "late-cancel", out.Data, want.Data)
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			cancelled++
+			for gi := 0; gi < p.G(); gi++ {
+				slab := dst.Data[gi*n : (gi+1)*n]
+				if slab[0] == sentinel {
+					for i, v := range slab {
+						if v != sentinel {
+							t.Fatalf("group %d: partial slab — sentinel at 0 but %v at %d", gi, v, i)
+						}
+					}
+					continue
+				}
+				equalBits(t, "cancelled-complete-group", slab, want.Data[gi*n:(gi+1)*n])
+			}
+		}
+		t.Logf("caught %d cancelled runs out of 40", cancelled)
+	})
+}
+
+// Steady-state interleaved grouped dispatch through a warm pool must not
+// allocate: the groupJob is embedded in the Workspace, the slot ring and
+// phase ledger are grown once, and batch descriptors are pooled.
+func TestGroupedInterleavedAllocsZeroWithPool(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pinning runs without -race")
+	}
+	forceGroupDispatch(t, groupDispatchInterleaved)
+	p := conv.Params{N: 1, IH: 24, IW: 24, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1, Groups: 8}
+	cfg, err := Configure(p, WithSegments(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg16, err := Configure(p, WithSegments(2), WithFP16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, dy := poolLayer(t, 74, p)
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	ws := NewWorkspace(cfg)
+	ws16 := NewWorkspace(cfg16)
+	dst := tensor.NewFloat32(p.DWShape())
+
+	withTestPool(t, 4, func() {
+		for i := 0; i < 8; i++ {
+			ExecuteIn(cfg, ws, x, dy, dst)
+			ExecuteHalfIn(cfg16, ws16, xh, dyh, dst)
+		}
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		allocs := testing.AllocsPerRun(50, func() { ExecuteIn(cfg, ws, x, dy, dst) })
+		if allocs != 0 {
+			t.Errorf("steady-state interleaved ExecuteIn allocates %v per run, want 0", allocs)
+		}
+		allocs16 := testing.AllocsPerRun(50, func() { ExecuteHalfIn(cfg16, ws16, xh, dyh, dst) })
+		if allocs16 != 0 {
+			t.Errorf("steady-state interleaved ExecuteHalfIn allocates %v per run, want 0", allocs16)
+		}
+	})
+}
+
+// sliceChannels/scatterChannels on both branches: the strided per-row
+// gather and the width == srcC single-bulk-copy fast path, which must be
+// exact inverses.
+func TestSliceScatterChannelsBothBranches(t *testing.T) {
+	const rows, srcC = 5, 6
+	rng := rand.New(rand.NewSource(75))
+	src := make([]float32, rows*srcC)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	// Strided branch: every (off, width) window with width < srcC.
+	for off := 0; off < srcC; off++ {
+		for width := 1; off+width < srcC; width++ {
+			got := make([]float32, rows*width)
+			sliceChannels(got, src, rows, srcC, off, width)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < width; c++ {
+					if got[r*width+c] != src[r*srcC+off+c] {
+						t.Fatalf("slice off=%d width=%d row=%d ch=%d: %v != %v",
+							off, width, r, c, got[r*width+c], src[r*srcC+off+c])
+					}
+				}
+			}
+			back := make([]float32, rows*srcC)
+			copy(back, src)
+			scatterChannels(back, got, rows, srcC, off, width)
+			for i := range back {
+				if back[i] != src[i] {
+					t.Fatalf("scatter off=%d width=%d is not the inverse at %d", off, width, i)
+				}
+			}
+		}
+	}
+	// Fast path: width == srcC collapses to one bulk copy.
+	full := make([]float32, rows*srcC)
+	sliceChannels(full, src, rows, srcC, 0, srcC)
+	for i := range full {
+		if full[i] != src[i] {
+			t.Fatalf("full-width slice differs at %d", i)
+		}
+	}
+	out := make([]float32, rows*srcC)
+	scatterChannels(out, full, rows, srcC, 0, srcC)
+	for i := range out {
+		if out[i] != src[i] {
+			t.Fatalf("full-width scatter differs at %d", i)
+		}
+	}
+}
+
+// sliceDecodeChannels must equal gather-then-decode bit for bit on both
+// branches (decode is exact, so fusing it with the gather changes nothing).
+func TestSliceDecodeChannelsMatchesUnfused(t *testing.T) {
+	const rows, srcC = 4, 5
+	rng := rand.New(rand.NewSource(76))
+	f := make([]float32, rows*srcC)
+	for i := range f {
+		f[i] = rng.Float32()
+	}
+	src := make([]fp16.Bits, len(f))
+	fp16.EncodeSlice(src, f)
+	for _, tc := range []struct{ off, width int }{{1, 2}, {0, 3}, {0, srcC}} {
+		fused := make([]float32, rows*tc.width)
+		sliceDecodeChannels(fused, src, rows, srcC, tc.off, tc.width)
+		gathered := make([]fp16.Bits, rows*tc.width)
+		sliceChannels(gathered, src, rows, srcC, tc.off, tc.width)
+		unfused := make([]float32, rows*tc.width)
+		fp16.DecodeSlice(unfused, gathered)
+		for i := range fused {
+			if fused[i] != unfused[i] {
+				t.Fatalf("off=%d width=%d: fused decode differs at %d: %v != %v",
+					tc.off, tc.width, i, fused[i], unfused[i])
+			}
+		}
+	}
+}
+
+// An unrecognized WINRS_GROUP_DISPATCH must fall back to auto loudly,
+// naming the knob, the bad value and the valid set.
+func TestParseGroupDispatchWarnsOnUnknown(t *testing.T) {
+	warns := captureEnvWarn(t)
+	for val, want := range map[string]groupDispatchMode{
+		"": groupDispatchAuto, "auto": groupDispatchAuto,
+		"seq": groupDispatchSeq, "sequential": groupDispatchSeq,
+		"interleaved": groupDispatchInterleaved,
+	} {
+		if got := parseGroupDispatch(val); got != want {
+			t.Errorf("parseGroupDispatch(%q) = %v, want %v", val, got, want)
+		}
+	}
+	if len(*warns) != 0 {
+		t.Fatalf("valid values warned: %v", *warns)
+	}
+	if got := parseGroupDispatch("interleave"); got != groupDispatchAuto {
+		t.Errorf("unknown value mapped to %v, want auto", got)
+	}
+	if len(*warns) != 1 ||
+		!strings.Contains((*warns)[0], `"interleave"`) ||
+		!strings.Contains((*warns)[0], "WINRS_GROUP_DISPATCH") ||
+		!strings.Contains((*warns)[0], "seq") {
+		t.Fatalf("warning should name the knob, the bad value and the valid set; got %v", *warns)
+	}
+}
+
+// Describe must attribute the dispatch mode, the realized ring budget and
+// the sequential per-group arena on grouped plans — and stay silent on
+// ungrouped ones.
+func TestDescribeGroupDispatch(t *testing.T) {
+	p := conv.Params{N: 1, IH: 16, IW: 16, FH: 3, FW: 3, IC: 8, OC: 8, PH: 1, PW: 1, Groups: 4}
+	cfg, err := Configure(p, WithSegments(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceGroupDispatch(t, groupDispatchInterleaved)
+	d := cfg.Describe()
+	if d.GroupDispatch != "interleaved" {
+		t.Errorf("GroupDispatch = %q, want interleaved", d.GroupDispatch)
+	}
+	if d.GroupRing != groupRingSlots {
+		t.Errorf("GroupRing = %d, want %d", d.GroupRing, groupRingSlots)
+	}
+	if d.WorkspaceSeqBytes <= 0 || d.WorkspaceBytes != d.WorkspaceSeqBytes*int64(d.GroupRing) {
+		t.Errorf("workspace accounting: total %d, seq %d, ring %d",
+			d.WorkspaceBytes, d.WorkspaceSeqBytes, d.GroupRing)
+	}
+	forceGroupDispatch(t, groupDispatchSeq)
+	d = cfg.Describe()
+	if d.GroupDispatch != "sequential" || d.GroupRing != 1 {
+		t.Errorf("sequential forcing: dispatch %q ring %d", d.GroupDispatch, d.GroupRing)
+	}
+	if d.WorkspaceBytes != d.WorkspaceSeqBytes {
+		t.Errorf("sequential workspace %d != per-group arena %d", d.WorkspaceBytes, d.WorkspaceSeqBytes)
+	}
+
+	pu := p
+	pu.Groups = 0
+	ucfg, err := Configure(pu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du := ucfg.Describe(); du.GroupDispatch != "" || du.GroupRing != 0 || du.WorkspaceSeqBytes != 0 {
+		t.Errorf("ungrouped plan carries group attribution: %+v", du)
+	}
+}
+
+// BenchmarkGroupedDispatch pits the interleaved dispatch against the
+// sequential per-group passes on a production depthwise shape — the
+// occupancy case the interleaved dispatch exists for. Run with
+// -cpu 1,4 to see the pool-width dependence.
+func BenchmarkGroupedDispatch(b *testing.B) {
+	p := conv.Params{N: 1, IH: 56, IW: 56, FH: 3, FW: 3, IC: 64, OC: 64, PH: 1, PW: 1, Groups: 64}
+	cfg, err := Configure(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, dy := poolLayer(b, 81, p)
+	ws := NewWorkspace(cfg)
+	dst := tensor.NewFloat32(p.DWShape())
+	cfg16, err := Configure(p, WithFP16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws16 := NewWorkspace(cfg16)
+	xh, dyh := x.ToHalf(), dy.ToHalf()
+	for _, m := range []struct {
+		name string
+		mode groupDispatchMode
+	}{{"seq", groupDispatchSeq}, {"interleaved", groupDispatchInterleaved}} {
+		b.Run(m.name, func(b *testing.B) {
+			forceGroupDispatch(b, m.mode)
+			ExecuteIn(cfg, ws, x, dy, dst)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ExecuteIn(cfg, ws, x, dy, dst)
+			}
+		})
+		b.Run(m.name+"16", func(b *testing.B) {
+			forceGroupDispatch(b, m.mode)
+			ExecuteHalfIn(cfg16, ws16, xh, dyh, dst)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ExecuteHalfIn(cfg16, ws16, xh, dyh, dst)
+			}
+		})
+	}
+}

@@ -51,14 +51,67 @@ type Workspace struct {
 	// I_C/G input and O_C/G output-gradient channels gathered contiguously
 	// (NHWC keeps channels innermost, so a group slice is a strided
 	// row-gather). Reused across the G per-group passes and across
-	// executions. Empty for ungrouped plans.
+	// executions. Empty for ungrouped plans; the sequential dispatch only —
+	// the interleaved dispatch stages through the ring slots below.
 	xg32, dyg32 []float32
 	xg16, dyg16 []fp16.Bits
+
+	// Interleaved grouped dispatch state (groupedinterleave.go): the
+	// bounded ring of in-flight per-group slots — each holding its own
+	// buckets, staging slabs and Ŵ cache so groups execute concurrently —
+	// and the per-group phase ledger. Grown lazily on the first interleaved
+	// execution, then reused. Empty for ungrouped plans or forced
+	// sequential dispatch.
+	ring   []groupSlot
+	gphase []groupPhase
 
 	// Reusable pool tasks: rewritten per call so the steady-state dispatch
 	// passes a pointer-to-field as sched.Task without boxing allocations.
 	job  execJob
 	fill fillJob
+	gjob groupJob
+}
+
+// groupSlot is one ring entry of the interleaved grouped dispatch: the
+// complete per-group arena (Z buckets, staging operands, Ŵ cache) of one
+// in-flight group. Groups map to slots round-robin (gi mod ring); the prep
+// unit of a group re-zeroes the buckets after the previous occupant's
+// reduce retires the slot.
+type groupSlot struct {
+	x32, dy32   []float32   // FP32 staging (xT/dyT views alias these)
+	x16, dy16   []fp16.Bits // legacy FP16 staging
+	xDec, dyDec []float32   // resident-FP16 decoded staging
+	what32      []float32
+	what16      []fp16.Bits
+	buckets     [][]float32
+
+	// Pre-bound operand views handed to the fill/tile helpers, so per-unit
+	// dispatch allocates nothing. Data aliases the staging slices above; in
+	// resident mode the Half views carry only the per-group shape.
+	xT, dyT   tensor.Float32
+	xTH, dyTH tensor.Half
+}
+
+// ensureBuckets sizes the slot's bucket set to z buckets of elems each.
+// Contents are unspecified — the prep unit zeroes them before use.
+func (s *groupSlot) ensureBuckets(z, elems int) {
+	if len(s.buckets) == z && (z == 0 || len(s.buckets[0]) == elems) {
+		return
+	}
+	s.buckets = make([][]float32, z)
+	for i := range s.buckets {
+		s.buckets[i] = make([]float32, elems)
+	}
+}
+
+// ensureRing sizes the slot ring to n entries, keeping existing arenas.
+func (ws *Workspace) ensureRing(n int) {
+	if cap(ws.ring) < n {
+		r := make([]groupSlot, n)
+		copy(r, ws.ring)
+		ws.ring = r
+	}
+	ws.ring = ws.ring[:n]
 }
 
 // NewWorkspace allocates the bucket arena for cfg and binds its schedule
@@ -109,14 +162,22 @@ func (ws *Workspace) Fits(cfg *Config) bool {
 }
 
 // Bytes returns the arena footprint: buckets plus whatever Ŵ-cache arenas
-// the executed precisions have materialized. The cache stays within the
+// the executed precisions have materialized, plus the interleaved-dispatch
+// ring slots when grouped executions grew them. The cache stays within the
 // analytic bound documented on Config.WHatCacheBytes.
 func (ws *Workspace) Bytes() int64 {
-	return int64(ws.z)*int64(ws.elems)*4 +
+	b := int64(ws.z)*int64(ws.elems)*4 +
 		int64(cap(ws.what32))*4 + int64(cap(ws.what16))*2 +
 		int64(cap(ws.xDec))*4 + int64(cap(ws.dyDec))*4 +
 		int64(cap(ws.xg32))*4 + int64(cap(ws.dyg32))*4 +
 		int64(cap(ws.xg16))*2 + int64(cap(ws.dyg16))*2
+	for i := range ws.ring {
+		s := &ws.ring[i]
+		b += int64(len(s.buckets)) * int64(ws.elems) * 4
+		b += int64(cap(s.x32)+cap(s.dy32)+cap(s.xDec)+cap(s.dyDec)+cap(s.what32)) * 4
+		b += int64(cap(s.x16)+cap(s.dy16)+cap(s.what16)) * 2
+	}
+	return b
 }
 
 func (ws *Workspace) zero() {
@@ -279,7 +340,7 @@ func reduceTraced(cfg *Config, buckets [][]float32, dst *tensor.Float32, traceOn
 // steady-state executions allocate no transform scratch at all; the slices
 // grow to the largest geometry seen and are then reused as-is.
 type tileScratch struct {
-	v, wRaw, wHatF, xRaw, xHatF, acc []float32
+	v, wRaw, wHatF, xRaw, xHatF, acc, dT []float32
 }
 
 var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}

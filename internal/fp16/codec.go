@@ -216,6 +216,33 @@ func RoundSlice(vs []float32) {
 	}
 }
 
+// Round returns v rounded through binary16 storage — the scalar form of
+// RoundSlice, same tables and RNE fixup, for hot paths whose rows are
+// single floats (the depthwise X̂ row) where the slice call's table fetch
+// and loop prologue would dominate the one element's work.
+func Round(v float32) float32 {
+	base, shift, or := encodeTables()
+	b := math.Float32bits(v)
+	if b&0x7F800000 == 0x7F800000 {
+		h := uint32(b>>16) & 0x8000
+		if frac := b & 0x7FFFFF; frac != 0 {
+			h |= uint32(expMask) | 0x0200 | frac>>13
+		} else {
+			h |= uint32(expMask)
+		}
+		return decodeBits(h)
+	}
+	c := b >> 23
+	m := b&0x7FFFFF | or[c]
+	sh := uint32(shift[c])
+	h := uint32(base[c]) + m>>sh
+	rem := m & (1<<sh - 1)
+	if rem+(h&1) > 1<<(sh-1) {
+		h++
+	}
+	return decodeBits(h)
+}
+
 // RoundInto writes the nearest binary16 value of every src element into
 // dst — RoundSlice fused with the copy, bit-identical to
 // ToFloat32(FromFloat32(v)) per element. It is the one-pass kernel behind

@@ -30,11 +30,18 @@ const (
 	StageWHat
 	// StageReduce is the Kahan bucket reduction of one execution.
 	StageReduce
+	// StageGroupGather is one grouped-execution channel gather: slicing a
+	// group's I_C/G input or O_C/G ∇Y channels into its staging slab. Under
+	// the interleaved group dispatch each gather is a pool unit recorded
+	// individually, so the overlap with the previous group's compute is
+	// visible in the stage histogram; the sequential dispatch gathers
+	// inline and records per group.
+	StageGroupGather
 	// NumStages bounds the enum.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"segment_tile", "transform", "ewm", "what_transform", "reduce"}
+var stageNames = [NumStages]string{"segment_tile", "transform", "ewm", "what_transform", "reduce", "group_gather"}
 
 func (s Stage) String() string {
 	if int(s) < len(stageNames) {

@@ -380,3 +380,67 @@ func TestFaultMetricsRegisteredUpfront(t *testing.T) {
 		}
 	}
 }
+
+// Acceptance criterion: cancelling a grouped request mid-interleave leaks
+// nothing — the interleaved dispatch drains, the borrowed arenas return to
+// the pools (Borrowed() == 0) after every attempt, and a served grouped
+// gradient (cancelled runs retried to completion) stays bit-identical to
+// the library path. Run under -race this also proves the cancelled batch
+// left no straggler still writing into a recycled workspace.
+func TestFaultGroupedCancelMidInterleave(t *testing.T) {
+	s, _ := newFaultServer(t, serve.Config{Workers: 1, QueueDepth: 4})
+	rt := s.Runtime()
+	p := winrs.Params{N: 2, IH: 20, IW: 20, FH: 3, FW: 3, IC: 16, OC: 16, PH: 1, PW: 1, Groups: 16}
+	x, dy := randLayer(t, 46, p)
+	want, err := winrs.BackwardFilter(p, x, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := serve.PlanKey{Params: p}
+
+	cancelled, completed := 0, 0
+	for attempt := 0; attempt < 30; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(attempt%6) * 30 * time.Microsecond)
+		err := rt.BackwardFilterPooledCtx(ctx, key, x, dy,
+			func(dw *winrs.Tensor, e *serve.Entry, hit bool) error {
+				completed++
+				for i := range want.Data {
+					if dw.Data[i] != want.Data[i] {
+						t.Fatalf("attempt %d: served grouped gradient differs at %d", attempt, i)
+					}
+				}
+				return nil
+			})
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("attempt %d: %v", attempt, err)
+			}
+			cancelled++
+		}
+		if got := rt.Borrowed(); got != 0 {
+			t.Fatalf("attempt %d: Borrowed() = %d, want 0", attempt, got)
+		}
+	}
+	t.Logf("%d cancelled, %d completed of 30 grouped attempts", cancelled, completed)
+
+	// The pools must be intact: an uncancelled follow-up serves correctly.
+	if err := rt.BackwardFilterPooledCtx(context.Background(), key, x, dy,
+		func(dw *winrs.Tensor, e *serve.Entry, hit bool) error {
+			for i := range want.Data {
+				if dw.Data[i] != want.Data[i] {
+					t.Fatalf("follow-up gradient differs at %d", i)
+				}
+			}
+			return nil
+		}); err != nil {
+		t.Fatalf("follow-up after cancellations: %v", err)
+	}
+	if got := rt.Borrowed(); got != 0 {
+		t.Errorf("Borrowed() = %d after follow-up, want 0", got)
+	}
+}
